@@ -1,0 +1,26 @@
+"""Table III: baseline system configuration (asserted, not simulated)."""
+
+from conftest import run_once
+
+from repro.common.config import cascade_lake_multi_core, cascade_lake_single_core
+
+
+def test_table03_system_configuration(benchmark):
+    system = run_once(benchmark, cascade_lake_single_core)
+    print()
+    print("Table III: baseline system configuration")
+    print(f"  core: {system.core.width}-wide, ROB {system.core.rob_size}, "
+          f"{system.core.frequency_ghz} GHz")
+    print(f"  L1D: {system.l1d.size_bytes // 1024} KB, {system.l1d.associativity}-way, "
+          f"{system.l1d.latency} cc")
+    print(f"  L2C: {system.l2c.size_bytes // 1024} KB, {system.l2c.associativity}-way, "
+          f"{system.l2c.latency} cc")
+    print(f"  LLC: {system.llc.size_bytes // 1024} KB/core, {system.llc.associativity}-way, "
+          f"{system.llc.latency} cc")
+    print(f"  DRAM: {system.dram.bandwidth_gbps} GB/s per core (single-core)")
+    assert system.core.width == 4
+    assert system.core.rob_size == 224
+    assert system.l1d.size_bytes == 32 * 1024
+    assert system.l2c.size_bytes == 1024 * 1024
+    assert system.llc.size_bytes == 1408 * 1024
+    assert cascade_lake_multi_core(4).dram.bandwidth_gbps == 3.2 * 4

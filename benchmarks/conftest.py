@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.  All
+files share a process-wide :class:`~repro.experiments.common.CampaignCache`
+so that a (workload, scheme, prefetcher) simulation is only run once per
+``pytest benchmarks/`` invocation.
+"""
+
+import pytest
+
+from repro.experiments.common import get_global_cache
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    """The shared campaign cache used by every benchmark."""
+    return get_global_cache()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,48 @@
+"""Bandwidth sensitivity: a 4-core mix under different per-core DRAM budgets.
+
+Reproduces the spirit of the paper's Figure 16 on one 4-core workload mix:
+as the per-core DRAM bandwidth shrinks from 12.8 GB/s to 1.6 GB/s, the cost
+of useless DRAM traffic (wrong speculative requests, inaccurate prefetches)
+grows, and TLP's advantage over Hermes widens.
+
+Run with::
+
+    python examples/bandwidth_sensitivity.py
+"""
+
+from __future__ import annotations
+
+from repro import build_scenario, cascade_lake_multi_core, run_multicore_mix
+from repro.workloads import gap_trace, spec_like_trace
+
+
+def main() -> None:
+    print("Building a heterogeneous 4-core mix (2x BFS, mcf-like, omnetpp-like)...")
+    traces = [
+        gap_trace("bfs", graph="urand", scale="medium", max_memory_accesses=5_000),
+        gap_trace("bfs", graph="urand", scale="medium", max_memory_accesses=5_000, seed=11),
+        spec_like_trace("mcf_like", num_memory_accesses=5_000),
+        spec_like_trace("omnetpp_like", num_memory_accesses=5_000),
+    ]
+
+    print(f"{'GB/s per core':>13} {'scheme':<9} {'sum IPC':>8} {'DRAM tx':>9}")
+    for bandwidth in (1.6, 3.2, 6.4, 12.8):
+        system = cascade_lake_multi_core(4).with_dram_bandwidth(bandwidth)
+        for scheme in ("baseline", "hermes", "tlp"):
+            result = run_multicore_mix(
+                traces, build_scenario(scheme), config=system, mix_name=f"mix@{bandwidth}"
+            )
+            print(
+                f"{bandwidth:>13.1f} {scheme:<9} {sum(result.ipcs):>8.3f} "
+                f"{result.dram_transactions:>9d}"
+            )
+    print()
+    print(
+        "Expected shape (paper, Figure 16): TLP's advantage over Hermes and the\n"
+        "baseline is largest at 1.6-3.2 GB/s per core and narrows as bandwidth\n"
+        "becomes plentiful, while its DRAM-transaction reduction persists."
+    )
+
+
+if __name__ == "__main__":
+    main()

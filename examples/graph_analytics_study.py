@@ -1,0 +1,47 @@
+"""Graph-analytics study: every GAP kernel under baseline / Hermes / TLP.
+
+The paper's motivation is that graph-processing workloads (GAP) have huge,
+irregular working sets that defeat the cache hierarchy.  This example sweeps
+the six GAP kernels (BFS, PR, CC, BC, TC, SSSP) over a uniform-random input
+graph and reports, per kernel, the DRAM-transaction overhead of Hermes and
+the DRAM-transaction reduction of TLP.
+
+Run with::
+
+    python examples/graph_analytics_study.py
+"""
+
+from __future__ import annotations
+
+from repro import build_scenario, run_single_core
+from repro.stats.metrics import percent_change, speedup_percent
+from repro.workloads import GAP_KERNELS, gap_trace
+
+
+def main() -> None:
+    print("GAP kernel study (urand graph, medium scale)")
+    print(f"{'kernel':<7} {'LLC MPKI':>9} {'Hermes dIPC':>12} {'Hermes dDRAM':>13} "
+          f"{'TLP dIPC':>9} {'TLP dDRAM':>10}")
+    for kernel in sorted(GAP_KERNELS):
+        trace = gap_trace(kernel, graph="urand", scale="medium", max_memory_accesses=8_000)
+        baseline = run_single_core(trace, build_scenario("baseline"))
+        hermes = run_single_core(trace, build_scenario("hermes"))
+        tlp = run_single_core(trace, build_scenario("tlp"))
+        print(
+            f"{kernel:<7} {baseline.mpki_by_level['LLC']:>9.1f} "
+            f"{speedup_percent(hermes.ipc, baseline.ipc):>11.1f}% "
+            f"{percent_change(hermes.dram_transactions, baseline.dram_transactions):>12.1f}% "
+            f"{speedup_percent(tlp.ipc, baseline.ipc):>8.1f}% "
+            f"{percent_change(tlp.dram_transactions, baseline.dram_transactions):>9.1f}%"
+        )
+    print()
+    print(
+        "Kernels with irregular, DRAM-bound access patterns (BFS/BC/SSSP/PR on\n"
+        "uniform graphs) are where TLP's prefetch filtering removes the most\n"
+        "DRAM traffic; kernels with small hot working sets (CC/TC on power-law\n"
+        "graphs) are cache friendly and all schemes behave similarly."
+    )
+
+
+if __name__ == "__main__":
+    main()

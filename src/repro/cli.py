@@ -1,0 +1,140 @@
+"""Command-line interface for running simulations and regenerating figures.
+
+Examples::
+
+    # Compare schemes on one workload
+    python -m repro.cli run --workload bfs.urand --schemes baseline hermes tlp
+
+    # Regenerate one figure of the paper
+    python -m repro.cli figure fig01
+    python -m repro.cli figure fig10
+
+    # List available workloads and schemes
+    python -m repro.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.experiments import CampaignCache
+from repro.experiments import (
+    fig01_mpki,
+    fig02_hermes_dram_sc,
+    fig04_offchip_breakdown,
+    fig05_06_prefetch_location,
+    fig10_12_singlecore,
+    fig13_14_multicore,
+    fig15_ablation,
+    fig16_bandwidth,
+    fig17_storage_budget,
+    table02_storage,
+)
+from repro.experiments.common import ExperimentConfig
+from repro.sim.scenarios import SCHEMES, build_scenario
+from repro.sim.single_core import run_single_core
+from repro.stats.metrics import percent_change, speedup_percent
+from repro.workloads.spec_like import SPEC_LIKE_WORKLOADS
+
+#: Figure name -> (module, needs campaign cache).
+FIGURES = {
+    "fig01": fig01_mpki,
+    "fig02": fig02_hermes_dram_sc,
+    "fig04": fig04_offchip_breakdown,
+    "fig05": fig05_06_prefetch_location,
+    "fig06": fig05_06_prefetch_location,
+    "fig10": fig10_12_singlecore,
+    "fig11": fig10_12_singlecore,
+    "fig12": fig10_12_singlecore,
+    "fig03": fig13_14_multicore,
+    "fig13": fig13_14_multicore,
+    "fig14": fig13_14_multicore,
+    "fig15": fig15_ablation,
+    "fig16": fig16_bandwidth,
+    "fig17": fig17_storage_budget,
+    "table02": table02_storage,
+}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("Schemes:")
+    for scheme in SCHEMES:
+        print(f"  {scheme}")
+    print("\nGAP workloads: <kernel>.<graph> with kernel in "
+          "{bfs, pr, cc, bc, tc, sssp} and graph in {urand, kron, road, ...}")
+    print("\nSPEC-like workloads:")
+    for name, spec in sorted(SPEC_LIKE_WORKLOADS.items()):
+        print(f"  spec.{name:<18} {spec.description}")
+    print("\nFigures:")
+    for name in sorted(FIGURES):
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cache = CampaignCache(ExperimentConfig(memory_accesses=args.accesses))
+    trace = cache.trace(args.workload, args.accesses)
+    print(f"workload: {trace.summary()}")
+    baseline = None
+    for scheme in args.schemes:
+        result = run_single_core(
+            trace, build_scenario(scheme, l1d_prefetcher=args.prefetcher)
+        )
+        if baseline is None:
+            baseline = result
+        print(
+            f"  {scheme:<14} ipc={result.ipc:7.3f} "
+            f"({speedup_percent(result.ipc, baseline.ipc):+6.1f}%)  "
+            f"dram={result.dram_transactions:7d} "
+            f"({percent_change(result.dram_transactions, baseline.dram_transactions):+6.1f}%)  "
+            f"pf_acc={100 * result.l1d_prefetch_accuracy:5.1f}%"
+        )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    module = FIGURES.get(args.name)
+    if module is None:
+        print(f"unknown figure {args.name!r}; choose from {sorted(FIGURES)}")
+        return 1
+    module.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TLP (HPCA 2024) reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list workloads, schemes and figures")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="simulate one workload under several schemes")
+    run_parser.add_argument("--workload", default="bfs.urand",
+                            help="workload name (e.g. bfs.urand or spec.mcf_like)")
+    run_parser.add_argument("--schemes", nargs="+", default=["baseline", "hermes", "tlp"],
+                            choices=list(SCHEMES))
+    run_parser.add_argument("--prefetcher", default="ipcp",
+                            choices=["ipcp", "berti", "next_line", "stride", "none"])
+    run_parser.add_argument("--accesses", type=int, default=10_000,
+                            help="memory accesses to simulate")
+    run_parser.set_defaults(func=_cmd_run)
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate one paper figure")
+    figure_parser.add_argument("name", help="figure id, e.g. fig01, fig10, table02")
+    figure_parser.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Address arithmetic helpers.
+
+The whole simulator works with 64-byte cache blocks and 4KB pages, the same
+granularities used by ChampSim and by the paper's storage accounting
+(Table II uses a cacheline-offset-in-page feature, i.e. 6 bits of offset out
+of a 12-bit page).
+"""
+
+from __future__ import annotations
+
+BLOCK_BITS = 6
+BLOCK_SIZE = 1 << BLOCK_BITS  # 64 bytes
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS  # 4 KiB
+
+#: Number of cache blocks per page (64 for 4KB pages and 64B blocks).
+BLOCKS_PER_PAGE = PAGE_SIZE // BLOCK_SIZE
+
+
+def block_address(address: int) -> int:
+    """Return the cache-block-aligned address containing ``address``."""
+    return address >> BLOCK_BITS
+
+
+def block_offset(address: int) -> int:
+    """Return the byte offset of ``address`` within its cache block."""
+    return address & (BLOCK_SIZE - 1)
+
+
+def page_number(address: int) -> int:
+    """Return the virtual/physical page number containing ``address``."""
+    return address >> PAGE_BITS
+
+
+def page_offset(address: int) -> int:
+    """Return the byte offset of ``address`` within its page."""
+    return address & (PAGE_SIZE - 1)
+
+
+def cacheline_offset_in_page(address: int) -> int:
+    """Return the index of the cache block of ``address`` within its page.
+
+    This is the "cacheline offset" program feature used by Hermes and by the
+    FLP/SLP feature set (Table I of the paper): a value in ``[0, 64)`` for
+    4KB pages and 64B blocks.
+    """
+    return (address >> BLOCK_BITS) & (BLOCKS_PER_PAGE - 1)
+
+
+def align_to_block(address: int) -> int:
+    """Return ``address`` rounded down to the start of its cache block."""
+    return address & ~(BLOCK_SIZE - 1)
+
+
+def align_to_page(address: int) -> int:
+    """Return ``address`` rounded down to the start of its page."""
+    return address & ~(PAGE_SIZE - 1)

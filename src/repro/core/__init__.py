@@ -1,0 +1,33 @@
+"""The paper's contribution: the Two Level Perceptron (TLP) predictor.
+
+* :class:`~repro.core.flp.FirstLevelPerceptron` -- off-chip prediction with
+  the selective delay mechanism (Section IV-A).
+* :class:`~repro.core.slp.SecondLevelPerceptron` -- off-chip prediction used
+  as an L1D prefetch filter, with the leveling feature (Section IV-B).
+* :class:`~repro.core.tlp.TwoLevelPerceptron` -- the combination of both
+  (Section IV-C), plus helpers to attach it to a memory hierarchy.
+* :mod:`repro.core.variants` -- the ablation designs of Figure 15
+  (FLP-only, SLP-only, TSP, Delayed TSP, Selective TSP).
+* :mod:`repro.core.storage` -- the Table II storage accounting.
+"""
+
+from repro.core.flp import FirstLevelPerceptron
+from repro.core.slp import SecondLevelPerceptron
+from repro.core.storage import StorageBreakdown, tlp_storage_breakdown
+from repro.core.tlp import TwoLevelPerceptron
+from repro.core.variants import (
+    AblationVariant,
+    build_ablation_variant,
+    ABLATION_VARIANTS,
+)
+
+__all__ = [
+    "FirstLevelPerceptron",
+    "SecondLevelPerceptron",
+    "TwoLevelPerceptron",
+    "StorageBreakdown",
+    "tlp_storage_breakdown",
+    "AblationVariant",
+    "build_ablation_variant",
+    "ABLATION_VARIANTS",
+]

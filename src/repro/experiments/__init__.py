@@ -1,0 +1,27 @@
+"""Experiment harnesses reproducing every figure/table of the paper.
+
+Each ``figNN_*`` module exposes:
+
+* ``run(config=None)`` -- run the experiment and return a result object
+  (dataclass or dict of rows/series);
+* ``format_table(result)`` -- render the result as the text table printed by
+  the benchmark harness;
+* ``main()`` -- run and print.
+
+The single-core figures (1, 2, 4, 5, 6, 10, 11, 12, 17) and the multi-core
+figures (3, 13, 14, 15, 16) share their underlying simulation campaigns via
+:class:`repro.experiments.common.CampaignCache`, so regenerating all figures
+only simulates each (workload, scenario) pair once.
+"""
+
+from repro.experiments.common import (
+    CampaignCache,
+    ExperimentConfig,
+    default_experiment_config,
+)
+
+__all__ = [
+    "CampaignCache",
+    "ExperimentConfig",
+    "default_experiment_config",
+]

@@ -1,0 +1,260 @@
+"""Shared infrastructure for the experiment harnesses.
+
+The paper's campaigns run 55 single-core workloads and 200 four-core mixes
+for 100M+100M instructions each on a cluster.  The reproduction keeps the
+same structure but scales the workload count and trace length down to what a
+pure-Python simulator can run in minutes; the *relative* comparisons between
+schemes are what the figures check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.common.config import SystemConfig, cascade_lake_multi_core, cascade_lake_single_core
+from repro.sim.multi_core import MultiCoreResult, run_multicore_mix
+from repro.sim.results import SingleCoreResult
+from repro.sim.scenarios import Scenario, build_scenario
+from repro.sim.single_core import run_single_core
+from repro.stats.metrics import geometric_mean
+from repro.traces.trace import Trace
+from repro.workloads.gap import gap_trace
+from repro.workloads.spec_like import spec_like_trace
+
+#: Default single-core workload selection.  Six GAP kernel/graph pairs and
+#: six SPEC-like workloads, chosen to span the MPKI range the paper targets
+#: (all have LLC MPKI > 1 in the baseline).
+DEFAULT_GAP_WORKLOADS = (
+    "bfs.urand",
+    "bc.urand",
+    "sssp.urand",
+    "cc.road",
+)
+DEFAULT_SPEC_WORKLOADS = (
+    "spec.mcf_like",
+    "spec.omnetpp_like",
+    "spec.sphinx_like",
+    "spec.lbm_like",
+)
+
+#: The four schemes compared against the baseline throughout Section VI.
+COMPARISON_SCHEMES = ("ppf", "hermes", "hermes_ppf", "tlp")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scaling knobs shared by all experiments."""
+
+    gap_workloads: tuple[str, ...] = DEFAULT_GAP_WORKLOADS
+    spec_workloads: tuple[str, ...] = DEFAULT_SPEC_WORKLOADS
+    memory_accesses: int = 12_000
+    multicore_memory_accesses: int = 6_000
+    warmup_fraction: float = 0.25
+    gap_scale: str = "medium"
+    l1d_prefetchers: tuple[str, ...] = ("ipcp", "berti")
+    cores: int = 4
+    mixes_per_suite: int = 1
+
+    def workloads(self, suite: str | None = None) -> tuple[str, ...]:
+        """All workload names, optionally restricted to one suite."""
+        if suite == "gap":
+            return self.gap_workloads
+        if suite == "spec":
+            return self.spec_workloads
+        return self.gap_workloads + self.spec_workloads
+
+    def suite_of(self, workload: str) -> str:
+        """Return "gap" or "spec" for a workload name."""
+        return "spec" if workload.startswith("spec.") else "gap"
+
+
+def default_experiment_config() -> ExperimentConfig:
+    """The configuration used by the benchmark harness."""
+    return ExperimentConfig()
+
+
+_GLOBAL_CACHE: Optional["CampaignCache"] = None
+
+
+def get_global_cache(config: Optional[ExperimentConfig] = None) -> "CampaignCache":
+    """Return a process-wide campaign cache shared by the benchmark files.
+
+    All ``benchmarks/bench_fig*.py`` modules run in the same pytest process;
+    sharing one cache means the single-core campaign behind Figures 10-12 is
+    simulated once and reused by the motivation figures (1, 2, 4, 5, 6).
+    """
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = CampaignCache(config)
+    return _GLOBAL_CACHE
+
+
+def quick_experiment_config() -> ExperimentConfig:
+    """A much smaller configuration used by the test suite."""
+    return ExperimentConfig(
+        gap_workloads=("bfs.urand", "pr.urand"),
+        spec_workloads=("spec.mcf_like", "spec.omnetpp_like"),
+        memory_accesses=4_000,
+        multicore_memory_accesses=2_500,
+        l1d_prefetchers=("ipcp",),
+        mixes_per_suite=1,
+    )
+
+
+class CampaignCache:
+    """Caches traces and simulation results across experiment modules.
+
+    Keyed by workload name / (workload, scheme, prefetcher), so that e.g. the
+    Figure 10, 11 and 12 harnesses, which all need the same single-core runs,
+    only simulate each configuration once per process.
+    """
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config if config is not None else default_experiment_config()
+        self._traces: dict[tuple[str, int], Trace] = {}
+        self._single_core: dict[tuple[str, str, str, int], SingleCoreResult] = {}
+        self._multi_core: dict[tuple[str, str, str, float], MultiCoreResult] = {}
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+    def trace(self, workload: str, memory_accesses: Optional[int] = None) -> Trace:
+        """Build (or reuse) the trace of a named workload."""
+        budget = (
+            memory_accesses
+            if memory_accesses is not None
+            else self.config.memory_accesses
+        )
+        key = (workload, budget)
+        if key not in self._traces:
+            self._traces[key] = self._build_trace(workload, budget)
+        return self._traces[key]
+
+    def _build_trace(self, workload: str, budget: int) -> Trace:
+        if workload.startswith("spec."):
+            return spec_like_trace(workload[len("spec."):], num_memory_accesses=budget)
+        kernel, _, graph = workload.partition(".")
+        return gap_trace(
+            kernel,
+            graph=graph,
+            scale=self.config.gap_scale,
+            max_memory_accesses=budget,
+        )
+
+    # ------------------------------------------------------------------
+    # Single-core runs
+    # ------------------------------------------------------------------
+    def single_core(
+        self,
+        workload: str,
+        scheme: str,
+        l1d_prefetcher: str = "ipcp",
+        memory_accesses: Optional[int] = None,
+        system: Optional[SystemConfig] = None,
+    ) -> SingleCoreResult:
+        """Run (or reuse) one single-core simulation."""
+        budget = (
+            memory_accesses
+            if memory_accesses is not None
+            else self.config.memory_accesses
+        )
+        key = (workload, scheme, l1d_prefetcher, budget)
+        if key not in self._single_core:
+            trace = self.trace(workload, budget)
+            scenario = build_scenario(scheme, l1d_prefetcher=l1d_prefetcher)
+            self._single_core[key] = run_single_core(
+                trace,
+                scenario,
+                config=system if system is not None else cascade_lake_single_core(),
+                warmup_fraction=self.config.warmup_fraction,
+            )
+        return self._single_core[key]
+
+    # ------------------------------------------------------------------
+    # Multi-core runs
+    # ------------------------------------------------------------------
+    def multicore_mixes(self, suite: str) -> list[tuple[str, list[str]]]:
+        """Multi-core mixes for one suite (half homogeneous, half random)."""
+        names = list(self.config.workloads(suite))
+        mixes: list[tuple[str, list[str]]] = []
+        for index in range(self.config.mixes_per_suite):
+            if index % 2 == 0:
+                workload = names[index % len(names)]
+                mixes.append((f"{suite}.homog.{workload}", [workload] * self.config.cores))
+            else:
+                selection = [
+                    names[(index + offset) % len(names)]
+                    for offset in range(self.config.cores)
+                ]
+                mixes.append((f"{suite}.heter.{index}", selection))
+        return mixes
+
+    def multi_core(
+        self,
+        mix_name: str,
+        workloads: list[str],
+        scheme: str,
+        l1d_prefetcher: str = "ipcp",
+        per_core_bandwidth_gbps: float = 3.2,
+    ) -> MultiCoreResult:
+        """Run (or reuse) one multi-core mix simulation."""
+        key = (mix_name, scheme, l1d_prefetcher, per_core_bandwidth_gbps)
+        if key not in self._multi_core:
+            budget = self.config.multicore_memory_accesses
+            traces = [self.trace(workload, budget) for workload in workloads]
+            scenario = build_scenario(scheme, l1d_prefetcher=l1d_prefetcher)
+            system = cascade_lake_multi_core(num_cores=len(workloads))
+            system = system.with_dram_bandwidth(per_core_bandwidth_gbps)
+            self._multi_core[key] = run_multicore_mix(
+                traces,
+                scenario,
+                config=system,
+                warmup_fraction=self.config.warmup_fraction,
+                mix_name=mix_name,
+            )
+        return self._multi_core[key]
+
+
+# ----------------------------------------------------------------------
+# Aggregation helpers
+# ----------------------------------------------------------------------
+def geomean_speedup_percent(
+    ipcs: Iterable[float], baseline_ipcs: Iterable[float]
+) -> float:
+    """Geometric-mean speedup in percent over paired baselines."""
+    ratios = [ipc / base for ipc, base in zip(ipcs, baseline_ipcs)]
+    if not ratios:
+        return 0.0
+    return 100.0 * (geometric_mean(ratios) - 1.0)
+
+
+def average_percent_change(values: Iterable[float], baselines: Iterable[float]) -> float:
+    """Arithmetic mean of per-pair percentage changes."""
+    changes = [
+        100.0 * (value - base) / base
+        for value, base in zip(values, baselines)
+        if base > 0
+    ]
+    if not changes:
+        return 0.0
+    return sum(changes) / len(changes)
+
+
+def format_rows(headers: list[str], rows: list[list]) -> str:
+    """Render a small fixed-width text table."""
+    widths = [len(header) for header in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [
+            f"{value:.2f}" if isinstance(value, float) else str(value) for value in row
+        ]
+        rendered_rows.append(rendered)
+        widths = [max(width, len(cell)) for width, cell in zip(widths, rendered)]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(rendered, widths)))
+    return "\n".join(lines)

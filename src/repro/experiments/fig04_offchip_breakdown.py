@@ -1,0 +1,83 @@
+"""Figure 4: location of the block when Hermes makes an off-chip prediction.
+
+The paper categorises Hermes' positive predictions by where the requested
+block actually resides (L1D, L2C, LLC or DRAM).  Predictions whose block is
+on-chip are wasted DRAM transactions; the observation that a large fraction
+of them are served by the L1D motivates FLP's selective delay mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.common import CampaignCache, ExperimentConfig, format_rows
+
+_LEVELS = ("L1D", "L2C", "LLC", "DRAM")
+
+
+@dataclass
+class Figure4Result:
+    """Prediction-location shares, per workload and aggregated."""
+
+    per_workload: dict[str, dict[str, float]] = field(default_factory=dict)
+    per_suite: dict[str, dict[str, float]] = field(default_factory=dict)
+    overall: dict[str, float] = field(default_factory=dict)
+
+
+def _shares(counts: dict[str, int]) -> dict[str, float]:
+    total = sum(counts.get(level, 0) for level in _LEVELS)
+    if total == 0:
+        return {level: 0.0 for level in _LEVELS}
+    return {level: 100.0 * counts.get(level, 0) / total for level in _LEVELS}
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+) -> Figure4Result:
+    """Run Hermes and break its off-chip predictions down by block location."""
+    campaign = cache if cache is not None else CampaignCache(config)
+    result = Figure4Result()
+    suite_counts: dict[str, dict[str, int]] = {
+        "spec": {level: 0 for level in _LEVELS},
+        "gap": {level: 0 for level in _LEVELS},
+    }
+    for workload in campaign.config.workloads():
+        hermes = campaign.single_core(workload, "hermes", "ipcp")
+        counts = hermes.offchip_prediction_location
+        result.per_workload[workload] = _shares(counts)
+        suite = campaign.config.suite_of(workload)
+        for level in _LEVELS:
+            suite_counts[suite][level] += counts.get(level, 0)
+    for suite, counts in suite_counts.items():
+        result.per_suite[suite] = _shares(counts)
+    total_counts = {
+        level: sum(counts[level] for counts in suite_counts.values())
+        for level in _LEVELS
+    }
+    result.overall = _shares(total_counts)
+    return result
+
+
+def format_table(result: Figure4Result) -> str:
+    """Render the location shares as percentages."""
+    rows = []
+    for workload, shares in sorted(result.per_workload.items()):
+        rows.append([workload] + [shares[level] for level in _LEVELS])
+    for suite, shares in sorted(result.per_suite.items()):
+        rows.append([f"<avg {suite}>"] + [shares[level] for level in _LEVELS])
+    rows.append(["<avg all>"] + [result.overall[level] for level in _LEVELS])
+    return format_rows(["workload"] + [f"{level} (%)" for level in _LEVELS], rows)
+
+
+def main() -> Figure4Result:
+    """Run and print Figure 4."""
+    result = run()
+    print("Figure 4: block location upon a Hermes off-chip prediction")
+    print(format_table(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

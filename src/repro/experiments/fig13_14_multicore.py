@@ -1,0 +1,133 @@
+"""Figures 3, 13 and 14: the multi-core evaluation campaign.
+
+The campaign runs every (mix, scheme) combination on the 4-core system with
+3.2 GB/s of DRAM bandwidth per core and reports:
+
+* Figure 3  -- increase in DRAM transactions caused by Hermes over the
+  baseline (the motivation figure, multi-core counterpart of Figure 2);
+* Figure 13 -- normalised weighted speedup of PPF / Hermes / Hermes+PPF /
+  TLP over the baseline;
+* Figure 14 -- increase in DRAM transactions of the same four schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.common import (
+    COMPARISON_SCHEMES,
+    CampaignCache,
+    ExperimentConfig,
+    average_percent_change,
+    format_rows,
+)
+from repro.stats.metrics import geometric_mean, percent_change, weighted_speedup
+
+
+@dataclass
+class MultiCoreCampaignResult:
+    """All the numbers behind Figures 3, 13 and 14."""
+
+    #: prefetcher -> scheme -> mix -> normalised weighted speedup (percent).
+    speedups: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    #: prefetcher -> scheme -> geometric-mean speedup (percent).
+    geomean_speedup: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: prefetcher -> scheme -> mix -> DRAM transaction change (percent).
+    dram_change: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
+    #: prefetcher -> scheme -> average DRAM change (percent).
+    average_dram_change: dict[str, dict[str, float]] = field(default_factory=dict)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    schemes: tuple[str, ...] = COMPARISON_SCHEMES,
+    l1d_prefetchers: Optional[tuple[str, ...]] = None,
+    per_core_bandwidth_gbps: float = 3.2,
+) -> MultiCoreCampaignResult:
+    """Run the full multi-core campaign."""
+    campaign = cache if cache is not None else CampaignCache(config)
+    prefetchers = (
+        l1d_prefetchers
+        if l1d_prefetchers is not None
+        else campaign.config.l1d_prefetchers
+    )
+    mixes = campaign.multicore_mixes("gap") + campaign.multicore_mixes("spec")
+    result = MultiCoreCampaignResult()
+    for prefetcher in prefetchers:
+        result.speedups[prefetcher] = {scheme: {} for scheme in schemes}
+        result.dram_change[prefetcher] = {scheme: {} for scheme in schemes}
+        geomean_ratios: dict[str, list[float]] = {scheme: [] for scheme in schemes}
+        dram_values: dict[str, tuple[list[float], list[float]]] = {
+            scheme: ([], []) for scheme in schemes
+        }
+        for mix_name, workloads in mixes:
+            # Isolated IPCs (baseline scheme, single core) provide the
+            # denominators of the weighted speedup; the paper normalises each
+            # scheme's weighted IPC to the baseline design's weighted IPC.
+            isolated = [
+                campaign.single_core(
+                    workload,
+                    "baseline",
+                    prefetcher,
+                    memory_accesses=campaign.config.multicore_memory_accesses,
+                ).ipc
+                for workload in workloads
+            ]
+            baseline_mix = campaign.multi_core(
+                mix_name, workloads, "baseline", prefetcher, per_core_bandwidth_gbps
+            )
+            baseline_ws = weighted_speedup(baseline_mix.ipcs, isolated)
+            for scheme in schemes:
+                scheme_mix = campaign.multi_core(
+                    mix_name, workloads, scheme, prefetcher, per_core_bandwidth_gbps
+                )
+                scheme_ws = weighted_speedup(scheme_mix.ipcs, isolated)
+                normalised = scheme_ws / baseline_ws if baseline_ws > 0 else 1.0
+                result.speedups[prefetcher][scheme][mix_name] = 100.0 * (normalised - 1.0)
+                geomean_ratios[scheme].append(normalised)
+                result.dram_change[prefetcher][scheme][mix_name] = percent_change(
+                    scheme_mix.dram_transactions, baseline_mix.dram_transactions
+                )
+                values, bases = dram_values[scheme]
+                values.append(scheme_mix.dram_transactions)
+                bases.append(baseline_mix.dram_transactions)
+        result.geomean_speedup[prefetcher] = {
+            scheme: 100.0 * (geometric_mean(ratios) - 1.0) if ratios else 0.0
+            for scheme, ratios in geomean_ratios.items()
+        }
+        result.average_dram_change[prefetcher] = {
+            scheme: average_percent_change(values, bases)
+            for scheme, (values, bases) in dram_values.items()
+        }
+    return result
+
+
+def format_table(result: MultiCoreCampaignResult) -> str:
+    """Render geomean weighted speedups and DRAM changes per scheme."""
+    rows = []
+    for prefetcher, schemes in result.geomean_speedup.items():
+        for scheme, speedup in schemes.items():
+            rows.append(
+                [
+                    f"{scheme}/{prefetcher}",
+                    speedup,
+                    result.average_dram_change[prefetcher][scheme],
+                ]
+            )
+    return format_rows(
+        ["scheme", "geomean weighted speedup (%)", "avg DRAM change (%)"], rows
+    )
+
+
+def main() -> MultiCoreCampaignResult:
+    """Run and print the multi-core campaign (Figures 3, 13, 14)."""
+    result = run()
+    print("Figures 3/13/14: multi-core evaluation (3.2 GB/s per core)")
+    print(format_table(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

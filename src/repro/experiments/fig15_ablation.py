@@ -1,0 +1,80 @@
+"""Figure 15: performance contribution of each TLP component.
+
+The paper decomposes TLP into six designs (FLP, SLP, TSP, Delayed TSP,
+Selective TSP, TLP) and shows that each added mechanism compounds the
+multi-core speedup.  The harness below runs the same six designs on the
+multi-core mixes and reports their normalised weighted speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.common import CampaignCache, ExperimentConfig, format_rows
+from repro.stats.metrics import geometric_mean, weighted_speedup
+
+#: The six designs in the order the paper plots them.
+ABLATION_ORDER = ("flp", "slp", "tsp", "delayed_tsp", "selective_tsp", "tlp")
+
+
+@dataclass
+class Figure15Result:
+    """Normalised weighted speedups of the six ablation designs."""
+
+    per_mix: dict[str, dict[str, float]] = field(default_factory=dict)
+    geomean: dict[str, float] = field(default_factory=dict)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    l1d_prefetcher: str = "ipcp",
+) -> Figure15Result:
+    """Run the ablation campaign on the multi-core mixes."""
+    campaign = cache if cache is not None else CampaignCache(config)
+    mixes = campaign.multicore_mixes("gap") + campaign.multicore_mixes("spec")
+    result = Figure15Result()
+    ratios: dict[str, list[float]] = {scheme: [] for scheme in ABLATION_ORDER}
+    for mix_name, workloads in mixes:
+        isolated = [
+            campaign.single_core(
+                workload,
+                "baseline",
+                l1d_prefetcher,
+                memory_accesses=campaign.config.multicore_memory_accesses,
+            ).ipc
+            for workload in workloads
+        ]
+        baseline_mix = campaign.multi_core(mix_name, workloads, "baseline", l1d_prefetcher)
+        baseline_ws = weighted_speedup(baseline_mix.ipcs, isolated)
+        result.per_mix[mix_name] = {}
+        for scheme in ABLATION_ORDER:
+            scheme_mix = campaign.multi_core(mix_name, workloads, scheme, l1d_prefetcher)
+            scheme_ws = weighted_speedup(scheme_mix.ipcs, isolated)
+            normalised = scheme_ws / baseline_ws if baseline_ws > 0 else 1.0
+            result.per_mix[mix_name][scheme] = 100.0 * (normalised - 1.0)
+            ratios[scheme].append(normalised)
+    result.geomean = {
+        scheme: 100.0 * (geometric_mean(values) - 1.0) if values else 0.0
+        for scheme, values in ratios.items()
+    }
+    return result
+
+
+def format_table(result: Figure15Result) -> str:
+    """Render the geomean speedup of each ablation design."""
+    rows = [[scheme, result.geomean.get(scheme, 0.0)] for scheme in ABLATION_ORDER]
+    return format_rows(["design", "geomean weighted speedup (%)"], rows)
+
+
+def main() -> Figure15Result:
+    """Run and print Figure 15."""
+    result = run()
+    print("Figure 15: contribution of each TLP component (multi-core, IPCP)")
+    print(format_table(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Figure 16: sensitivity of the multi-core results to DRAM bandwidth.
+
+The paper sweeps the per-core DRAM data rate from 1.6 GB/s to 25.6 GB/s and
+shows that (a) TLP's performance advantage is largest when bandwidth is
+scarce and shrinks (but persists) as bandwidth grows, and (b) TLP reduces
+DRAM transactions at every bandwidth point while the other schemes increase
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.common import (
+    COMPARISON_SCHEMES,
+    CampaignCache,
+    ExperimentConfig,
+    average_percent_change,
+    format_rows,
+)
+from repro.stats.metrics import geometric_mean, percent_change, weighted_speedup
+
+#: Per-core bandwidth points of the paper's sweep (GB/s).
+DEFAULT_BANDWIDTHS = (1.6, 3.2, 6.4, 12.8, 25.6)
+
+
+@dataclass
+class Figure16Result:
+    """Geomean speedups and DRAM changes per scheme and bandwidth point."""
+
+    #: bandwidth -> scheme -> geomean weighted speedup (percent).
+    speedup: dict[float, dict[str, float]] = field(default_factory=dict)
+    #: bandwidth -> scheme -> average DRAM transaction change (percent).
+    dram_change: dict[float, dict[str, float]] = field(default_factory=dict)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    bandwidths: tuple[float, ...] = DEFAULT_BANDWIDTHS,
+    schemes: tuple[str, ...] = COMPARISON_SCHEMES,
+    l1d_prefetcher: str = "ipcp",
+) -> Figure16Result:
+    """Run the bandwidth sweep on the multi-core mixes."""
+    campaign = cache if cache is not None else CampaignCache(config)
+    mixes = campaign.multicore_mixes("gap") + campaign.multicore_mixes("spec")
+    result = Figure16Result()
+    for bandwidth in bandwidths:
+        ratios: dict[str, list[float]] = {scheme: [] for scheme in schemes}
+        dram_values: dict[str, tuple[list[float], list[float]]] = {
+            scheme: ([], []) for scheme in schemes
+        }
+        for mix_name, workloads in mixes:
+            isolated = [
+                campaign.single_core(
+                    workload,
+                    "baseline",
+                    l1d_prefetcher,
+                    memory_accesses=campaign.config.multicore_memory_accesses,
+                ).ipc
+                for workload in workloads
+            ]
+            baseline_mix = campaign.multi_core(
+                mix_name, workloads, "baseline", l1d_prefetcher, bandwidth
+            )
+            baseline_ws = weighted_speedup(baseline_mix.ipcs, isolated)
+            for scheme in schemes:
+                scheme_mix = campaign.multi_core(
+                    mix_name, workloads, scheme, l1d_prefetcher, bandwidth
+                )
+                scheme_ws = weighted_speedup(scheme_mix.ipcs, isolated)
+                ratios[scheme].append(
+                    scheme_ws / baseline_ws if baseline_ws > 0 else 1.0
+                )
+                values, bases = dram_values[scheme]
+                values.append(scheme_mix.dram_transactions)
+                bases.append(baseline_mix.dram_transactions)
+        result.speedup[bandwidth] = {
+            scheme: 100.0 * (geometric_mean(values) - 1.0) if values else 0.0
+            for scheme, values in ratios.items()
+        }
+        result.dram_change[bandwidth] = {
+            scheme: average_percent_change(values, bases)
+            for scheme, (values, bases) in dram_values.items()
+        }
+    return result
+
+
+def format_table(result: Figure16Result) -> str:
+    """Render the sweep as one row per (bandwidth, scheme)."""
+    rows = []
+    for bandwidth in sorted(result.speedup):
+        for scheme, speedup in result.speedup[bandwidth].items():
+            rows.append(
+                [
+                    f"{bandwidth:g} GB/s",
+                    scheme,
+                    speedup,
+                    result.dram_change[bandwidth][scheme],
+                ]
+            )
+    return format_rows(
+        ["bandwidth/core", "scheme", "geomean speedup (%)", "avg DRAM change (%)"], rows
+    )
+
+
+def main() -> Figure16Result:
+    """Run and print Figure 16."""
+    result = run()
+    print("Figure 16: DRAM bandwidth sensitivity (multi-core, IPCP)")
+    print(format_table(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

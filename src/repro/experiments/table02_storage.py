@@ -1,0 +1,39 @@
+"""Table II: storage overhead of TLP.
+
+The paper's headline hardware-cost claim is that TLP needs ~7KB of storage
+per core.  The harness recomputes the breakdown from the implemented
+predictor configuration (weight tables, page buffers, Load Queue and L1D
+MSHR metadata) rather than hard-coding the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.storage import StorageBreakdown, tlp_storage_breakdown
+from repro.core.tlp import TLPConfig, TwoLevelPerceptron
+from repro.experiments.common import format_rows
+
+
+def run(tlp_config: Optional[TLPConfig] = None) -> StorageBreakdown:
+    """Compute the storage breakdown of a (default) TLP instance."""
+    tlp = TwoLevelPerceptron(tlp_config if tlp_config is not None else TLPConfig())
+    return tlp_storage_breakdown(tlp)
+
+
+def format_table(result: StorageBreakdown) -> str:
+    """Render the Table II rows."""
+    rows = [[component, kib] for component, kib in result.as_table()]
+    return format_rows(["component", "KiB"], rows)
+
+
+def main() -> StorageBreakdown:
+    """Run and print Table II."""
+    result = run()
+    print("Table II: TLP storage overhead")
+    print(format_table(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

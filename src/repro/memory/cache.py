@@ -1,0 +1,292 @@
+"""Set-associative cache model with prefetch-awareness.
+
+Each cache level of the hierarchy (L1D, L2C, LLC) is an instance of
+:class:`Cache`.  Besides the usual lookup/fill/evict behaviour the model keeps
+per-block prefetch metadata so that the experiments can reproduce the paper's
+prefetch-accuracy analysis (Figures 5, 6 and 12): every block filled by a
+prefetcher remembers which prefetcher brought it and from which hierarchy
+level it was served, and the cache reports whether the block was used by a
+demand access before being evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.config import CacheConfig
+from repro.memory.mshr import MSHR
+from repro.memory.replacement import ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheBlock:
+    """Metadata for one resident cache block.
+
+    ``ready_cycle`` is the cycle at which the fill actually arrives; a demand
+    access that hits the block earlier must wait for the remainder (this is
+    how the model charges the latency of in-flight prefetches instead of
+    making prefetched data magically available at issue time).
+    """
+
+    block_addr: int
+    valid: bool = True
+    dirty: bool = False
+    prefetched: bool = False
+    prefetch_useful: bool = False
+    prefetch_source_level: Optional[int] = None
+    fill_cycle: int = 0
+    ready_cycle: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Counters exported by each cache level."""
+
+    demand_accesses: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_fills: int = 0
+    demand_fills: int = 0
+    evictions: int = 0
+    useful_prefetch_evictions: int = 0
+    useless_prefetch_evictions: int = 0
+    prefetch_hits: int = 0
+    writebacks: int = 0
+
+    @property
+    def demand_hit_rate(self) -> float:
+        """Fraction of demand accesses that hit."""
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.demand_hits / self.demand_accesses
+
+    @property
+    def demand_miss_rate(self) -> float:
+        """Fraction of demand accesses that miss."""
+        if self.demand_accesses == 0:
+            return 0.0
+        return self.demand_misses / self.demand_accesses
+
+
+@dataclass
+class EvictionInfo:
+    """Describes a block that was evicted to make room for a fill."""
+
+    block_addr: int
+    was_prefetched: bool
+    prefetch_was_useful: bool
+    was_dirty: bool
+
+
+class Cache:
+    """A set-associative, write-back cache with LRU replacement by default.
+
+    Addresses handled by the cache are *block addresses* (byte address
+    shifted right by 6); callers are responsible for the conversion, which
+    keeps the hot path cheap.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        replacement: str = "lru",
+        eviction_listener: Optional[Callable[[EvictionInfo], None]] = None,
+    ) -> None:
+        self.config = config
+        self.name = config.name
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self.latency = config.latency
+        self._sets: list[dict[int, CacheBlock]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self._policies: list[ReplacementPolicy] = [
+            make_policy(replacement, self.associativity)
+            for _ in range(self.num_sets)
+        ]
+        # way assignment per set: block_addr -> way index
+        self._ways: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
+        self._free_ways: list[list[int]] = [
+            list(range(self.associativity)) for _ in range(self.num_sets)
+        ]
+        self.mshr = MSHR(config.mshr_entries)
+        self.stats = CacheStats()
+        self._eviction_listener = eviction_listener
+
+    # ------------------------------------------------------------------
+    # Indexing helpers
+    # ------------------------------------------------------------------
+    def set_index(self, block_addr: int) -> int:
+        """Return the set index for a block address."""
+        return block_addr % self.num_sets
+
+    def resident(self, block_addr: int) -> bool:
+        """Non-intrusive residency probe (does not update replacement state).
+
+        Used by the Hermes prediction-breakdown analysis (Figure 4) to find
+        where a block lives without perturbing the simulation.
+        """
+        set_idx = self.set_index(block_addr)
+        return block_addr in self._sets[set_idx]
+
+    def get_block(self, block_addr: int) -> Optional[CacheBlock]:
+        """Return the resident block metadata, if present (non-intrusive)."""
+        set_idx = self.set_index(block_addr)
+        return self._sets[set_idx].get(block_addr)
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def lookup(self, block_addr: int, is_write: bool = False) -> bool:
+        """Perform a demand lookup.
+
+        Returns True on hit.  On a hit to a not-yet-used prefetched block the
+        block is marked useful and the ``prefetch_hits`` counter incremented.
+        """
+        set_idx = self.set_index(block_addr)
+        cache_set = self._sets[set_idx]
+        self.stats.demand_accesses += 1
+        block = cache_set.get(block_addr)
+        if block is None:
+            self.stats.demand_misses += 1
+            return False
+        self.stats.demand_hits += 1
+        if block.prefetched and not block.prefetch_useful:
+            block.prefetch_useful = True
+            self.stats.prefetch_hits += 1
+        if is_write:
+            block.dirty = True
+        way = self._ways[set_idx][block_addr]
+        self._policies[set_idx].on_hit(way)
+        return True
+
+    def probe_prefetch(self, block_addr: int) -> bool:
+        """Check whether a prefetch target is already resident.
+
+        Unlike :meth:`lookup`, this does not count as a demand access and
+        does not update replacement state.
+        """
+        return self.resident(block_addr)
+
+    def fill(
+        self,
+        block_addr: int,
+        cycle: int = 0,
+        prefetched: bool = False,
+        prefetch_source_level: Optional[int] = None,
+        dirty: bool = False,
+        ready_cycle: Optional[int] = None,
+    ) -> Optional[EvictionInfo]:
+        """Install a block, evicting a victim if the set is full.
+
+        ``ready_cycle`` is when the data actually arrives (defaults to
+        ``cycle``, i.e. immediately).  Returns information about the evicted
+        block (or None if a way was free or the block was already resident).
+        """
+        if ready_cycle is None:
+            ready_cycle = cycle
+        set_idx = self.set_index(block_addr)
+        cache_set = self._sets[set_idx]
+        existing = cache_set.get(block_addr)
+        if existing is not None:
+            # Fill races with an earlier fill of the same block: keep the
+            # stronger attribution (a demand fill overrides prefetched).
+            if not prefetched:
+                existing.prefetched = False
+            if dirty:
+                existing.dirty = True
+            existing.ready_cycle = min(existing.ready_cycle, ready_cycle)
+            return None
+
+        eviction: Optional[EvictionInfo] = None
+        if not self._free_ways[set_idx]:
+            victim_way = self._policies[set_idx].victim()
+            victim_addr = self._addr_in_way(set_idx, victim_way)
+            if victim_addr is not None:
+                eviction = self._evict(set_idx, victim_addr)
+        way = self._free_ways[set_idx].pop()
+
+        block = CacheBlock(
+            block_addr=block_addr,
+            prefetched=prefetched,
+            prefetch_source_level=prefetch_source_level,
+            dirty=dirty,
+            fill_cycle=cycle,
+            ready_cycle=ready_cycle,
+        )
+        cache_set[block_addr] = block
+        self._ways[set_idx][block_addr] = way
+        self._policies[set_idx].on_fill(way)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        else:
+            self.stats.demand_fills += 1
+        return eviction
+
+    def invalidate(self, block_addr: int) -> bool:
+        """Remove a block (used for coherence-like invalidations in tests)."""
+        set_idx = self.set_index(block_addr)
+        if block_addr not in self._sets[set_idx]:
+            return False
+        self._evict(set_idx, block_addr)
+        return True
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _addr_in_way(self, set_idx: int, way: int) -> Optional[int]:
+        for addr, assigned_way in self._ways[set_idx].items():
+            if assigned_way == way:
+                return addr
+        return None
+
+    def _evict(self, set_idx: int, block_addr: int) -> EvictionInfo:
+        block = self._sets[set_idx].pop(block_addr)
+        way = self._ways[set_idx].pop(block_addr)
+        self._free_ways[set_idx].append(way)
+        self.stats.evictions += 1
+        if block.dirty:
+            self.stats.writebacks += 1
+        if block.prefetched:
+            if block.prefetch_useful:
+                self.stats.useful_prefetch_evictions += 1
+            else:
+                self.stats.useless_prefetch_evictions += 1
+        info = EvictionInfo(
+            block_addr=block_addr,
+            was_prefetched=block.prefetched,
+            prefetch_was_useful=block.prefetch_useful,
+            was_dirty=block.dirty,
+        )
+        if self._eviction_listener is not None:
+            self._eviction_listener(info)
+        return info
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the counters without touching cache contents (post warm-up)."""
+        self.stats = CacheStats()
+
+    def occupancy(self) -> float:
+        """Fraction of cache capacity currently valid."""
+        resident_blocks = sum(len(s) for s in self._sets)
+        return resident_blocks / (self.num_sets * self.associativity)
+
+    def resident_blocks(self) -> list[int]:
+        """Return all resident block addresses (for inspection and tests)."""
+        blocks: list[int] = []
+        for cache_set in self._sets:
+            blocks.extend(cache_set.keys())
+        return blocks
+
+    def unused_prefetched_blocks(self) -> int:
+        """Count resident prefetched blocks never touched by a demand access."""
+        count = 0
+        for cache_set in self._sets:
+            for block in cache_set.values():
+                if block.prefetched and not block.prefetch_useful:
+                    count += 1
+        return count

@@ -1,0 +1,102 @@
+"""DRAM bandwidth and latency model.
+
+The paper's key metric besides speedup is the *number of DRAM transactions*
+(Figures 2, 3, 11, 14, 16b): every 64B transfer between the LLC/cores and
+DRAM counts, regardless of whether it was a demand fill, a prefetch fill or a
+speculative off-chip request fired by Hermes/FLP.
+
+The timing side is a single-channel bandwidth model: each transaction keeps
+the channel busy for ``cycles_per_transaction`` cycles (derived from the
+configured GB/s), and a request arriving while the channel is backed up pays
+the queuing delay on top of the fixed access latency.  This is what makes
+useless speculative requests and useless prefetches *hurt* in
+bandwidth-constrained configurations, which is the paper's central
+observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import DRAMConfig
+from repro.common.types import RequestSource
+
+
+@dataclass
+class DRAMStats:
+    """Transaction counters split by request source."""
+
+    total_transactions: int = 0
+    demand_transactions: int = 0
+    l1d_prefetch_transactions: int = 0
+    l2c_prefetch_transactions: int = 0
+    speculative_transactions: int = 0
+    total_queue_cycles: int = 0
+    max_queue_cycles: int = 0
+
+    def by_source(self) -> dict[str, int]:
+        """Return the per-source transaction counts as a dictionary."""
+        return {
+            "demand": self.demand_transactions,
+            "l1d_prefetch": self.l1d_prefetch_transactions,
+            "l2c_prefetch": self.l2c_prefetch_transactions,
+            "speculative": self.speculative_transactions,
+        }
+
+
+class DRAMModel:
+    """Single-channel DRAM with fixed access latency plus queuing delay."""
+
+    def __init__(self, config: DRAMConfig) -> None:
+        self.config = config
+        self.stats = DRAMStats()
+        self._busy_until = 0.0
+        self._cycles_per_transaction = config.cycles_per_transaction
+
+    @property
+    def cycles_per_transaction(self) -> float:
+        """Channel occupancy of one 64B transaction, in core cycles."""
+        return self._cycles_per_transaction
+
+    def access(self, cycle: int, source: RequestSource) -> int:
+        """Issue one DRAM transaction at ``cycle``.
+
+        Returns the latency in cycles until the data is available, including
+        any queuing delay caused by earlier transactions still occupying the
+        channel.
+        """
+        self.stats.total_transactions += 1
+        if source is RequestSource.DEMAND:
+            self.stats.demand_transactions += 1
+        elif source is RequestSource.L1D_PREFETCH:
+            self.stats.l1d_prefetch_transactions += 1
+        elif source is RequestSource.L2C_PREFETCH:
+            self.stats.l2c_prefetch_transactions += 1
+        else:
+            self.stats.speculative_transactions += 1
+
+        queue_delay = max(0.0, self._busy_until - cycle)
+        start = cycle + queue_delay
+        self._busy_until = start + self._cycles_per_transaction
+        queue_cycles = int(queue_delay)
+        self.stats.total_queue_cycles += queue_cycles
+        self.stats.max_queue_cycles = max(self.stats.max_queue_cycles, queue_cycles)
+        return int(queue_delay + self.config.access_latency)
+
+    def queue_delay(self, cycle: int) -> float:
+        """Queuing delay a request issued at ``cycle`` would currently see."""
+        return max(0.0, self._busy_until - cycle)
+
+    def average_queue_delay(self) -> float:
+        """Average queuing delay over all transactions, in cycles."""
+        if self.stats.total_transactions == 0:
+            return 0.0
+        return self.stats.total_queue_cycles / self.stats.total_transactions
+
+    def reset_timing(self) -> None:
+        """Forget channel occupancy (used when replaying warm-up phases)."""
+        self._busy_until = 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the transaction counters (post warm-up)."""
+        self.stats = DRAMStats()

@@ -1,0 +1,117 @@
+"""Miss status holding registers (MSHRs).
+
+MSHRs bound the number of outstanding misses a cache can sustain.  In this
+trace-driven model requests resolve immediately (the timing is folded into
+latencies), so the MSHR's role is to merge requests to the same in-flight
+block and to expose occupancy statistics, plus to carry the SLP training
+metadata the paper stores in the L1D MSHR entries (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss.
+
+    Attributes:
+        block_addr: block-aligned address being fetched.
+        issue_cycle: cycle at which the miss was issued.
+        ready_cycle: cycle at which the fill returns.
+        is_prefetch: whether the miss was triggered by a prefetch request.
+        metadata: predictor training metadata (e.g. SLP features).
+    """
+
+    block_addr: int
+    issue_cycle: int
+    ready_cycle: int
+    is_prefetch: bool = False
+    metadata: dict = field(default_factory=dict)
+
+
+class MSHR:
+    """A simple MSHR file with request merging."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ValueError(f"num_entries must be positive, got {num_entries}")
+        self.num_entries = num_entries
+        self._entries: dict[int, MSHREntry] = {}
+        self.merged_requests = 0
+        self.allocations = 0
+        self.full_stalls = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        """True when no more outstanding misses can be tracked."""
+        return len(self._entries) >= self.num_entries
+
+    def lookup(self, block_addr: int) -> Optional[MSHREntry]:
+        """Return the in-flight entry for ``block_addr`` if any."""
+        return self._entries.get(block_addr)
+
+    def allocate(
+        self,
+        block_addr: int,
+        issue_cycle: int,
+        ready_cycle: int,
+        is_prefetch: bool = False,
+        metadata: Optional[dict] = None,
+    ) -> MSHREntry:
+        """Allocate an entry for a new outstanding miss.
+
+        If the block is already in flight the existing entry is returned and
+        the request counts as merged.  If the MSHR is full the oldest entry is
+        retired first (the timing model accounts for the stall separately via
+        ``full_stalls``).
+        """
+        existing = self._entries.get(block_addr)
+        if existing is not None:
+            self.merged_requests += 1
+            return existing
+        if self.is_full:
+            self.full_stalls += 1
+            self._retire_oldest()
+        entry = MSHREntry(
+            block_addr=block_addr,
+            issue_cycle=issue_cycle,
+            ready_cycle=ready_cycle,
+            is_prefetch=is_prefetch,
+            metadata=metadata or {},
+        )
+        self._entries[block_addr] = entry
+        self.allocations += 1
+        return entry
+
+    def release(self, block_addr: int) -> Optional[MSHREntry]:
+        """Remove and return the entry for ``block_addr`` once the fill lands."""
+        return self._entries.pop(block_addr, None)
+
+    def retire_completed(self, current_cycle: int) -> list[MSHREntry]:
+        """Remove and return all entries whose fill has arrived."""
+        completed = [
+            entry
+            for entry in self._entries.values()
+            if entry.ready_cycle <= current_cycle
+        ]
+        for entry in completed:
+            del self._entries[entry.block_addr]
+        return completed
+
+    def _retire_oldest(self) -> None:
+        if not self._entries:
+            return
+        oldest_key = min(
+            self._entries, key=lambda addr: self._entries[addr].ready_cycle
+        )
+        del self._entries[oldest_key]
+
+    def occupancy(self) -> float:
+        """Current occupancy as a fraction of capacity."""
+        return len(self._entries) / self.num_entries

@@ -1,0 +1,105 @@
+"""Cache replacement policies.
+
+The baseline system of the paper uses LRU everywhere (Table III).  A simple
+SRRIP implementation is provided as well so that users of the library can
+experiment with alternative policies; the experiments only rely on LRU.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class ReplacementPolicy(ABC):
+    """Interface for per-set replacement state.
+
+    One policy instance manages a single cache set of ``associativity`` ways.
+    """
+
+    def __init__(self, associativity: int) -> None:
+        if associativity <= 0:
+            raise ValueError(f"associativity must be positive, got {associativity}")
+        self.associativity = associativity
+
+    @abstractmethod
+    def on_hit(self, way: int) -> None:
+        """Update state when the block in ``way`` is accessed."""
+
+    @abstractmethod
+    def on_fill(self, way: int) -> None:
+        """Update state when a new block is installed in ``way``."""
+
+    @abstractmethod
+    def victim(self) -> int:
+        """Return the way to evict when the set is full."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic least-recently-used replacement."""
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        # _order[i] is the recency rank of way i; 0 = most recently used.
+        self._order = list(range(associativity))
+
+    def _touch(self, way: int) -> None:
+        previous_rank = self._order[way]
+        for other in range(self.associativity):
+            if self._order[other] < previous_rank:
+                self._order[other] += 1
+        self._order[way] = 0
+
+    def on_hit(self, way: int) -> None:
+        self._touch(way)
+
+    def on_fill(self, way: int) -> None:
+        self._touch(way)
+
+    def victim(self) -> int:
+        worst_way = 0
+        worst_rank = -1
+        for way, rank in enumerate(self._order):
+            if rank > worst_rank:
+                worst_rank = rank
+                worst_way = way
+        return worst_way
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static re-reference interval prediction (RRIP) with 2-bit counters."""
+
+    MAX_RRPV = 3
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._rrpv = [self.MAX_RRPV] * associativity
+
+    def on_hit(self, way: int) -> None:
+        self._rrpv[way] = 0
+
+    def on_fill(self, way: int) -> None:
+        self._rrpv[way] = self.MAX_RRPV - 1
+
+    def victim(self) -> int:
+        while True:
+            for way, value in enumerate(self._rrpv):
+                if value >= self.MAX_RRPV:
+                    return way
+            self._rrpv = [value + 1 for value in self._rrpv]
+
+
+POLICIES = {
+    "lru": LRUPolicy,
+    "srrip": SRRIPPolicy,
+}
+
+
+def make_policy(name: str, associativity: int) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name ("lru" or "srrip")."""
+    try:
+        policy_cls = POLICIES[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from exc
+    return policy_cls(associativity)

@@ -1,0 +1,74 @@
+"""Interfaces for off-chip (hit/miss) predictors."""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+
+class OffChipAction(enum.IntEnum):
+    """What the off-chip predictor asks the core to do for a demand load.
+
+    ``NONE``      -- treat the load normally (no speculative DRAM request).
+    ``IMMEDIATE`` -- fire a speculative DRAM request right away, in parallel
+                     with the L1D lookup (Hermes' behaviour; FLP above
+                     ``tau_high``).
+    ``DELAYED``   -- tag the load; fire the speculative DRAM request only if
+                     it misses in the L1D (FLP between ``tau_low`` and
+                     ``tau_high``, the paper's selective delay mechanism).
+    """
+
+    NONE = 0
+    IMMEDIATE = 1
+    DELAYED = 2
+
+
+@dataclass
+class OffChipDecision:
+    """Decision returned by an off-chip predictor for one demand load.
+
+    Attributes:
+        action: what to do with the speculative DRAM request.
+        predicted_offchip: the raw binary prediction (used as the SLP
+            leveling feature and for accuracy bookkeeping).
+        confidence: the summed perceptron weight.
+        metadata: whatever the predictor needs back at training time
+            (typically the per-table indices it used).
+    """
+
+    action: OffChipAction
+    predicted_offchip: bool
+    confidence: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+class OffChipPredictor(ABC):
+    """Interface of an off-chip predictor attached to the core."""
+
+    name = "offchip-predictor"
+
+    @abstractmethod
+    def predict(self, pc: int, vaddr: int, cycle: int) -> OffChipDecision:
+        """Predict whether the demand load at (pc, vaddr) will go off-chip."""
+
+    @abstractmethod
+    def train(self, metadata: dict, went_offchip: bool) -> None:
+        """Update the predictor once the true outcome of the load is known."""
+
+    def reset(self) -> None:
+        """Clear all internal state."""
+
+
+class NullOffChipPredictor(OffChipPredictor):
+    """Baseline predictor that never predicts off-chip."""
+
+    name = "none"
+
+    def predict(self, pc: int, vaddr: int, cycle: int) -> OffChipDecision:
+        return OffChipDecision(
+            action=OffChipAction.NONE, predicted_offchip=False, confidence=0
+        )
+
+    def train(self, metadata: dict, went_offchip: bool) -> None:
+        return None

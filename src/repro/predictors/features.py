@@ -1,0 +1,217 @@
+"""Program features used by the hashed perceptron predictors.
+
+Table I of the paper lists the features shared by Hermes, FLP and SLP:
+
+* PC XOR cacheline offset (offset of the block within its page),
+* PC XOR byte offset (offset of the access within its block),
+* PC + first access (whether the page is seen for the first time recently),
+* cacheline offset + first access,
+* last-4 load PCs (folded together),
+
+plus the *leveling feature* used only by SLP:
+
+* FLP prediction + cacheline offset.
+
+The features are computed from a :class:`FeatureContext`; the
+:class:`FeatureHistory` helper maintains the state they need (page buffer for
+the first-access bit, last-4 load PC history).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.addresses import (
+    block_offset,
+    cacheline_offset_in_page,
+    page_number,
+)
+from repro.common.hashing import hash_combine
+
+
+@dataclass
+class FeatureContext:
+    """Inputs available to the feature extractors for one prediction."""
+
+    pc: int
+    address: int
+    first_access: bool
+    last_load_pcs: tuple[int, ...]
+    flp_prediction: bool = False
+
+    @property
+    def cacheline_offset(self) -> int:
+        """Offset of the accessed block within its 4KB page (0..63)."""
+        return cacheline_offset_in_page(self.address)
+
+    @property
+    def byte_offset(self) -> int:
+        """Offset of the access within its 64B block (0..63)."""
+        return block_offset(self.address)
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Specification of one perceptron feature / weight table.
+
+    Attributes:
+        name: feature name (used in reports and storage accounting).
+        extractor: function mapping a :class:`FeatureContext` to an integer
+            feature value (hashed down to the table index by the perceptron).
+        table_entries: number of weights in this feature's table.
+        weight_bits: width of each weight counter.
+    """
+
+    name: str
+    extractor: Callable[[FeatureContext], int]
+    table_entries: int = 128
+    weight_bits: int = 5
+
+    def storage_bits(self) -> int:
+        """Storage used by this feature's weight table, in bits."""
+        return self.table_entries * self.weight_bits
+
+
+def _pc_xor_cacheline_offset(ctx: FeatureContext) -> int:
+    return ctx.pc ^ (ctx.cacheline_offset << 2)
+
+
+def _pc_xor_byte_offset(ctx: FeatureContext) -> int:
+    return ctx.pc ^ (ctx.byte_offset << 2)
+
+
+def _pc_plus_first_access(ctx: FeatureContext) -> int:
+    return hash_combine(ctx.pc, int(ctx.first_access))
+
+
+def _offset_plus_first_access(ctx: FeatureContext) -> int:
+    return hash_combine(ctx.cacheline_offset, int(ctx.first_access))
+
+
+def _last_four_load_pcs(ctx: FeatureContext) -> int:
+    return hash_combine(*ctx.last_load_pcs) if ctx.last_load_pcs else 0
+
+
+def _flp_prediction_plus_offset(ctx: FeatureContext) -> int:
+    return hash_combine(int(ctx.flp_prediction), ctx.cacheline_offset)
+
+
+#: Per-feature weight-table sizes chosen so that the total weight storage of
+#: FLP/SLP matches Table II of the paper (2.58KB / 2.66KB with 5-bit weights).
+_DEFAULT_TABLE_ENTRIES = {
+    "pc_xor_cacheline_offset": 1024,
+    "pc_xor_byte_offset": 1024,
+    "pc_plus_first_access": 512,
+    "offset_plus_first_access": 512,
+    "last_four_load_pcs": 1024,
+    "flp_prediction_plus_offset": 128,
+}
+
+
+def legacy_hermes_features(
+    table_entries: int | None = None, weight_bits: int = 5
+) -> list[FeatureSpec]:
+    """The five "legacy Hermes features" of Table I.
+
+    When ``table_entries`` is None each feature uses its default table size
+    (sized so the total matches the paper's storage budget); passing an
+    integer overrides every table with that size (used by the Figure 17
+    "extra storage" experiments).
+    """
+    def entries(name: str) -> int:
+        return table_entries if table_entries is not None else _DEFAULT_TABLE_ENTRIES[name]
+
+    return [
+        FeatureSpec("pc_xor_cacheline_offset", _pc_xor_cacheline_offset,
+                    entries("pc_xor_cacheline_offset"), weight_bits),
+        FeatureSpec("pc_xor_byte_offset", _pc_xor_byte_offset,
+                    entries("pc_xor_byte_offset"), weight_bits),
+        FeatureSpec("pc_plus_first_access", _pc_plus_first_access,
+                    entries("pc_plus_first_access"), weight_bits),
+        FeatureSpec("offset_plus_first_access", _offset_plus_first_access,
+                    entries("offset_plus_first_access"), weight_bits),
+        FeatureSpec("last_four_load_pcs", _last_four_load_pcs,
+                    entries("last_four_load_pcs"), weight_bits),
+    ]
+
+
+def leveling_feature(
+    table_entries: int | None = None, weight_bits: int = 5
+) -> FeatureSpec:
+    """The SLP-only feature combining the FLP prediction with the offset."""
+    entries = (
+        table_entries
+        if table_entries is not None
+        else _DEFAULT_TABLE_ENTRIES["flp_prediction_plus_offset"]
+    )
+    return FeatureSpec(
+        "flp_prediction_plus_offset",
+        _flp_prediction_plus_offset,
+        entries,
+        weight_bits,
+    )
+
+
+def slp_features(
+    table_entries: int | None = None, weight_bits: int = 5
+) -> list[FeatureSpec]:
+    """The six SLP features: legacy Hermes features plus the leveling one."""
+    return legacy_hermes_features(table_entries, weight_bits) + [
+        leveling_feature(table_entries, weight_bits)
+    ]
+
+
+class FeatureHistory:
+    """Per-predictor state backing the feature extractors.
+
+    Maintains the *page buffer* used to derive the first-access bit (the
+    0.63KB structure of Table II) and the last-4 load PC history.
+    """
+
+    def __init__(self, page_buffer_entries: int = 128, pc_history_length: int = 4) -> None:
+        if page_buffer_entries <= 0:
+            raise ValueError(
+                f"page_buffer_entries must be positive, got {page_buffer_entries}"
+            )
+        self.page_buffer_entries = page_buffer_entries
+        self.pc_history_length = pc_history_length
+        self._page_buffer: OrderedDict[int, None] = OrderedDict()
+        self._pc_history: deque[int] = deque(maxlen=pc_history_length)
+
+    def observe(self, pc: int, address: int) -> None:
+        """Record an access so future contexts see updated history."""
+        page = page_number(address)
+        if page in self._page_buffer:
+            self._page_buffer.move_to_end(page)
+        else:
+            self._page_buffer[page] = None
+            if len(self._page_buffer) > self.page_buffer_entries:
+                self._page_buffer.popitem(last=False)
+        self._pc_history.append(pc)
+
+    def is_first_access(self, address: int) -> bool:
+        """True when the page of ``address`` is not in the page buffer."""
+        return page_number(address) not in self._page_buffer
+
+    def context(
+        self, pc: int, address: int, flp_prediction: bool = False
+    ) -> FeatureContext:
+        """Build the feature context for a prediction at (pc, address)."""
+        return FeatureContext(
+            pc=pc,
+            address=address,
+            first_access=self.is_first_access(address),
+            last_load_pcs=tuple(self._pc_history),
+            flp_prediction=flp_prediction,
+        )
+
+    def reset(self) -> None:
+        """Clear the page buffer and the PC history."""
+        self._page_buffer.clear()
+        self._pc_history.clear()
+
+    def storage_bits(self, page_tag_bits: int = 36) -> int:
+        """Approximate storage of the page buffer, in bits."""
+        return self.page_buffer_entries * page_tag_bits

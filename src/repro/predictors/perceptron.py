@@ -1,0 +1,146 @@
+"""Hashed perceptron predictor.
+
+This is the shared neural machinery behind Hermes, PPF, FLP and SLP: one
+small table of signed saturating weights per program feature, indexed by a
+hash of the feature value.  A prediction sums the selected weights; training
+increments or decrements them following the standard perceptron update rule
+with a training threshold (weights stop moving once the prediction is both
+correct and confident).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.hashing import table_index
+from repro.predictors.features import FeatureContext, FeatureSpec
+
+
+@dataclass
+class PerceptronStats:
+    """Training/prediction counters of one perceptron instance."""
+
+    predictions: int = 0
+    positive_predictions: int = 0
+    training_events: int = 0
+    weight_updates: int = 0
+    correct_predictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of trained predictions that matched the outcome."""
+        if self.training_events == 0:
+            return 0.0
+        return self.correct_predictions / self.training_events
+
+
+class HashedPerceptron:
+    """A multi-feature hashed perceptron with saturating integer weights."""
+
+    def __init__(
+        self,
+        features: list[FeatureSpec],
+        training_threshold: int = 32,
+    ) -> None:
+        if not features:
+            raise ValueError("a perceptron needs at least one feature")
+        self.features = list(features)
+        self.training_threshold = training_threshold
+        self._tables: list[list[int]] = [
+            [0] * spec.table_entries for spec in self.features
+        ]
+        self._weight_limits: list[tuple[int, int]] = []
+        for spec in self.features:
+            maximum = (1 << (spec.weight_bits - 1)) - 1
+            minimum = -(1 << (spec.weight_bits - 1))
+            self._weight_limits.append((minimum, maximum))
+        self.stats = PerceptronStats()
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def indices_for(self, context: FeatureContext) -> list[int]:
+        """Compute the weight-table index selected by each feature."""
+        indices = []
+        for spec in self.features:
+            value = spec.extractor(context)
+            bits = max(1, (spec.table_entries - 1).bit_length())
+            index = table_index(value, bits) % spec.table_entries
+            indices.append(index)
+        return indices
+
+    def confidence(self, indices: list[int]) -> int:
+        """Sum the weights selected by ``indices``."""
+        total = 0
+        for table, index in zip(self._tables, indices):
+            total += table[index]
+        return total
+
+    def predict(self, context: FeatureContext) -> tuple[int, list[int]]:
+        """Return ``(confidence, indices)`` for a feature context."""
+        indices = self.indices_for(context)
+        total = self.confidence(indices)
+        self.stats.predictions += 1
+        if total >= 0:
+            self.stats.positive_predictions += 1
+        return total, indices
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train(self, indices: list[int], target_positive: bool, confidence: int) -> None:
+        """Apply the perceptron update rule.
+
+        Weights are updated when the prediction disagreed with the outcome or
+        when its magnitude was below the training threshold.
+        """
+        self.stats.training_events += 1
+        predicted_positive = confidence >= 0
+        if predicted_positive == target_positive:
+            self.stats.correct_predictions += 1
+        needs_update = (
+            predicted_positive != target_positive
+            or abs(confidence) < self.training_threshold
+        )
+        if not needs_update:
+            return
+        delta = 1 if target_positive else -1
+        for table, index, (minimum, maximum) in zip(
+            self._tables, indices, self._weight_limits
+        ):
+            updated = table[index] + delta
+            table[index] = min(maximum, max(minimum, updated))
+        self.stats.weight_updates += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def storage_bits(self) -> int:
+        """Total weight storage, in bits."""
+        return sum(spec.storage_bits() for spec in self.features)
+
+    def storage_kib(self) -> float:
+        """Total weight storage, in KiB."""
+        return self.storage_bits() / 8.0 / 1024.0
+
+    def weight(self, feature_index: int, entry: int) -> int:
+        """Read one weight (used by tests)."""
+        return self._tables[feature_index][entry]
+
+    def reset(self) -> None:
+        """Zero every weight and clear statistics."""
+        for table in self._tables:
+            for i in range(len(table)):
+                table[i] = 0
+        self.stats = PerceptronStats()
+
+    def saturation_fraction(self) -> float:
+        """Fraction of weights currently pinned at a saturation bound."""
+        saturated = 0
+        total = 0
+        for table, (minimum, maximum) in zip(self._tables, self._weight_limits):
+            for weight in table:
+                total += 1
+                if weight in (minimum, maximum):
+                    saturated += 1
+        return saturated / total if total else 0.0

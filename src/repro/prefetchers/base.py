@@ -1,0 +1,128 @@
+"""Interfaces shared by all prefetchers and prefetch filters."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.types import MemLevel
+
+
+@dataclass
+class PrefetchRequest:
+    """A prefetch candidate produced by a prefetcher.
+
+    Attributes:
+        vaddr: virtual byte address to prefetch (block aligned addresses are
+            accepted too; the hierarchy aligns to blocks).
+        trigger_pc: PC of the demand access that triggered the prefetch.
+        trigger_vaddr: virtual address of the triggering demand access.
+        fill_level: level the prefetcher wants the block installed into
+            (L1D prefetchers always target L1D; SPP may target L2C or LLC
+            depending on path confidence).
+        confidence: prefetcher-specific confidence in [0, 1], exposed so
+            filters can use it as a feature.
+    """
+
+    vaddr: int
+    trigger_pc: int
+    trigger_vaddr: int
+    fill_level: MemLevel = MemLevel.L1D
+    confidence: float = 1.0
+    metadata: dict = field(default_factory=dict)
+
+
+class L1DPrefetcher(ABC):
+    """Interface of an L1D prefetcher.
+
+    The hierarchy calls :meth:`on_demand_access` for every demand load/store
+    reaching the L1D, and :meth:`on_fill` when a block (demand or prefetch)
+    is installed in the L1D, mirroring ChampSim's prefetcher hooks.
+    """
+
+    name = "l1d-prefetcher"
+
+    @abstractmethod
+    def on_demand_access(
+        self, pc: int, vaddr: int, hit: bool, cycle: int
+    ) -> list[PrefetchRequest]:
+        """React to a demand access and return prefetch candidates."""
+
+    def on_fill(self, vaddr: int, prefetched: bool, cycle: int) -> None:
+        """Optional hook invoked when a block is filled into the L1D."""
+
+    def reset(self) -> None:
+        """Clear all internal state (used between warm-up and measurement)."""
+
+
+class L2Prefetcher(ABC):
+    """Interface of an L2 prefetcher (SPP in the paper's baseline)."""
+
+    name = "l2-prefetcher"
+
+    @abstractmethod
+    def on_access(
+        self, paddr: int, pc: int, hit: bool, cycle: int
+    ) -> list[PrefetchRequest]:
+        """React to an L2 access (demand miss from L1D) with candidates."""
+
+    def reset(self) -> None:
+        """Clear all internal state."""
+
+
+@dataclass
+class FilterDecision:
+    """Outcome of consulting a prefetch filter for one candidate."""
+
+    issue: bool
+    confidence: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+
+class PrefetchFilter(ABC):
+    """Interface of a prefetch filter (PPF at L2, SLP at L1D).
+
+    ``consult`` decides whether a candidate should be issued and returns
+    training metadata; ``train`` is called once the outcome of the prefetch
+    is known.  The meaning of ``outcome`` differs between filters: PPF trains
+    on *usefulness* (was the block demanded before eviction) whereas SLP
+    trains on *off-chip service* (was the prefetch served from DRAM).
+    """
+
+    name = "prefetch-filter"
+
+    @abstractmethod
+    def consult(
+        self,
+        request: PrefetchRequest,
+        paddr: int,
+        trigger_offchip_prediction: bool,
+        cycle: int,
+    ) -> FilterDecision:
+        """Decide whether to issue the candidate prefetch."""
+
+    @abstractmethod
+    def train(self, metadata: dict, outcome: bool) -> None:
+        """Update the filter with the observed outcome of a prefetch."""
+
+    def reset(self) -> None:
+        """Clear all internal state."""
+
+
+class AlwaysIssueFilter(PrefetchFilter):
+    """A no-op filter that lets every prefetch through (baseline behaviour)."""
+
+    name = "always-issue"
+
+    def consult(
+        self,
+        request: PrefetchRequest,
+        paddr: int,
+        trigger_offchip_prediction: bool,
+        cycle: int,
+    ) -> FilterDecision:
+        return FilterDecision(issue=True, confidence=1.0)
+
+    def train(self, metadata: dict, outcome: bool) -> None:
+        return None

@@ -1,0 +1,272 @@
+"""IPCP: Instruction Pointer Classification-based Prefetcher (ISCA 2020).
+
+IPCP is one of the two L1D prefetchers used in the paper's evaluation.  It
+classifies load PCs into three classes and uses a dedicated prefetch strategy
+for each:
+
+* **CS (constant stride)**: the PC repeatedly accesses blocks a constant
+  stride apart; prefetch ``cs_degree`` strides ahead.
+* **CPLX (complex)**: the PC's stride pattern is irregular but predictable
+  from the recent *signature* of strides; a signature-indexed table predicts
+  the next stride.
+* **GS (global stream)**: the access stream is dense within a region
+  irrespective of PC; prefetch aggressively along the stream direction.
+
+IPCP is deliberately aggressive (the paper measures hundreds of prefetches
+per kilo-instruction for some workloads, Figure 5a), with accuracy left to
+downstream filters -- which is exactly the property TLP's SLP exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.addresses import (
+    BLOCK_SIZE,
+    PAGE_BITS,
+    block_address,
+    cacheline_offset_in_page,
+    page_number,
+)
+from repro.prefetchers.base import L1DPrefetcher, PrefetchRequest
+
+_BLOCKS_PER_PAGE = 1 << (PAGE_BITS - 6)
+
+
+@dataclass
+class _IPEntry:
+    """Per-PC tracking entry of the IP table."""
+
+    last_block: int = -1
+    last_stride: int = 0
+    stride_confidence: int = 0
+    signature: int = 0
+    valid: bool = False
+
+
+@dataclass
+class _RegionEntry:
+    """Per-page region tracker used for global-stream detection."""
+
+    touched: set[int] = field(default_factory=set)
+    last_offset: int = -1
+    direction: int = 1
+
+
+class IPCPPrefetcher(L1DPrefetcher):
+    """Instruction pointer classifier prefetcher (CS / CPLX / GS classes)."""
+
+    name = "ipcp"
+
+    def __init__(
+        self,
+        ip_table_entries: int = 1024,
+        cplx_table_entries: int = 4096,
+        region_entries: int = 64,
+        cs_degree: int = 4,
+        cplx_degree: int = 3,
+        gs_degree: int = 6,
+        nl_degree: int = 1,
+        cs_confidence_threshold: int = 2,
+        gs_density_threshold: float = 0.30,
+    ) -> None:
+        self.ip_table_entries = ip_table_entries
+        self.cplx_table_entries = cplx_table_entries
+        self.region_entries = region_entries
+        self.cs_degree = cs_degree
+        self.cplx_degree = cplx_degree
+        self.gs_degree = gs_degree
+        self.nl_degree = nl_degree
+        self.cs_confidence_threshold = cs_confidence_threshold
+        self.gs_density_threshold = gs_density_threshold
+        self._ip_table: dict[int, _IPEntry] = {}
+        # CPLX: signature -> (predicted stride, confidence)
+        self._cplx_table: dict[int, tuple[int, int]] = {}
+        self._regions: dict[int, _RegionEntry] = {}
+        self._region_order: list[int] = []
+        self.class_counts = {"cs": 0, "cplx": 0, "gs": 0, "nl": 0, "none": 0}
+
+    # ------------------------------------------------------------------
+    # Main hook
+    # ------------------------------------------------------------------
+    def on_demand_access(
+        self, pc: int, vaddr: int, hit: bool, cycle: int
+    ) -> list[PrefetchRequest]:
+        block = block_address(vaddr)
+        ip_key = pc % self.ip_table_entries
+        entry = self._ip_table.setdefault(ip_key, _IPEntry())
+
+        stride = 0
+        if entry.valid:
+            stride = block - entry.last_block
+
+        region = self._track_region(vaddr)
+
+        requests: list[PrefetchRequest] = []
+        if entry.valid and stride != 0:
+            requests = self._classify_and_prefetch(
+                pc, vaddr, block, stride, entry, region
+            )
+        if not requests and not hit:
+            # NL class: when no other class produces candidates, a miss falls
+            # back to next-line prefetching.  This fallback is what makes
+            # IPCP an aggressive prefetcher with a long inaccurate tail
+            # (Figure 5a of the paper).
+            self.class_counts["nl"] += 1
+            for distance in range(1, self.nl_degree + 1):
+                requests.append(
+                    PrefetchRequest(
+                        vaddr=(block + distance) * BLOCK_SIZE,
+                        trigger_pc=pc,
+                        trigger_vaddr=vaddr,
+                        confidence=0.3,
+                        metadata={"class": "nl"},
+                    )
+                )
+
+        # Training / bookkeeping.
+        if entry.valid and stride != 0:
+            if stride == entry.last_stride:
+                entry.stride_confidence = min(3, entry.stride_confidence + 1)
+            else:
+                entry.stride_confidence = max(0, entry.stride_confidence - 1)
+            # Update the CPLX table with the stride that followed the previous
+            # signature, then advance the signature.
+            previous_signature = entry.signature
+            self._train_cplx(previous_signature, stride)
+            entry.signature = self._next_signature(previous_signature, stride)
+            entry.last_stride = stride
+        entry.last_block = block
+        entry.valid = True
+        return requests
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    def _classify_and_prefetch(
+        self,
+        pc: int,
+        vaddr: int,
+        block: int,
+        stride: int,
+        entry: _IPEntry,
+        region: _RegionEntry,
+    ) -> list[PrefetchRequest]:
+        requests: list[PrefetchRequest] = []
+
+        # Constant stride class.
+        if (
+            stride == entry.last_stride
+            and entry.stride_confidence >= self.cs_confidence_threshold
+        ):
+            self.class_counts["cs"] += 1
+            for distance in range(1, self.cs_degree + 1):
+                target_block = block + distance * stride
+                if target_block <= 0:
+                    continue
+                requests.append(
+                    PrefetchRequest(
+                        vaddr=target_block * BLOCK_SIZE,
+                        trigger_pc=pc,
+                        trigger_vaddr=vaddr,
+                        confidence=0.9,
+                        metadata={"class": "cs"},
+                    )
+                )
+            return requests
+
+        # Global stream class: the page is being swept densely.
+        density = len(region.touched) / _BLOCKS_PER_PAGE
+        if density >= self.gs_density_threshold:
+            self.class_counts["gs"] += 1
+            for distance in range(1, self.gs_degree + 1):
+                target_block = block + distance * region.direction
+                if target_block <= 0:
+                    continue
+                requests.append(
+                    PrefetchRequest(
+                        vaddr=target_block * BLOCK_SIZE,
+                        trigger_pc=pc,
+                        trigger_vaddr=vaddr,
+                        confidence=0.6,
+                        metadata={"class": "gs"},
+                    )
+                )
+            return requests
+
+        # Complex class: follow the signature-predicted stride chain.
+        signature = entry.signature
+        predicted = self._cplx_table.get(signature % self.cplx_table_entries)
+        if predicted is not None and predicted[1] >= 2:
+            self.class_counts["cplx"] += 1
+            chained_block = block
+            chained_signature = signature
+            for _ in range(self.cplx_degree):
+                lookup = self._cplx_table.get(
+                    chained_signature % self.cplx_table_entries
+                )
+                if lookup is None or lookup[1] < 2:
+                    break
+                chained_block = chained_block + lookup[0]
+                if chained_block <= 0:
+                    break
+                requests.append(
+                    PrefetchRequest(
+                        vaddr=chained_block * BLOCK_SIZE,
+                        trigger_pc=pc,
+                        trigger_vaddr=vaddr,
+                        confidence=0.5,
+                        metadata={"class": "cplx"},
+                    )
+                )
+                chained_signature = self._next_signature(chained_signature, lookup[0])
+            return requests
+
+        self.class_counts["none"] += 1
+        return requests
+
+    # ------------------------------------------------------------------
+    # CPLX signature machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _next_signature(signature: int, stride: int) -> int:
+        return ((signature << 3) ^ (stride & 0x3F)) & 0xFFF
+
+    def _train_cplx(self, signature: int, stride: int) -> None:
+        key = signature % self.cplx_table_entries
+        current = self._cplx_table.get(key)
+        if current is None or current[0] != stride:
+            confidence = 1 if current is None else max(0, current[1] - 1)
+            if current is None or confidence == 0:
+                self._cplx_table[key] = (stride, 1)
+            else:
+                self._cplx_table[key] = (current[0], confidence)
+        else:
+            self._cplx_table[key] = (stride, min(3, current[1] + 1))
+
+    # ------------------------------------------------------------------
+    # Region (global stream) tracking
+    # ------------------------------------------------------------------
+    def _track_region(self, vaddr: int) -> _RegionEntry:
+        page = page_number(vaddr)
+        region = self._regions.get(page)
+        if region is None:
+            region = _RegionEntry()
+            self._regions[page] = region
+            self._region_order.append(page)
+            if len(self._region_order) > self.region_entries:
+                oldest = self._region_order.pop(0)
+                self._regions.pop(oldest, None)
+        offset = cacheline_offset_in_page(vaddr)
+        if region.last_offset >= 0 and offset != region.last_offset:
+            region.direction = 1 if offset > region.last_offset else -1
+        region.last_offset = offset
+        region.touched.add(offset)
+        return region
+
+    def reset(self) -> None:
+        self._ip_table.clear()
+        self._cplx_table.clear()
+        self._regions.clear()
+        self._region_order.clear()
+        self.class_counts = {"cs": 0, "cplx": 0, "gs": 0, "nl": 0, "none": 0}

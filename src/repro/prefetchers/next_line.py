@@ -1,0 +1,44 @@
+"""Next-line L1D prefetcher.
+
+The simplest possible reference prefetcher: on every demand access, prefetch
+the next ``degree`` sequential cache blocks.  It is not part of the paper's
+evaluation but serves as a sanity baseline for the prefetch-filtering
+machinery and as a simple example of the :class:`L1DPrefetcher` interface.
+"""
+
+from __future__ import annotations
+
+from repro.common.addresses import BLOCK_SIZE
+from repro.prefetchers.base import L1DPrefetcher, PrefetchRequest
+
+
+class NextLinePrefetcher(L1DPrefetcher):
+    """Prefetch the next ``degree`` sequential blocks on every access."""
+
+    name = "next_line"
+
+    def __init__(self, degree: int = 1) -> None:
+        if degree <= 0:
+            raise ValueError(f"degree must be positive, got {degree}")
+        self.degree = degree
+        self.issued_candidates = 0
+
+    def on_demand_access(
+        self, pc: int, vaddr: int, hit: bool, cycle: int
+    ) -> list[PrefetchRequest]:
+        requests = []
+        for distance in range(1, self.degree + 1):
+            target = vaddr + distance * BLOCK_SIZE
+            requests.append(
+                PrefetchRequest(
+                    vaddr=target,
+                    trigger_pc=pc,
+                    trigger_vaddr=vaddr,
+                    confidence=1.0 / distance,
+                )
+            )
+        self.issued_candidates += len(requests)
+        return requests
+
+    def reset(self) -> None:
+        self.issued_candidates = 0

@@ -1,0 +1,155 @@
+"""PPF: Perceptron-based Prefetch Filtering (ISCA 2019), the filter baseline.
+
+PPF sits behind an aggressive SPP configuration at the L2 and decides, for
+every prefetch candidate SPP produces, whether it is likely to be useful.  It
+is a hashed perceptron over features of the candidate (PC, physical address,
+page offset, delta, signature, lookahead depth, path confidence) trained with
+the *usefulness* outcome: positively when the prefetched block is demanded
+before eviction, negatively when it is evicted unused.
+
+The paper highlights two drawbacks that TLP addresses: PPF is tuned to a
+specific underlying prefetcher (SPP) and requires roughly 40KB of storage.
+The default table sizes below reproduce that storage footprint.
+"""
+
+from __future__ import annotations
+
+from repro.common.addresses import block_address, cacheline_offset_in_page, page_number
+from repro.common.hashing import fold_xor, hash_combine, jenkins32
+from repro.prefetchers.base import FilterDecision, PrefetchFilter, PrefetchRequest
+
+
+class PerceptronPrefetchFilter(PrefetchFilter):
+    """Perceptron filter over SPP prefetch candidates (PPF)."""
+
+    name = "ppf"
+
+    #: Feature names; each gets its own weight table.
+    FEATURES = (
+        "pc",
+        "pc_xor_depth",
+        "address",
+        "cacheline_offset",
+        "page_xor_delta",
+        "signature_xor_delta",
+        "confidence_bucket",
+        "pc_xor_offset",
+        "delta",
+    )
+
+    def __init__(
+        self,
+        table_entries: int = 4096,
+        weight_bits: int = 5,
+        issue_threshold: int = -8,
+        training_threshold: int = 40,
+    ) -> None:
+        self.table_entries = table_entries
+        self.weight_bits = weight_bits
+        self.issue_threshold = issue_threshold
+        self.training_threshold = training_threshold
+        self._max_weight = (1 << (weight_bits - 1)) - 1
+        self._min_weight = -(1 << (weight_bits - 1))
+        self._tables: dict[str, list[int]] = {
+            name: [0] * table_entries for name in self.FEATURES
+        }
+        self._index_bits = max(1, (table_entries - 1).bit_length())
+        self.consultations = 0
+        self.rejected = 0
+        self.accepted = 0
+
+    # ------------------------------------------------------------------
+    # Feature extraction
+    # ------------------------------------------------------------------
+    def _feature_values(
+        self, request: PrefetchRequest, paddr: int
+    ) -> dict[str, int]:
+        metadata = request.metadata
+        signature = metadata.get("signature", 0)
+        delta = metadata.get("delta", 0)
+        depth = metadata.get("depth", 0)
+        confidence = metadata.get("path_confidence", request.confidence)
+        confidence_bucket = int(min(0.999, max(0.0, confidence)) * 8)
+        block = block_address(paddr)
+        page = page_number(paddr)
+        offset = cacheline_offset_in_page(paddr)
+        return {
+            "pc": request.trigger_pc,
+            "pc_xor_depth": request.trigger_pc ^ (depth << 5),
+            "address": block,
+            "cacheline_offset": offset,
+            "page_xor_delta": hash_combine(page, delta),
+            "signature_xor_delta": hash_combine(signature, delta),
+            "confidence_bucket": confidence_bucket,
+            "pc_xor_offset": request.trigger_pc ^ offset,
+            "delta": delta & 0xFFF,
+        }
+
+    def _indices(self, values: dict[str, int]) -> dict[str, int]:
+        return {
+            name: fold_xor(jenkins32(value), self._index_bits) % self.table_entries
+            for name, value in values.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Filter interface
+    # ------------------------------------------------------------------
+    def consult(
+        self,
+        request: PrefetchRequest,
+        paddr: int,
+        trigger_offchip_prediction: bool,
+        cycle: int,
+    ) -> FilterDecision:
+        self.consultations += 1
+        values = self._feature_values(request, paddr)
+        indices = self._indices(values)
+        total = sum(self._tables[name][index] for name, index in indices.items())
+        issue = total >= self.issue_threshold
+        if issue:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+        return FilterDecision(
+            issue=issue,
+            confidence=total,
+            metadata={"indices": indices, "confidence": total},
+        )
+
+    def train(self, metadata: dict, outcome: bool) -> None:
+        """Train with ``outcome`` = True when the prefetch turned out useful."""
+        indices = metadata.get("indices")
+        if indices is None:
+            return
+        confidence = metadata.get("confidence", 0)
+        predicted_useful = confidence >= self.issue_threshold
+        if predicted_useful == outcome and abs(confidence) >= self.training_threshold:
+            return
+        delta = 1 if outcome else -1
+        for name, index in indices.items():
+            updated = self._tables[name][index] + delta
+            self._tables[name][index] = min(
+                self._max_weight, max(self._min_weight, updated)
+            )
+
+    def reset(self) -> None:
+        for name in self.FEATURES:
+            self._tables[name] = [0] * self.table_entries
+        self.consultations = 0
+        self.rejected = 0
+        self.accepted = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def storage_kib(self) -> float:
+        """Weight storage in KiB (~40KB with the default configuration)."""
+        bits = len(self.FEATURES) * self.table_entries * self.weight_bits
+        return bits / 8.0 / 1024.0
+
+    @property
+    def reject_rate(self) -> float:
+        """Fraction of consulted candidates that were rejected."""
+        if self.consultations == 0:
+            return 0.0
+        return self.rejected / self.consultations

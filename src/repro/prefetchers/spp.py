@@ -1,0 +1,180 @@
+"""SPP: Signature Path Prefetcher (MICRO 2016), the baseline L2 prefetcher.
+
+SPP learns, per physical page, a compressed *signature* of the recent delta
+history and uses a signature-indexed pattern table to predict the next delta
+with a confidence.  Prediction is recursive ("lookahead"): after predicting a
+delta, the signature is advanced as if the prediction had happened and the
+table is consulted again, multiplying confidences down the path, until the
+path confidence falls below a threshold.  High-confidence prefetches are
+placed in the L2, low-confidence ones in the LLC -- which is what the paper
+means by "SPP ... brings prefetched blocks into either the L2C or the LLC
+depending on its internal prefetch logic".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.addresses import BLOCK_SIZE, block_address, page_number
+from repro.common.types import MemLevel
+from repro.prefetchers.base import L2Prefetcher, PrefetchRequest
+
+
+@dataclass
+class _SignatureEntry:
+    """Per-page tracking: last block offset and current signature."""
+
+    last_offset: int
+    signature: int = 0
+
+
+@dataclass
+class _PatternEntry:
+    """Signature-indexed delta predictions with confidence counters."""
+
+    deltas: dict[int, int] = field(default_factory=dict)
+    total: int = 0
+
+    def confidence(self, delta: int) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.deltas.get(delta, 0) / self.total
+
+    def best(self) -> tuple[int, float] | None:
+        if not self.deltas or self.total == 0:
+            return None
+        delta, count = max(self.deltas.items(), key=lambda item: item[1])
+        return delta, count / self.total
+
+
+class SPPPrefetcher(L2Prefetcher):
+    """Signature path prefetcher with lookahead and confidence-based fill level."""
+
+    name = "spp"
+
+    SIGNATURE_BITS = 12
+
+    def __init__(
+        self,
+        signature_table_entries: int = 256,
+        pattern_table_entries: int = 512,
+        lookahead_confidence: float = 0.25,
+        l2_fill_confidence: float = 0.5,
+        max_lookahead_depth: int = 4,
+        aggressive: bool = False,
+    ) -> None:
+        self.signature_table_entries = signature_table_entries
+        self.pattern_table_entries = pattern_table_entries
+        self.lookahead_confidence = lookahead_confidence
+        self.l2_fill_confidence = l2_fill_confidence
+        self.max_lookahead_depth = max_lookahead_depth
+        #: The "aggressive" preset is used when PPF is attached: the paper
+        #: configures SPP as the PPF work indicates (lower thresholds, deeper
+        #: lookahead) so that the filter has headroom to exploit.
+        if aggressive:
+            self.lookahead_confidence = 0.10
+            self.l2_fill_confidence = 0.25
+            self.max_lookahead_depth = 8
+        self._signatures: dict[int, _SignatureEntry] = {}
+        self._signature_order: list[int] = []
+        self._patterns: dict[int, _PatternEntry] = {}
+        self.lookahead_prefetches = 0
+
+    # ------------------------------------------------------------------
+    # Main hook
+    # ------------------------------------------------------------------
+    def on_access(
+        self, paddr: int, pc: int, hit: bool, cycle: int
+    ) -> list[PrefetchRequest]:
+        page = page_number(paddr)
+        block = block_address(paddr)
+        offset = block & 0x3F
+
+        entry = self._signatures.get(page)
+        if entry is None:
+            entry = _SignatureEntry(last_offset=offset)
+            self._signatures[page] = entry
+            self._signature_order.append(page)
+            if len(self._signature_order) > self.signature_table_entries:
+                evicted = self._signature_order.pop(0)
+                self._signatures.pop(evicted, None)
+            return []
+
+        delta = offset - entry.last_offset
+        if delta == 0:
+            return []
+
+        # Train the pattern table with the observed delta for the previous
+        # signature, then advance the signature.
+        self._train_pattern(entry.signature, delta)
+        entry.signature = self._advance_signature(entry.signature, delta)
+        entry.last_offset = offset
+
+        # Lookahead prediction along the signature path.
+        requests: list[PrefetchRequest] = []
+        signature = entry.signature
+        path_confidence = 1.0
+        predicted_block = block
+        for depth in range(self.max_lookahead_depth):
+            pattern = self._patterns.get(signature % self.pattern_table_entries)
+            if pattern is None:
+                break
+            best = pattern.best()
+            if best is None:
+                break
+            predicted_delta, confidence = best
+            path_confidence *= confidence
+            if path_confidence < self.lookahead_confidence:
+                break
+            predicted_block = predicted_block + predicted_delta
+            if predicted_block <= 0:
+                break
+            fill_level = (
+                MemLevel.L2C
+                if path_confidence >= self.l2_fill_confidence
+                else MemLevel.LLC
+            )
+            requests.append(
+                PrefetchRequest(
+                    vaddr=predicted_block * BLOCK_SIZE,
+                    trigger_pc=pc,
+                    trigger_vaddr=paddr,
+                    fill_level=fill_level,
+                    confidence=path_confidence,
+                    metadata={
+                        "signature": signature,
+                        "delta": predicted_delta,
+                        "depth": depth,
+                        "path_confidence": path_confidence,
+                    },
+                )
+            )
+            if depth > 0:
+                self.lookahead_prefetches += 1
+            signature = self._advance_signature(signature, predicted_delta)
+        return requests
+
+    # ------------------------------------------------------------------
+    # Signature machinery
+    # ------------------------------------------------------------------
+    @classmethod
+    def _advance_signature(cls, signature: int, delta: int) -> int:
+        return ((signature << 3) ^ (delta & 0x7F)) & ((1 << cls.SIGNATURE_BITS) - 1)
+
+    def _train_pattern(self, signature: int, delta: int) -> None:
+        key = signature % self.pattern_table_entries
+        pattern = self._patterns.setdefault(key, _PatternEntry())
+        pattern.deltas[delta] = pattern.deltas.get(delta, 0) + 1
+        pattern.total += 1
+        # Periodically halve the counters so stale deltas fade away.
+        if pattern.total >= 64:
+            pattern.deltas = {
+                d: c // 2 for d, c in pattern.deltas.items() if c > 1
+            }
+            pattern.total = sum(pattern.deltas.values())
+
+    def reset(self) -> None:
+        self._signatures.clear()
+        self._signature_order.clear()
+        self._patterns.clear()
+        self.lookahead_prefetches = 0

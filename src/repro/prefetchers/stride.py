@@ -1,0 +1,74 @@
+"""Per-PC stride L1D prefetcher.
+
+A classic reference-prediction-table prefetcher: for each load PC it tracks
+the last accessed block and the last observed stride; when the same stride is
+seen twice in a row the entry becomes confident and prefetches ``degree``
+strides ahead.  Not part of the paper's evaluation, but useful as a
+well-understood baseline and in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.addresses import BLOCK_SIZE, block_address
+from repro.prefetchers.base import L1DPrefetcher, PrefetchRequest
+
+
+@dataclass
+class _StrideEntry:
+    last_block: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher(L1DPrefetcher):
+    """Reference prediction table with 2-bit confidence."""
+
+    name = "stride"
+
+    def __init__(self, table_entries: int = 256, degree: int = 2,
+                 confidence_threshold: int = 2) -> None:
+        if table_entries <= 0:
+            raise ValueError(f"table_entries must be positive, got {table_entries}")
+        self.table_entries = table_entries
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self._table: dict[int, _StrideEntry] = {}
+
+    def on_demand_access(
+        self, pc: int, vaddr: int, hit: bool, cycle: int
+    ) -> list[PrefetchRequest]:
+        block = block_address(vaddr)
+        key = pc % self.table_entries
+        entry = self._table.get(key)
+        if entry is None:
+            self._table[key] = _StrideEntry(last_block=block)
+            return []
+
+        observed_stride = block - entry.last_block
+        requests: list[PrefetchRequest] = []
+        if observed_stride == entry.stride and observed_stride != 0:
+            entry.confidence = min(3, entry.confidence + 1)
+        else:
+            entry.confidence = max(0, entry.confidence - 1)
+            entry.stride = observed_stride
+        entry.last_block = block
+
+        if entry.confidence >= self.confidence_threshold and entry.stride != 0:
+            for distance in range(1, self.degree + 1):
+                target_block = block + distance * entry.stride
+                if target_block <= 0:
+                    continue
+                requests.append(
+                    PrefetchRequest(
+                        vaddr=target_block * BLOCK_SIZE,
+                        trigger_pc=pc,
+                        trigger_vaddr=vaddr,
+                        confidence=entry.confidence / 3.0,
+                    )
+                )
+        return requests
+
+    def reset(self) -> None:
+        self._table.clear()

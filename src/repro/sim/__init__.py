@@ -1,0 +1,22 @@
+"""Simulation drivers: scenario builders, single-core and multi-core runs."""
+
+from repro.sim.multi_core import MultiCoreResult, run_multicore_mix
+from repro.sim.results import SingleCoreResult
+from repro.sim.scenarios import (
+    SCHEMES,
+    Scenario,
+    build_hierarchy,
+    build_scenario,
+)
+from repro.sim.single_core import run_single_core
+
+__all__ = [
+    "MultiCoreResult",
+    "run_multicore_mix",
+    "SingleCoreResult",
+    "SCHEMES",
+    "Scenario",
+    "build_hierarchy",
+    "build_scenario",
+    "run_single_core",
+]

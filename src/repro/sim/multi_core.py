@@ -1,0 +1,130 @@
+"""Multi-core simulation driver.
+
+The paper's multi-core evaluation runs 4-core mixes sharing the LLC and a
+DRAM channel whose per-core bandwidth is one quarter of the single-core
+configuration (3.2 GB/s per core, Table III).  The driver below builds one
+:class:`~repro.memory.hierarchy.SharedMemory` back-end, one private hierarchy
+and one incremental core model per trace, and advances the core with the
+smallest dispatch cycle so that the cores contend for DRAM bandwidth in time
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.config import SystemConfig, cascade_lake_multi_core
+from repro.common.types import MemLevel
+from repro.cpu.core import CoreResult, CoreRunner
+from repro.memory.hierarchy import MemoryHierarchy, SharedMemory
+from repro.sim.scenarios import Scenario, build_hierarchy
+from repro.stats.metrics import weighted_speedup
+from repro.traces.trace import Trace
+
+
+@dataclass
+class MultiCoreResult:
+    """Outcome of one multi-core mix simulation."""
+
+    mix_name: str
+    scenario: str
+    workloads: list[str]
+    ipcs: list[float]
+    instructions: list[int]
+    dram_transactions: int
+    dram_transactions_by_source: dict[str, int]
+    per_core_dram_demand: list[int] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    def weighted_speedup(self, single_core_ipcs: list[float]) -> float:
+        """Weighted speedup against per-workload isolated IPCs."""
+        return weighted_speedup(self.ipcs, single_core_ipcs)
+
+
+def run_multicore_mix(
+    traces: list[Trace],
+    scenario: Scenario,
+    config: Optional[SystemConfig] = None,
+    warmup_fraction: float = 0.2,
+    mix_name: Optional[str] = None,
+) -> MultiCoreResult:
+    """Simulate one multi-core mix (one trace per core)."""
+    if not traces:
+        raise ValueError("a multi-core mix needs at least one trace")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    system = (
+        config if config is not None else cascade_lake_multi_core(num_cores=len(traces))
+    )
+    shared = SharedMemory(system)
+    hierarchies: list[MemoryHierarchy] = [
+        build_hierarchy(scenario, config=system, shared=shared, core_id=core_id)
+        for core_id in range(len(traces))
+    ]
+
+    warmups = []
+    measured = []
+    for trace in traces:
+        warm, meas = trace.split(warmup_fraction)
+        warmups.append(warm)
+        measured.append(meas)
+
+    # Warm-up: run each core's warm-up slice (shared caches and predictors
+    # learn; timing contention during warm-up is irrelevant).
+    for hierarchy, warm in zip(hierarchies, warmups):
+        runner = CoreRunner(system.core, _make_callback(hierarchy))
+        for record in warm:
+            runner.step(record)
+    for index, hierarchy in enumerate(hierarchies):
+        hierarchy.reset_stats(include_shared=(index == 0))
+
+    # Measured phase: interleave the cores in dispatch-time order so that
+    # they contend for the shared DRAM channel.
+    runners = [
+        CoreRunner(system.core, _make_callback(hierarchy))
+        for hierarchy in hierarchies
+    ]
+    positions = [0] * len(traces)
+    lengths = [len(trace) for trace in measured]
+    active = [length > 0 for length in lengths]
+    while any(active):
+        best_core = -1
+        best_cycle = float("inf")
+        for core_id, runner in enumerate(runners):
+            if not active[core_id]:
+                continue
+            cycle = runner.next_dispatch_cycle
+            if cycle < best_cycle:
+                best_cycle = cycle
+                best_core = core_id
+        runner = runners[best_core]
+        runner.step(measured[best_core][positions[best_core]])
+        positions[best_core] += 1
+        if positions[best_core] >= lengths[best_core]:
+            active[best_core] = False
+
+    results: list[CoreResult] = [runner.finish() for runner in runners]
+    for hierarchy in hierarchies:
+        hierarchy.finalize()
+
+    dram_stats = shared.dram.stats
+    return MultiCoreResult(
+        mix_name=mix_name or "+".join(trace.name for trace in traces),
+        scenario=scenario.name,
+        workloads=[trace.name for trace in traces],
+        ipcs=[result.ipc for result in results],
+        instructions=[result.instructions for result in results],
+        dram_transactions=dram_stats.total_transactions,
+        dram_transactions_by_source=dram_stats.by_source(),
+        per_core_dram_demand=[
+            hierarchy.stats.served_by[MemLevel.DRAM] for hierarchy in hierarchies
+        ],
+    )
+
+
+def _make_callback(hierarchy: MemoryHierarchy):
+    def access(pc: int, vaddr: int, cycle: int, is_write: bool):
+        return hierarchy.demand_access(pc, vaddr, cycle, is_write=is_write)
+
+    return access

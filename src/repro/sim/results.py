@@ -1,0 +1,96 @@
+"""Result containers produced by the simulation drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.types import MemLevel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.stats.metrics import accuracy, mpki, ppki
+
+
+@dataclass
+class SingleCoreResult:
+    """Everything measured by one single-core simulation run."""
+
+    workload: str
+    scenario: str
+    instructions: int
+    cycles: float
+    ipc: float
+    average_load_latency: float
+    dram_transactions: int
+    dram_transactions_by_source: dict[str, int]
+    mpki_by_level: dict[str, float]
+    l1d_prefetches_issued: int
+    l1d_prefetches_filtered: int
+    l1d_prefetch_accuracy: float
+    useful_l1d_prefetches: int
+    useless_l1d_prefetches: int
+    accurate_prefetch_source: dict[str, int]
+    inaccurate_prefetch_source: dict[str, int]
+    offchip_prediction_location: dict[str, int]
+    speculative_requests: int
+    delayed_predictions_saved: int
+    served_by: dict[str, int]
+    extra: dict = field(default_factory=dict)
+
+    def accurate_prefetch_ppki(self, level: MemLevel | str) -> float:
+        """Accurate L1D prefetches per kilo instruction served by ``level``."""
+        key = level.name if isinstance(level, MemLevel) else level
+        return ppki(self.accurate_prefetch_source.get(key, 0), self.instructions)
+
+    def inaccurate_prefetch_ppki(self, level: MemLevel | str) -> float:
+        """Inaccurate L1D prefetches per kilo instruction served by ``level``."""
+        key = level.name if isinstance(level, MemLevel) else level
+        return ppki(self.inaccurate_prefetch_source.get(key, 0), self.instructions)
+
+
+def collect_single_core_result(
+    workload: str,
+    scenario: str,
+    instructions: int,
+    cycles: float,
+    average_load_latency: float,
+    hierarchy: MemoryHierarchy,
+) -> SingleCoreResult:
+    """Snapshot a hierarchy's statistics into a :class:`SingleCoreResult`."""
+    stats = hierarchy.stats
+    dram_stats = hierarchy.dram.stats
+    mpki_by_level = {
+        "L1D": mpki(hierarchy.l1d.stats.demand_misses, instructions),
+        "L2C": mpki(hierarchy.l2c.stats.demand_misses, instructions),
+        "LLC": mpki(hierarchy.llc.stats.demand_misses, instructions),
+    }
+    return SingleCoreResult(
+        workload=workload,
+        scenario=scenario,
+        instructions=instructions,
+        cycles=cycles,
+        ipc=instructions / cycles if cycles > 0 else 0.0,
+        average_load_latency=average_load_latency,
+        dram_transactions=dram_stats.total_transactions,
+        dram_transactions_by_source=dram_stats.by_source(),
+        mpki_by_level=mpki_by_level,
+        l1d_prefetches_issued=stats.l1d_prefetches_issued,
+        l1d_prefetches_filtered=stats.l1d_prefetches_filtered,
+        l1d_prefetch_accuracy=accuracy(
+            stats.useful_l1d_prefetches, stats.useless_l1d_prefetches
+        ),
+        useful_l1d_prefetches=stats.useful_l1d_prefetches,
+        useless_l1d_prefetches=stats.useless_l1d_prefetches,
+        accurate_prefetch_source={
+            level.name: count for level, count in stats.accurate_prefetch_source.items()
+        },
+        inaccurate_prefetch_source={
+            level.name: count
+            for level, count in stats.inaccurate_prefetch_source.items()
+        },
+        offchip_prediction_location={
+            level.name: count
+            for level, count in stats.offchip_prediction_location.items()
+        },
+        speculative_requests=stats.speculative_requests,
+        delayed_predictions_saved=stats.delayed_predictions_saved,
+        served_by={level.name: count for level, count in stats.served_by.items()},
+    )

@@ -1,0 +1,67 @@
+"""Single-core simulation driver.
+
+Mirrors the paper's single-core methodology (Section V-C): each workload is
+run for a warm-up phase (caches and predictors learn, statistics discarded)
+followed by a measured phase from which IPC, DRAM transaction counts, MPKIs
+and prefetch statistics are reported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import SystemConfig, cascade_lake_single_core
+from repro.cpu.core import OutOfOrderCore
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.results import SingleCoreResult, collect_single_core_result
+from repro.sim.scenarios import Scenario, build_hierarchy
+from repro.traces.trace import Trace
+
+
+def run_single_core(
+    trace: Trace,
+    scenario: Scenario,
+    config: Optional[SystemConfig] = None,
+    warmup_fraction: float = 0.2,
+    hierarchy: Optional[MemoryHierarchy] = None,
+) -> SingleCoreResult:
+    """Run one workload trace under one scenario and collect the results.
+
+    Args:
+        trace: the workload trace to simulate.
+        scenario: which prefetcher/predictor/filter combination to run.
+        config: system configuration; defaults to the single-core Cascade
+            Lake-like baseline of Table III.
+        warmup_fraction: fraction of the trace used to warm caches and train
+            predictors before statistics are reset.
+        hierarchy: optionally, a pre-built hierarchy (used by tests that want
+            to inspect or instrument specific components).
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+    system = config if config is not None else cascade_lake_single_core()
+    memory = (
+        hierarchy
+        if hierarchy is not None
+        else build_hierarchy(scenario, config=system)
+    )
+    core = OutOfOrderCore(system.core)
+
+    def access(pc: int, vaddr: int, cycle: int, is_write: bool):
+        return memory.demand_access(pc, vaddr, cycle, is_write=is_write)
+
+    warmup, measured = trace.split(warmup_fraction)
+    if len(warmup):
+        core.run(warmup, access)
+        memory.reset_stats(include_shared=True)
+
+    result = core.run(measured, access)
+    memory.finalize()
+    return collect_single_core_result(
+        workload=trace.name,
+        scenario=scenario.name,
+        instructions=max(1, result.instructions),
+        cycles=result.cycles,
+        average_load_latency=result.average_load_latency,
+        hierarchy=memory,
+    )

@@ -1,0 +1,95 @@
+"""Metrics used throughout the evaluation.
+
+These are the quantities the paper's figures plot: misses/prefetches per kilo
+instruction, prefetch accuracy, percentage change in DRAM transactions,
+per-workload speedup, geometric-mean speedup across a suite, and weighted
+speedup for multi-core mixes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def mpki(misses: int, instructions: int) -> float:
+    """Misses per kilo instruction."""
+    if instructions <= 0:
+        raise ValueError(f"instructions must be positive, got {instructions}")
+    return 1000.0 * misses / instructions
+
+
+def ppki(prefetches: int, instructions: int) -> float:
+    """Prefetches per kilo instruction."""
+    if instructions <= 0:
+        raise ValueError(f"instructions must be positive, got {instructions}")
+    return 1000.0 * prefetches / instructions
+
+
+def accuracy(useful: int, useless: int) -> float:
+    """Prefetch accuracy: useful / (useful + useless)."""
+    total = useful + useless
+    if total == 0:
+        return 0.0
+    return useful / total
+
+
+def percent_change(new: float, baseline: float) -> float:
+    """Percentage change of ``new`` relative to ``baseline``.
+
+    Positive values mean an increase.  Used for the "increase in DRAM
+    transactions" figures.
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (new - baseline) / baseline
+
+
+def speedup_percent(ipc: float, baseline_ipc: float) -> float:
+    """Speedup in percent over the baseline IPC."""
+    if baseline_ipc <= 0:
+        raise ValueError(f"baseline_ipc must be positive, got {baseline_ipc}")
+    return 100.0 * (ipc / baseline_ipc - 1.0)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric_mean of an empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric_mean requires strictly positive values")
+    log_sum = sum(math.log(value) for value in values)
+    return math.exp(log_sum / len(values))
+
+
+def geometric_mean_speedup(
+    ipcs: Sequence[float], baseline_ipcs: Sequence[float]
+) -> float:
+    """Geometric-mean speedup (in percent) of paired IPC measurements."""
+    if len(ipcs) != len(baseline_ipcs):
+        raise ValueError("ipcs and baseline_ipcs must have the same length")
+    ratios = [ipc / base for ipc, base in zip(ipcs, baseline_ipcs)]
+    return 100.0 * (geometric_mean(ratios) - 1.0)
+
+
+def weighted_speedup(
+    shared_ipcs: Sequence[float], single_ipcs: Sequence[float]
+) -> float:
+    """Weighted speedup of a multi-core mix.
+
+    The standard metric: sum over cores of IPC_shared / IPC_single, where
+    IPC_single is the IPC of the same workload running alone on the same
+    system.  The paper reports this normalised to the baseline design's
+    weighted speedup; that normalisation is applied by the caller.
+    """
+    if len(shared_ipcs) != len(single_ipcs):
+        raise ValueError("shared_ipcs and single_ipcs must have the same length")
+    if not shared_ipcs:
+        raise ValueError("weighted_speedup of an empty mix")
+    total = 0.0
+    for shared, single in zip(shared_ipcs, single_ipcs):
+        if single <= 0:
+            raise ValueError("single-core IPC must be positive")
+        total += shared / single
+    return total

@@ -1,0 +1,21 @@
+"""Workload traces: the record container and synthetic trace generators."""
+
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    interleave_compute,
+    pointer_chase_trace,
+    random_access_trace,
+    strided_trace,
+    streaming_trace,
+)
+from repro.traces.trace import Trace
+
+__all__ = [
+    "Trace",
+    "SyntheticTraceConfig",
+    "interleave_compute",
+    "pointer_chase_trace",
+    "random_access_trace",
+    "strided_trace",
+    "streaming_trace",
+]

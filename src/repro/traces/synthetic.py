@@ -1,0 +1,238 @@
+"""Synthetic memory-trace generators.
+
+These generators produce the elementary access patterns the SPEC-like
+workloads (:mod:`repro.workloads.spec_like`) are composed of: sequential
+streaming, constant strides, uniform random accesses over a working set, and
+pointer chasing.  Each generator interleaves ``compute_per_access`` non-memory
+records between memory records so that memory intensity (and therefore MPKI)
+is controllable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.addresses import BLOCK_SIZE
+from repro.common.types import AccessKind, MemoryAccess
+from repro.traces.trace import Trace
+
+#: Base virtual address of generated data regions (arbitrary, page aligned).
+DATA_BASE = 0x10_0000_0000
+#: Base virtual address of generated code regions (for PCs).
+CODE_BASE = 0x40_0000
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Common knobs of the synthetic generators.
+
+    Attributes:
+        num_memory_accesses: number of memory records to generate.
+        working_set_bytes: size of the touched data region.
+        compute_per_access: number of NON_MEM records inserted after each
+            memory record (controls memory intensity).
+        store_fraction: fraction of memory records that are stores.
+        hot_fraction: fraction of irregular accesses directed at a small hot
+            region of ``hot_working_set_bytes`` (models the temporal locality
+            real applications exhibit; 0 disables the hot region).
+        hot_working_set_bytes: size of the hot region.
+        seed: RNG seed (generators are fully deterministic given the seed).
+    """
+
+    num_memory_accesses: int = 20_000
+    working_set_bytes: int = 8 * 1024 * 1024
+    compute_per_access: int = 2
+    store_fraction: float = 0.0
+    hot_fraction: float = 0.0
+    hot_working_set_bytes: int = 256 * 1024
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_memory_accesses <= 0:
+            raise ValueError("num_memory_accesses must be positive")
+        if self.working_set_bytes < BLOCK_SIZE:
+            raise ValueError("working_set_bytes must be at least one block")
+        if not 0.0 <= self.store_fraction <= 1.0:
+            raise ValueError("store_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if self.hot_working_set_bytes < BLOCK_SIZE:
+            raise ValueError("hot_working_set_bytes must be at least one block")
+
+
+def interleave_compute(
+    trace: Trace,
+    pc: int,
+    count: int,
+) -> None:
+    """Append ``count`` non-memory records to ``trace``."""
+    for i in range(count):
+        trace.append(MemoryAccess(pc=pc + 4 * i, vaddr=0, kind=AccessKind.NON_MEM))
+
+
+def _emit(
+    trace: Trace,
+    rng: np.random.Generator,
+    pc: int,
+    vaddr: int,
+    config: SyntheticTraceConfig,
+    compute_pc: int,
+) -> None:
+    kind = AccessKind.LOAD
+    if config.store_fraction > 0 and rng.random() < config.store_fraction:
+        kind = AccessKind.STORE
+    trace.append(MemoryAccess(pc=pc, vaddr=int(vaddr), kind=kind))
+    interleave_compute(trace, compute_pc, config.compute_per_access)
+
+
+def streaming_trace(
+    config: SyntheticTraceConfig, element_bytes: int = 8, name: str = "stream"
+) -> Trace:
+    """Sequential element-wise sweep over the working set (lbm/stream-like).
+
+    Accesses advance by ``element_bytes`` (8 by default), so each 64B block
+    is touched several times before the sweep moves on -- the access pattern
+    of array traversals in real streaming kernels.
+    """
+    rng = np.random.default_rng(config.seed)
+    trace = Trace(name, metadata={"pattern": "streaming", **config.__dict__})
+    load_pc = CODE_BASE + 0x100
+    compute_pc = CODE_BASE + 0x1000
+    address = DATA_BASE
+    limit = DATA_BASE + config.working_set_bytes
+    for _ in range(config.num_memory_accesses):
+        _emit(trace, rng, load_pc, address, config, compute_pc)
+        address += element_bytes
+        if address >= limit:
+            address = DATA_BASE
+    return trace
+
+
+def strided_trace(
+    config: SyntheticTraceConfig,
+    stride_blocks: int = 4,
+    elements_per_column: int = 8,
+    name: str = "strided",
+) -> Trace:
+    """Column-walk sweep (dense linear algebra with a leading-dimension jump).
+
+    The generator models a column-major walk of a 2D array: it reads
+    ``elements_per_column`` consecutive 8-byte elements, then jumps ahead by
+    ``stride_blocks`` cache blocks (the leading dimension), wrapping at the
+    end of the working set.
+    """
+    if stride_blocks == 0:
+        raise ValueError("stride_blocks must be non-zero")
+    rng = np.random.default_rng(config.seed)
+    trace = Trace(
+        name, metadata={"pattern": "strided", "stride_blocks": stride_blocks}
+    )
+    load_pc = CODE_BASE + 0x200
+    compute_pc = CODE_BASE + 0x2000
+    address = DATA_BASE
+    limit = DATA_BASE + config.working_set_bytes
+    stride = stride_blocks * BLOCK_SIZE
+    element_in_column = 0
+    for _ in range(config.num_memory_accesses):
+        _emit(trace, rng, load_pc, address, config, compute_pc)
+        element_in_column += 1
+        if element_in_column >= elements_per_column:
+            element_in_column = 0
+            address += stride
+        else:
+            address += 8
+        if address >= limit:
+            address = DATA_BASE + (address - limit) % BLOCK_SIZE
+    return trace
+
+
+def random_access_trace(config: SyntheticTraceConfig, name: str = "random") -> Trace:
+    """Random block accesses over the working set (omnetpp/mcf-like).
+
+    A ``hot_fraction`` of the accesses go to a small hot region (modelling the
+    temporal locality of real irregular codes); the rest are uniform over the
+    full working set.
+    """
+    rng = np.random.default_rng(config.seed)
+    trace = Trace(name, metadata={"pattern": "random", **config.__dict__})
+    hot_pc = CODE_BASE + 0x300
+    cold_pc = CODE_BASE + 0x340
+    compute_pc = CODE_BASE + 0x3000
+    num_blocks = config.working_set_bytes // BLOCK_SIZE
+    hot_blocks = max(1, config.hot_working_set_bytes // BLOCK_SIZE)
+    for _ in range(config.num_memory_accesses):
+        if config.hot_fraction > 0 and rng.random() < config.hot_fraction:
+            offset = int(rng.integers(0, hot_blocks))
+            _emit(trace, rng, hot_pc, DATA_BASE + offset * BLOCK_SIZE, config, compute_pc)
+        else:
+            offset = int(rng.integers(0, num_blocks))
+            _emit(trace, rng, cold_pc, DATA_BASE + offset * BLOCK_SIZE, config, compute_pc)
+    return trace
+
+
+def pointer_chase_trace(
+    config: SyntheticTraceConfig, chain_length: int | None = None, name: str = "chase"
+) -> Trace:
+    """Dependent pointer chasing through a shuffled linked list (mcf-like).
+
+    The chain is a random permutation of the blocks of the working set, so
+    consecutive accesses have no spatial locality and every step is likely a
+    cache miss once the chain exceeds the cache capacity.  A ``hot_fraction``
+    of the steps instead walk a short hot chain that stays cache resident.
+    """
+    rng = np.random.default_rng(config.seed)
+    trace = Trace(name, metadata={"pattern": "pointer_chase", **config.__dict__})
+    load_pc = CODE_BASE + 0x400
+    hot_pc = CODE_BASE + 0x440
+    compute_pc = CODE_BASE + 0x4000
+    num_blocks = config.working_set_bytes // BLOCK_SIZE
+    if chain_length is None:
+        chain_length = num_blocks
+    chain_length = min(chain_length, num_blocks)
+    permutation = rng.permutation(chain_length)
+    hot_blocks = max(1, config.hot_working_set_bytes // BLOCK_SIZE)
+    hot_permutation = rng.permutation(hot_blocks)
+    position = 0
+    hot_position = 0
+    for _ in range(config.num_memory_accesses):
+        if config.hot_fraction > 0 and rng.random() < config.hot_fraction:
+            block = int(hot_permutation[hot_position])
+            _emit(trace, rng, hot_pc, DATA_BASE + block * BLOCK_SIZE, config, compute_pc)
+            hot_position = (hot_position + 1) % hot_blocks
+        else:
+            block = int(permutation[position])
+            _emit(trace, rng, load_pc, DATA_BASE + block * BLOCK_SIZE, config, compute_pc)
+            position = (position + 1) % chain_length
+    return trace
+
+
+def mixed_trace(
+    config: SyntheticTraceConfig,
+    random_fraction: float = 0.5,
+    name: str = "mixed",
+) -> Trace:
+    """Mixture of streaming and random accesses (gcc/xalancbmk-like)."""
+    if not 0.0 <= random_fraction <= 1.0:
+        raise ValueError("random_fraction must be in [0, 1]")
+    rng = np.random.default_rng(config.seed)
+    trace = Trace(
+        name, metadata={"pattern": "mixed", "random_fraction": random_fraction}
+    )
+    stream_pc = CODE_BASE + 0x500
+    random_pc = CODE_BASE + 0x540
+    compute_pc = CODE_BASE + 0x5000
+    num_blocks = config.working_set_bytes // BLOCK_SIZE
+    address = DATA_BASE
+    limit = DATA_BASE + config.working_set_bytes
+    for _ in range(config.num_memory_accesses):
+        if rng.random() < random_fraction:
+            block = int(rng.integers(0, num_blocks))
+            _emit(trace, rng, random_pc, DATA_BASE + block * BLOCK_SIZE, config, compute_pc)
+        else:
+            _emit(trace, rng, stream_pc, address, config, compute_pc)
+            address += BLOCK_SIZE
+            if address >= limit:
+                address = DATA_BASE
+    return trace

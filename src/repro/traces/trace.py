@@ -1,0 +1,114 @@
+"""Trace container.
+
+A :class:`Trace` is an ordered list of :class:`~repro.common.types.MemoryAccess`
+records plus a name and free-form metadata (suite, input graph, generator
+parameters).  It is what the workload generators produce and what the
+simulation drivers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.common.types import AccessKind, MemoryAccess
+
+
+@dataclass
+class Trace:
+    """An instruction/memory trace of one workload."""
+
+    name: str
+    records: list[MemoryAccess] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def append(self, record: MemoryAccess) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[MemoryAccess]) -> None:
+        """Append many records."""
+        self.records.extend(records)
+
+    def truncated(self, max_instructions: int) -> "Trace":
+        """Return a copy limited to the first ``max_instructions`` records."""
+        return Trace(
+            name=self.name,
+            records=self.records[:max_instructions],
+            metadata=dict(self.metadata),
+        )
+
+    def split(self, fraction: float) -> tuple["Trace", "Trace"]:
+        """Split into (first, second) parts at ``fraction`` of the length.
+
+        Used to separate the warm-up portion from the measured portion.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        cut = int(len(self.records) * fraction)
+        first = Trace(self.name + ".warmup", self.records[:cut], dict(self.metadata))
+        second = Trace(self.name, self.records[cut:], dict(self.metadata))
+        return first, second
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_instructions(self) -> int:
+        """Total record count (memory and non-memory)."""
+        return len(self.records)
+
+    @property
+    def num_loads(self) -> int:
+        """Number of load records."""
+        return sum(1 for r in self.records if r.kind is AccessKind.LOAD)
+
+    @property
+    def num_stores(self) -> int:
+        """Number of store records."""
+        return sum(1 for r in self.records if r.kind is AccessKind.STORE)
+
+    @property
+    def num_memory_accesses(self) -> int:
+        """Number of load + store records."""
+        return sum(1 for r in self.records if r.is_memory())
+
+    @property
+    def memory_intensity(self) -> float:
+        """Fraction of records that access memory."""
+        if not self.records:
+            return 0.0
+        return self.num_memory_accesses / len(self.records)
+
+    def footprint_bytes(self) -> int:
+        """Approximate data footprint: number of distinct blocks times 64."""
+        blocks = {r.vaddr >> 6 for r in self.records if r.is_memory()}
+        return len(blocks) * 64
+
+    def unique_pcs(self) -> int:
+        """Number of distinct PCs of memory records."""
+        return len({r.pc for r in self.records if r.is_memory()})
+
+    def summary(self) -> dict:
+        """Small dictionary of headline characteristics."""
+        return {
+            "name": self.name,
+            "instructions": self.num_instructions,
+            "loads": self.num_loads,
+            "stores": self.num_stores,
+            "memory_intensity": round(self.memory_intensity, 3),
+            "footprint_kib": self.footprint_bytes() // 1024,
+            "unique_pcs": self.unique_pcs(),
+        }

@@ -1,0 +1,26 @@
+"""Workloads: GAP graph kernels, SPEC-like generators and the catalog."""
+
+from repro.workloads.catalog import (
+    WorkloadCatalog,
+    WorkloadSpec,
+    default_catalog,
+    make_multicore_mixes,
+)
+from repro.workloads.gap import GAP_KERNELS, GraphWorkload, gap_trace
+from repro.workloads.graphs import CSRGraph, generate_graph, GRAPH_GENERATORS
+from repro.workloads.spec_like import SPEC_LIKE_WORKLOADS, spec_like_trace
+
+__all__ = [
+    "WorkloadCatalog",
+    "WorkloadSpec",
+    "default_catalog",
+    "make_multicore_mixes",
+    "GAP_KERNELS",
+    "GraphWorkload",
+    "gap_trace",
+    "CSRGraph",
+    "generate_graph",
+    "GRAPH_GENERATORS",
+    "SPEC_LIKE_WORKLOADS",
+    "spec_like_trace",
+]

@@ -1,0 +1,147 @@
+"""Workload catalog: named single-core workloads and multi-core mixes.
+
+The catalog mirrors the paper's workload selection methodology (Section V):
+
+* the **GAP** suite is the cross product of the six kernels with the input
+  graphs (the paper keeps the 31 combinations whose baseline LLC MPKI > 1);
+* the **SPEC** suite is the set of SPEC-like synthetic workloads;
+* multi-core mixes are built per suite, half homogeneous (four copies of one
+  workload) and half heterogeneous (four distinct workloads), exactly like
+  the paper's 200-mix campaign (at smaller count).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.traces.trace import Trace
+from repro.workloads.gap import GAP_KERNELS, gap_trace
+from repro.workloads.spec_like import SPEC_LIKE_WORKLOADS, spec_like_trace
+
+#: Input graphs used to build the GAP portion of the catalog (a subset of the
+#: Table V names; all map onto the synthetic generators).
+DEFAULT_GAP_GRAPHS = ("kron", "urand", "road")
+
+#: GAP kernels used by default (all six of Table IV).
+DEFAULT_GAP_KERNELS = tuple(GAP_KERNELS)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload and the factory that builds its trace."""
+
+    name: str
+    suite: str
+    factory: Callable[[int], Trace]
+
+    def build(self, num_memory_accesses: int = 40_000) -> Trace:
+        """Build the trace with the requested memory-access budget."""
+        return self.factory(num_memory_accesses)
+
+
+@dataclass
+class WorkloadCatalog:
+    """A collection of named workloads grouped by suite."""
+
+    workloads: dict[str, WorkloadSpec] = field(default_factory=dict)
+
+    def add(self, spec: WorkloadSpec) -> None:
+        """Register a workload (name must be unique)."""
+        if spec.name in self.workloads:
+            raise ValueError(f"duplicate workload name {spec.name!r}")
+        self.workloads[spec.name] = spec
+
+    def names(self, suite: str | None = None) -> list[str]:
+        """Names of all workloads, optionally filtered by suite."""
+        return sorted(
+            name
+            for name, spec in self.workloads.items()
+            if suite is None or spec.suite == suite
+        )
+
+    def get(self, name: str) -> WorkloadSpec:
+        """Look up a workload by name."""
+        try:
+            return self.workloads[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown workload {name!r}; known: {sorted(self.workloads)}"
+            ) from exc
+
+    def build(self, name: str, num_memory_accesses: int = 40_000) -> Trace:
+        """Build the trace of a named workload."""
+        return self.get(name).build(num_memory_accesses)
+
+    def suites(self) -> list[str]:
+        """Names of the suites present in the catalog."""
+        return sorted({spec.suite for spec in self.workloads.values()})
+
+    def __len__(self) -> int:
+        return len(self.workloads)
+
+
+def default_catalog(
+    gap_kernels: tuple[str, ...] = DEFAULT_GAP_KERNELS,
+    gap_graphs: tuple[str, ...] = DEFAULT_GAP_GRAPHS,
+    gap_scale: str = "small",
+    spec_workloads: tuple[str, ...] | None = None,
+) -> WorkloadCatalog:
+    """Build the default catalog (GAP kernel x graph + SPEC-like set)."""
+    catalog = WorkloadCatalog()
+    for kernel, graph in itertools.product(gap_kernels, gap_graphs):
+        name = f"{kernel}.{graph}"
+
+        def factory(budget: int, kernel=kernel, graph=graph) -> Trace:
+            return gap_trace(
+                kernel,
+                graph=graph,
+                scale=gap_scale,
+                max_memory_accesses=budget,
+            )
+
+        catalog.add(WorkloadSpec(name=name, suite="gap", factory=factory))
+
+    names = spec_workloads if spec_workloads is not None else tuple(SPEC_LIKE_WORKLOADS)
+    for spec_name in names:
+
+        def spec_factory(budget: int, spec_name=spec_name) -> Trace:
+            return spec_like_trace(spec_name, num_memory_accesses=budget)
+
+        catalog.add(
+            WorkloadSpec(name=f"spec.{spec_name}", suite="spec", factory=spec_factory)
+        )
+    return catalog
+
+
+def make_multicore_mixes(
+    catalog: WorkloadCatalog,
+    suite: str,
+    num_homogeneous: int = 2,
+    num_heterogeneous: int = 2,
+    cores: int = 4,
+    seed: int = 23,
+) -> list[tuple[str, list[str]]]:
+    """Build multi-core workload mixes following the paper's methodology.
+
+    Returns ``(mix_name, [workload names])`` tuples; homogeneous mixes run
+    ``cores`` copies of the same workload, heterogeneous mixes pick ``cores``
+    distinct workloads at random from the suite.
+    """
+    names = catalog.names(suite)
+    if not names:
+        raise ValueError(f"catalog has no workloads for suite {suite!r}")
+    rng = random.Random(seed)
+    mixes: list[tuple[str, list[str]]] = []
+    for index in range(num_homogeneous):
+        workload = names[index % len(names)]
+        mixes.append((f"{suite}.homog.{workload}", [workload] * cores))
+    for index in range(num_heterogeneous):
+        if len(names) >= cores:
+            selection = rng.sample(names, cores)
+        else:
+            selection = [rng.choice(names) for _ in range(cores)]
+        mixes.append((f"{suite}.heter.{index}", selection))
+    return mixes

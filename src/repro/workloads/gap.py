@@ -1,0 +1,366 @@
+"""GAP benchmark kernels instrumented to emit memory traces.
+
+The paper evaluates six graph kernels from the GAP suite (Table IV): BFS,
+PageRank (PR), Connected Components (CC), Betweenness Centrality (BC),
+Triangle Counting (TC) and Single-Source Shortest Paths (SSSP).  Their memory
+behaviour -- the reason they stress off-chip prediction -- comes from the CSR
+traversal pattern: sequential streaming of the offsets/neighbour arrays mixed
+with data-dependent random accesses to per-vertex property arrays that are
+much larger than the cache hierarchy.
+
+Each kernel below *actually executes* the algorithm on a synthetic
+:class:`~repro.workloads.graphs.CSRGraph` while recording the virtual
+addresses of every array access it performs, producing a
+:class:`~repro.traces.trace.Trace` with the same access pattern a compiled
+GAP binary would exhibit (at reduced scale).  Every distinct load/store site
+in the kernel gets its own synthetic PC, which is what the perceptron
+features key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.types import AccessKind, MemoryAccess
+from repro.traces.trace import Trace
+from repro.workloads.graphs import CSRGraph, generate_graph
+
+#: Base virtual addresses of the kernel data structures.  They are spaced
+#: far apart so arrays never overlap regardless of graph size.
+_ROW_PTR_BASE = 0x20_0000_0000
+_COL_IDX_BASE = 0x21_0000_0000
+_PROP_A_BASE = 0x22_0000_0000
+_PROP_B_BASE = 0x23_0000_0000
+_PROP_C_BASE = 0x24_0000_0000
+_QUEUE_BASE = 0x25_0000_0000
+
+_CODE_BASE = 0x50_0000
+
+
+class TraceEmitter:
+    """Collects memory accesses emitted by a kernel, up to a budget."""
+
+    def __init__(
+        self, name: str, max_memory_accesses: int, compute_per_access: int
+    ) -> None:
+        self.trace = Trace(name)
+        self.max_memory_accesses = max_memory_accesses
+        self.compute_per_access = compute_per_access
+        self.memory_accesses = 0
+        self._compute_pc = _CODE_BASE + 0xF000
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the memory-access budget has been spent."""
+        return self.memory_accesses >= self.max_memory_accesses
+
+    def load(self, pc: int, vaddr: int) -> None:
+        """Emit one load plus its share of compute records."""
+        self._emit(pc, vaddr, AccessKind.LOAD)
+
+    def store(self, pc: int, vaddr: int) -> None:
+        """Emit one store plus its share of compute records."""
+        self._emit(pc, vaddr, AccessKind.STORE)
+
+    def _emit(self, pc: int, vaddr: int, kind: AccessKind) -> None:
+        if self.exhausted:
+            return
+        self.trace.append(MemoryAccess(pc=pc, vaddr=int(vaddr), kind=kind))
+        self.memory_accesses += 1
+        for i in range(self.compute_per_access):
+            self.trace.append(
+                MemoryAccess(pc=self._compute_pc + 4 * i, vaddr=0, kind=AccessKind.NON_MEM)
+            )
+
+
+@dataclass
+class GraphWorkload:
+    """Addresses of the CSR arrays and property arrays of one kernel run."""
+
+    graph: CSRGraph
+
+    def row_ptr_addr(self, vertex: int) -> int:
+        """Address of ``row_ptr[vertex]`` (8-byte elements)."""
+        return _ROW_PTR_BASE + 8 * vertex
+
+    def col_idx_addr(self, edge: int) -> int:
+        """Address of ``col_idx[edge]`` (4-byte elements)."""
+        return _COL_IDX_BASE + 4 * edge
+
+    def prop_a_addr(self, vertex: int) -> int:
+        """Address of the first per-vertex property array (4-byte elements)."""
+        return _PROP_A_BASE + 4 * vertex
+
+    def prop_b_addr(self, vertex: int) -> int:
+        """Address of the second per-vertex property array (4-byte elements)."""
+        return _PROP_B_BASE + 4 * vertex
+
+    def prop_c_addr(self, vertex: int) -> int:
+        """Address of the third per-vertex property array (8-byte elements)."""
+        return _PROP_C_BASE + 8 * vertex
+
+    def queue_addr(self, index: int) -> int:
+        """Address of the frontier/queue slot ``index`` (4-byte elements)."""
+        return _QUEUE_BASE + 4 * index
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def _bfs(emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator) -> None:
+    """Breadth-first search with an explicit frontier (push style)."""
+    graph = wl.graph
+    parent = np.full(graph.num_vertices, -1, dtype=np.int64)
+    pc = _CODE_BASE
+    while not emitter.exhausted:
+        source = int(rng.integers(0, graph.num_vertices))
+        parent[:] = -1
+        parent[source] = source
+        frontier = [source]
+        queue_index = 0
+        while frontier and not emitter.exhausted:
+            next_frontier = []
+            for vertex in frontier:
+                if emitter.exhausted:
+                    break
+                emitter.load(pc + 0x00, wl.queue_addr(queue_index))
+                queue_index += 1
+                emitter.load(pc + 0x10, wl.row_ptr_addr(vertex))
+                emitter.load(pc + 0x14, wl.row_ptr_addr(vertex + 1))
+                start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
+                for edge in range(start, end):
+                    if emitter.exhausted:
+                        break
+                    emitter.load(pc + 0x20, wl.col_idx_addr(edge))
+                    neighbor = int(graph.col_idx[edge])
+                    emitter.load(pc + 0x30, wl.prop_a_addr(neighbor))
+                    if parent[neighbor] == -1:
+                        parent[neighbor] = vertex
+                        emitter.store(pc + 0x40, wl.prop_a_addr(neighbor))
+                        emitter.store(pc + 0x50, wl.queue_addr(queue_index + len(next_frontier)))
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+
+
+def _pagerank(emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator) -> None:
+    """Pull-style PageRank iterations."""
+    graph = wl.graph
+    pc = _CODE_BASE + 0x1000
+    vertex = 0
+    while not emitter.exhausted:
+        emitter.load(pc + 0x00, wl.row_ptr_addr(vertex))
+        emitter.load(pc + 0x04, wl.row_ptr_addr(vertex + 1))
+        start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
+        for edge in range(start, end):
+            if emitter.exhausted:
+                break
+            emitter.load(pc + 0x10, wl.col_idx_addr(edge))
+            neighbor = int(graph.col_idx[edge])
+            # Pull the neighbour's current rank (random access).
+            emitter.load(pc + 0x20, wl.prop_a_addr(neighbor))
+            # And its out-degree for normalisation.
+            emitter.load(pc + 0x24, wl.row_ptr_addr(neighbor))
+        emitter.store(pc + 0x30, wl.prop_b_addr(vertex))
+        vertex = (vertex + 1) % graph.num_vertices
+
+
+def _connected_components(
+    emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator
+) -> None:
+    """Shiloach-Vishkin style hook-and-compress over the edge list."""
+    graph = wl.graph
+    comp = np.arange(graph.num_vertices, dtype=np.int64)
+    pc = _CODE_BASE + 0x2000
+    while not emitter.exhausted:
+        vertex = 0
+        while vertex < graph.num_vertices and not emitter.exhausted:
+            emitter.load(pc + 0x00, wl.row_ptr_addr(vertex))
+            emitter.load(pc + 0x04, wl.row_ptr_addr(vertex + 1))
+            start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
+            for edge in range(start, end):
+                if emitter.exhausted:
+                    break
+                emitter.load(pc + 0x10, wl.col_idx_addr(edge))
+                neighbor = int(graph.col_idx[edge])
+                emitter.load(pc + 0x20, wl.prop_a_addr(vertex))
+                emitter.load(pc + 0x24, wl.prop_a_addr(neighbor))
+                if comp[neighbor] < comp[vertex]:
+                    comp[vertex] = comp[neighbor]
+                    emitter.store(pc + 0x30, wl.prop_a_addr(vertex))
+                elif comp[vertex] < comp[neighbor]:
+                    comp[neighbor] = comp[vertex]
+                    emitter.store(pc + 0x34, wl.prop_a_addr(neighbor))
+            vertex += 1
+
+
+def _betweenness_centrality(
+    emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator
+) -> None:
+    """Brandes-style BC from sampled sources (forward BFS + backward pass)."""
+    graph = wl.graph
+    pc = _CODE_BASE + 0x3000
+    while not emitter.exhausted:
+        source = int(rng.integers(0, graph.num_vertices))
+        depth = np.full(graph.num_vertices, -1, dtype=np.int64)
+        depth[source] = 0
+        order: list[int] = []
+        frontier = [source]
+        # Forward sweep.
+        while frontier and not emitter.exhausted:
+            next_frontier = []
+            for vertex in frontier:
+                if emitter.exhausted:
+                    break
+                order.append(vertex)
+                emitter.load(pc + 0x00, wl.row_ptr_addr(vertex))
+                emitter.load(pc + 0x04, wl.row_ptr_addr(vertex + 1))
+                start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
+                for edge in range(start, end):
+                    if emitter.exhausted:
+                        break
+                    emitter.load(pc + 0x10, wl.col_idx_addr(edge))
+                    neighbor = int(graph.col_idx[edge])
+                    emitter.load(pc + 0x20, wl.prop_a_addr(neighbor))   # depth
+                    emitter.load(pc + 0x24, wl.prop_c_addr(neighbor))   # sigma
+                    if depth[neighbor] == -1:
+                        depth[neighbor] = depth[vertex] + 1
+                        emitter.store(pc + 0x30, wl.prop_a_addr(neighbor))
+                        emitter.store(pc + 0x34, wl.prop_c_addr(neighbor))
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        # Backward accumulation.
+        for vertex in reversed(order):
+            if emitter.exhausted:
+                break
+            emitter.load(pc + 0x40, wl.row_ptr_addr(vertex))
+            start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
+            for edge in range(start, min(end, start + 8)):
+                if emitter.exhausted:
+                    break
+                emitter.load(pc + 0x50, wl.col_idx_addr(edge))
+                neighbor = int(graph.col_idx[edge])
+                emitter.load(pc + 0x60, wl.prop_b_addr(neighbor))       # delta
+            emitter.store(pc + 0x70, wl.prop_b_addr(vertex))
+
+
+def _triangle_count(
+    emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator
+) -> None:
+    """Triangle counting by neighbour-list intersection."""
+    graph = wl.graph
+    pc = _CODE_BASE + 0x4000
+    vertex = 0
+    while not emitter.exhausted:
+        emitter.load(pc + 0x00, wl.row_ptr_addr(vertex))
+        emitter.load(pc + 0x04, wl.row_ptr_addr(vertex + 1))
+        start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
+        for edge in range(start, end):
+            if emitter.exhausted:
+                break
+            emitter.load(pc + 0x10, wl.col_idx_addr(edge))
+            neighbor = int(graph.col_idx[edge])
+            if neighbor <= vertex:
+                continue
+            emitter.load(pc + 0x20, wl.row_ptr_addr(neighbor))
+            emitter.load(pc + 0x24, wl.row_ptr_addr(neighbor + 1))
+            n_start = int(graph.row_ptr[neighbor])
+            n_end = int(graph.row_ptr[neighbor + 1])
+            # Stream both adjacency lists for the intersection.
+            for other_edge in range(n_start, min(n_end, n_start + 16)):
+                if emitter.exhausted:
+                    break
+                emitter.load(pc + 0x30, wl.col_idx_addr(other_edge))
+        vertex = (vertex + 1) % graph.num_vertices
+
+
+def _sssp(emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator) -> None:
+    """Delta-stepping-style SSSP (bucketed Bellman-Ford relaxations)."""
+    graph = wl.graph
+    pc = _CODE_BASE + 0x5000
+    infinity = np.iinfo(np.int64).max
+    while not emitter.exhausted:
+        source = int(rng.integers(0, graph.num_vertices))
+        dist = np.full(graph.num_vertices, infinity, dtype=np.int64)
+        dist[source] = 0
+        bucket = [source]
+        while bucket and not emitter.exhausted:
+            next_bucket = []
+            for vertex in bucket:
+                if emitter.exhausted:
+                    break
+                emitter.load(pc + 0x00, wl.queue_addr(len(next_bucket)))
+                emitter.load(pc + 0x10, wl.row_ptr_addr(vertex))
+                emitter.load(pc + 0x14, wl.row_ptr_addr(vertex + 1))
+                start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
+                for edge in range(start, end):
+                    if emitter.exhausted:
+                        break
+                    emitter.load(pc + 0x20, wl.col_idx_addr(edge))
+                    neighbor = int(graph.col_idx[edge])
+                    weight = (vertex ^ neighbor) % 16 + 1
+                    emitter.load(pc + 0x30, wl.prop_c_addr(neighbor))
+                    if dist[vertex] + weight < dist[neighbor]:
+                        dist[neighbor] = dist[vertex] + weight
+                        emitter.store(pc + 0x40, wl.prop_c_addr(neighbor))
+                        next_bucket.append(neighbor)
+            bucket = next_bucket
+
+
+#: Kernel registry: name -> (callable, description).  Mirrors Table IV.
+GAP_KERNELS = {
+    "bfs": (_bfs, "Breadth-first search (push & pull, frontier)"),
+    "pr": (_pagerank, "PageRank (pull only)"),
+    "cc": (_connected_components, "Connected components (Shiloach-Vishkin)"),
+    "bc": (_betweenness_centrality, "Betweenness centrality (Brandes)"),
+    "tc": (_triangle_count, "Triangle counting (push only)"),
+    "sssp": (_sssp, "Single-source shortest paths (delta-stepping)"),
+}
+
+
+def gap_trace(
+    kernel: str,
+    graph: str | CSRGraph = "kron",
+    scale: str = "small",
+    max_memory_accesses: int = 40_000,
+    compute_per_access: int = 4,
+    seed: int = 5,
+) -> Trace:
+    """Generate the memory trace of one GAP kernel over one input graph.
+
+    Args:
+        kernel: one of ``bfs``, ``pr``, ``cc``, ``bc``, ``tc``, ``sssp``.
+        graph: an input graph name (Table V style: ``urand``, ``kron``,
+            ``road``, ``twitter``, ``web``, ``friendster``) or a pre-built
+            :class:`CSRGraph`.
+        scale: graph scale when ``graph`` is a name.
+        max_memory_accesses: trace budget (memory records).
+        compute_per_access: NON_MEM records inserted per memory record.
+        seed: RNG seed for source selection.
+    """
+    normalized = kernel.lower()
+    if normalized not in GAP_KERNELS:
+        raise ValueError(
+            f"unknown GAP kernel {kernel!r}; choose from {sorted(GAP_KERNELS)}"
+        )
+    if isinstance(graph, CSRGraph):
+        csr = graph
+    else:
+        csr = generate_graph(graph, scale=scale, seed=seed)
+    kernel_fn, _ = GAP_KERNELS[normalized]
+    name = f"{normalized}.{csr.name}"
+    emitter = TraceEmitter(name, max_memory_accesses, compute_per_access)
+    workload = GraphWorkload(graph=csr)
+    rng = np.random.default_rng(seed)
+    kernel_fn(emitter, workload, rng)
+    emitter.trace.metadata.update(
+        {
+            "suite": "gap",
+            "kernel": normalized,
+            "graph": csr.name,
+            "vertices": csr.num_vertices,
+            "edges": csr.num_edges,
+        }
+    )
+    return emitter.trace

@@ -1,0 +1,71 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.addresses import (
+    BLOCK_SIZE,
+    BLOCKS_PER_PAGE,
+    PAGE_SIZE,
+    align_to_block,
+    align_to_page,
+    block_address,
+    block_offset,
+    cacheline_offset_in_page,
+    page_number,
+    page_offset,
+)
+
+
+class TestBlockArithmetic:
+    def test_block_size_is_64_bytes(self):
+        assert BLOCK_SIZE == 64
+
+    def test_block_address_drops_offset(self):
+        assert block_address(0x1000) == 0x1000 // 64
+        assert block_address(0x1001) == block_address(0x103F)
+        assert block_address(0x1040) == block_address(0x1000) + 1
+
+    def test_block_offset_range(self):
+        assert block_offset(0x1000) == 0
+        assert block_offset(0x103F) == 63
+
+    def test_align_to_block(self):
+        assert align_to_block(0x1234) == 0x1200
+        assert align_to_block(0x1200) == 0x1200
+
+
+class TestPageArithmetic:
+    def test_page_size_is_4kib(self):
+        assert PAGE_SIZE == 4096
+
+    def test_page_number_and_offset_recompose(self):
+        address = 0xDEADBEEF
+        assert page_number(address) * PAGE_SIZE + page_offset(address) == address
+
+    def test_blocks_per_page(self):
+        assert BLOCKS_PER_PAGE == 64
+
+    def test_cacheline_offset_in_page_range(self):
+        assert cacheline_offset_in_page(0) == 0
+        assert cacheline_offset_in_page(PAGE_SIZE - 1) == 63
+        assert cacheline_offset_in_page(PAGE_SIZE) == 0
+
+    def test_align_to_page(self):
+        assert align_to_page(0x12345) == 0x12000
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1))
+def test_block_decomposition_roundtrip(address):
+    assert block_address(address) * BLOCK_SIZE + block_offset(address) == address
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1))
+def test_page_decomposition_roundtrip(address):
+    assert page_number(address) * PAGE_SIZE + page_offset(address) == address
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1))
+def test_cacheline_offset_consistent_with_block_and_page(address):
+    expected = (block_address(address)) % BLOCKS_PER_PAGE
+    assert cacheline_offset_in_page(address) == expected

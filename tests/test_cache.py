@@ -1,0 +1,160 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheConfig
+from repro.memory.cache import Cache
+
+
+def tiny_cache(sets: int = 4, ways: int = 2) -> Cache:
+    config = CacheConfig("T", sets * ways * 64, ways, 1, 4)
+    return Cache(config)
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert cache.lookup(0x100) is False
+        cache.fill(0x100)
+        assert cache.lookup(0x100) is True
+        assert cache.stats.demand_hits == 1
+        assert cache.stats.demand_misses == 1
+
+    def test_resident_probe_does_not_count_access(self):
+        cache = tiny_cache()
+        cache.fill(0x5)
+        assert cache.resident(0x5)
+        assert cache.stats.demand_accesses == 0
+
+    def test_eviction_on_conflict(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.fill(0)
+        cache.fill(1)
+        eviction = cache.fill(2)
+        assert eviction is not None
+        assert cache.stats.evictions == 1
+        assert not cache.resident(eviction.block_addr)
+
+    def test_lru_eviction_order(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.fill(0)
+        cache.fill(1)
+        cache.lookup(0)  # make 0 most recently used
+        eviction = cache.fill(2)
+        assert eviction.block_addr == 1
+
+    def test_refill_existing_block_no_eviction(self):
+        cache = tiny_cache()
+        cache.fill(0x10)
+        assert cache.fill(0x10) is None
+
+
+class TestPrefetchTracking:
+    def test_prefetch_fill_counts(self):
+        cache = tiny_cache()
+        cache.fill(0x20, prefetched=True)
+        assert cache.stats.prefetch_fills == 1
+        assert cache.unused_prefetched_blocks() == 1
+
+    def test_demand_hit_marks_prefetch_useful(self):
+        cache = tiny_cache()
+        cache.fill(0x20, prefetched=True)
+        cache.lookup(0x20)
+        assert cache.stats.prefetch_hits == 1
+        assert cache.unused_prefetched_blocks() == 0
+
+    def test_useless_prefetch_eviction_counted(self):
+        cache = tiny_cache(sets=1, ways=1)
+        cache.fill(0x1, prefetched=True)
+        cache.fill(0x2)
+        assert cache.stats.useless_prefetch_evictions == 1
+
+    def test_useful_prefetch_eviction_counted(self):
+        cache = tiny_cache(sets=1, ways=1)
+        cache.fill(0x1, prefetched=True)
+        cache.lookup(0x1)
+        cache.fill(0x2)
+        assert cache.stats.useful_prefetch_evictions == 1
+
+    def test_eviction_listener_invoked(self):
+        seen = []
+        config = CacheConfig("T", 64, 1, 1, 4)
+        cache = Cache(config, eviction_listener=seen.append)
+        cache.fill(0x1, prefetched=True)
+        cache.fill(0x2)
+        assert len(seen) == 1
+        assert seen[0].was_prefetched
+
+
+class TestDirtyAndInvalidate:
+    def test_write_sets_dirty_and_writeback_on_eviction(self):
+        cache = tiny_cache(sets=1, ways=1)
+        cache.fill(0x1)
+        cache.lookup(0x1, is_write=True)
+        cache.fill(0x2)
+        assert cache.stats.writebacks == 1
+
+    def test_invalidate(self):
+        cache = tiny_cache()
+        cache.fill(0x9)
+        assert cache.invalidate(0x9) is True
+        assert not cache.resident(0x9)
+        assert cache.invalidate(0x9) is False
+
+
+class TestReadyCycle:
+    def test_ready_cycle_recorded(self):
+        cache = tiny_cache()
+        cache.fill(0x30, cycle=10, ready_cycle=200)
+        assert cache.get_block(0x30).ready_cycle == 200
+
+    def test_second_fill_keeps_earliest_ready(self):
+        cache = tiny_cache()
+        cache.fill(0x30, cycle=10, ready_cycle=200)
+        cache.fill(0x30, cycle=20, ready_cycle=100)
+        assert cache.get_block(0x30).ready_cycle == 100
+
+
+class TestStatsAndOccupancy:
+    def test_occupancy_fraction(self):
+        cache = tiny_cache(sets=2, ways=2)
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.occupancy() == pytest.approx(0.5)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = tiny_cache()
+        cache.fill(0x7)
+        cache.lookup(0x7)
+        cache.reset_stats()
+        assert cache.stats.demand_accesses == 0
+        assert cache.resident(0x7)
+
+    def test_hit_rate(self):
+        cache = tiny_cache()
+        cache.fill(0x1)
+        cache.lookup(0x1)
+        cache.lookup(0x2)
+        assert cache.stats.demand_hit_rate == pytest.approx(0.5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300))
+def test_cache_never_exceeds_capacity(block_stream):
+    cache = tiny_cache(sets=2, ways=2)
+    for block in block_stream:
+        if not cache.lookup(block):
+            cache.fill(block)
+    assert len(cache.resident_blocks()) <= 4
+    assert cache.stats.demand_accesses == len(block_stream)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=200))
+def test_immediate_rereference_always_hits(block_stream):
+    cache = tiny_cache(sets=4, ways=2)
+    for block in block_stream:
+        if not cache.lookup(block):
+            cache.fill(block)
+        assert cache.lookup(block) is True

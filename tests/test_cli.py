@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "bfs.urand"
+        assert "tlp" in args.schemes
+
+    def test_run_command_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--schemes", "magic"])
+
+    def test_figure_command(self):
+        args = build_parser().parse_args(["figure", "fig01"])
+        assert args.name == "fig01"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "tlp" in output
+        assert "spec.mcf_like" in output
+
+    def test_unknown_figure_returns_error(self, capsys):
+        assert main(["figure", "fig99"]) == 1
+
+    def test_figure_table_mapping_complete(self):
+        # Every evaluation figure of the paper has a CLI entry.
+        for expected in ("fig01", "fig10", "fig13", "fig15", "fig16", "fig17", "table02"):
+            assert expected in FIGURES
+
+    def test_run_command_executes_small_simulation(self, capsys):
+        assert main(["run", "--workload", "spec.sphinx_like", "--schemes", "baseline",
+                     "--accesses", "1500"]) == 0
+        output = capsys.readouterr().out
+        assert "ipc=" in output

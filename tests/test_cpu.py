@@ -1,0 +1,115 @@
+"""Tests for the out-of-order core timing model."""
+
+import pytest
+
+from repro.common.config import CoreConfig
+from repro.common.types import AccessKind, AccessOutcome, MemLevel, MemoryAccess
+from repro.cpu.core import CoreRunner, OutOfOrderCore
+
+
+def fixed_latency_memory(latency):
+    def access(pc, vaddr, cycle, is_write):
+        return AccessOutcome(
+            served_by=MemLevel.DRAM if latency > 50 else MemLevel.L1D,
+            latency=latency,
+            effective_latency=latency,
+        )
+
+    return access
+
+
+def make_trace(num_instructions, loads_every=4):
+    records = []
+    for index in range(num_instructions):
+        if index % loads_every == 0:
+            records.append(MemoryAccess(pc=0x400, vaddr=0x1000 + index * 64, kind=AccessKind.LOAD))
+        else:
+            records.append(MemoryAccess(pc=0x500, vaddr=0, kind=AccessKind.NON_MEM))
+    return records
+
+
+class TestIdealPipeline:
+    def test_non_memory_ipc_approaches_width(self):
+        core = OutOfOrderCore(CoreConfig(width=4, rob_size=224))
+        trace = [MemoryAccess(pc=0x400, vaddr=0, kind=AccessKind.NON_MEM)] * 4000
+        result = core.run(trace, fixed_latency_memory(1))
+        assert result.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_short_latency_loads_overlap(self):
+        core = OutOfOrderCore(CoreConfig(width=4, rob_size=224))
+        result = core.run(make_trace(4000), fixed_latency_memory(10))
+        # A 10-cycle load every 4 instructions fits within the ROB window.
+        assert result.ipc > 3.0
+
+    def test_counts_loads_and_stores(self):
+        core = OutOfOrderCore()
+        trace = [
+            MemoryAccess(0x1, 0x100, AccessKind.LOAD),
+            MemoryAccess(0x2, 0x200, AccessKind.STORE),
+            MemoryAccess(0x3, 0, AccessKind.NON_MEM),
+        ]
+        result = core.run(trace, fixed_latency_memory(5))
+        assert result.loads == 1
+        assert result.stores == 1
+        assert result.instructions == 3
+
+
+class TestMemoryBoundBehaviour:
+    def test_long_latency_loads_reduce_ipc(self):
+        core = OutOfOrderCore(CoreConfig(width=4, rob_size=224))
+        fast = core.run(make_trace(2000), fixed_latency_memory(10))
+        slow = core.run(make_trace(2000), fixed_latency_memory(400))
+        assert slow.ipc < fast.ipc
+
+    def test_rob_limits_memory_level_parallelism(self):
+        small_rob = OutOfOrderCore(CoreConfig(width=4, rob_size=16))
+        large_rob = OutOfOrderCore(CoreConfig(width=4, rob_size=224))
+        trace = make_trace(2000, loads_every=2)
+        slow = small_rob.run(trace, fixed_latency_memory(300))
+        fast = large_rob.run(trace, fixed_latency_memory(300))
+        assert fast.ipc > slow.ipc
+
+    def test_average_load_latency_reported(self):
+        core = OutOfOrderCore()
+        result = core.run(make_trace(100), fixed_latency_memory(123))
+        assert result.average_load_latency == pytest.approx(123.0)
+
+    def test_stores_do_not_stall(self):
+        core = OutOfOrderCore()
+        loads = [MemoryAccess(0x1, 0x100 + i * 64, AccessKind.LOAD) for i in range(500)]
+        stores = [MemoryAccess(0x1, 0x100 + i * 64, AccessKind.STORE) for i in range(500)]
+        load_result = core.run(loads, fixed_latency_memory(300))
+        store_result = core.run(stores, fixed_latency_memory(300))
+        assert store_result.ipc > load_result.ipc
+
+
+class TestCoreRunner:
+    def test_incremental_stepping_matches_batch_run(self):
+        config = CoreConfig()
+        trace = make_trace(500)
+        batch = OutOfOrderCore(config).run(trace, fixed_latency_memory(50))
+        runner = CoreRunner(config, fixed_latency_memory(50))
+        for record in trace:
+            runner.step(record)
+        incremental = runner.finish()
+        assert incremental.cycles == pytest.approx(batch.cycles)
+        assert incremental.instructions == batch.instructions
+
+    def test_next_dispatch_cycle_monotonic(self):
+        runner = CoreRunner(CoreConfig(), fixed_latency_memory(20))
+        previous = runner.next_dispatch_cycle
+        for record in make_trace(200):
+            runner.step(record)
+            assert runner.next_dispatch_cycle >= previous
+            previous = runner.next_dispatch_cycle
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            OutOfOrderCore(CoreConfig(width=0))
+        with pytest.raises(ValueError):
+            OutOfOrderCore(CoreConfig(rob_size=0))
+
+    def test_ipc_zero_for_empty_trace(self):
+        result = OutOfOrderCore().run([], fixed_latency_memory(1))
+        assert result.instructions == 0
+        assert result.ipc == 0.0

@@ -1,0 +1,67 @@
+"""Tests for the DRAM bandwidth/latency model."""
+
+import pytest
+
+from repro.common.config import DRAMConfig
+from repro.common.types import RequestSource
+from repro.memory.dram import DRAMModel
+
+
+class TestDRAMLatency:
+    def test_unloaded_latency_is_access_latency(self):
+        dram = DRAMModel(DRAMConfig(access_latency=160, bandwidth_gbps=12.8))
+        assert dram.access(0, RequestSource.DEMAND) == 160
+
+    def test_back_to_back_requests_queue(self):
+        dram = DRAMModel(DRAMConfig(access_latency=100, bandwidth_gbps=12.8))
+        first = dram.access(0, RequestSource.DEMAND)
+        second = dram.access(0, RequestSource.DEMAND)
+        assert second > first
+
+    def test_queue_drains_over_time(self):
+        dram = DRAMModel(DRAMConfig(access_latency=100, bandwidth_gbps=12.8))
+        dram.access(0, RequestSource.DEMAND)
+        later = dram.access(10_000, RequestSource.DEMAND)
+        assert later == 100
+
+    def test_queue_delay_probe(self):
+        dram = DRAMModel(DRAMConfig(bandwidth_gbps=12.8))
+        assert dram.queue_delay(0) == 0.0
+        dram.access(0, RequestSource.DEMAND)
+        assert dram.queue_delay(0) > 0.0
+
+    def test_lower_bandwidth_means_longer_occupancy(self):
+        slow = DRAMModel(DRAMConfig(bandwidth_gbps=1.6))
+        fast = DRAMModel(DRAMConfig(bandwidth_gbps=25.6))
+        assert slow.cycles_per_transaction > fast.cycles_per_transaction
+
+
+class TestDRAMCounters:
+    def test_transactions_counted_by_source(self):
+        dram = DRAMModel(DRAMConfig())
+        dram.access(0, RequestSource.DEMAND)
+        dram.access(0, RequestSource.L1D_PREFETCH)
+        dram.access(0, RequestSource.L2C_PREFETCH)
+        dram.access(0, RequestSource.SPECULATIVE_OFFCHIP)
+        assert dram.stats.total_transactions == 4
+        assert dram.stats.by_source() == {
+            "demand": 1,
+            "l1d_prefetch": 1,
+            "l2c_prefetch": 1,
+            "speculative": 1,
+        }
+
+    def test_reset_stats_and_timing(self):
+        dram = DRAMModel(DRAMConfig())
+        dram.access(0, RequestSource.DEMAND)
+        dram.reset_stats()
+        dram.reset_timing()
+        assert dram.stats.total_transactions == 0
+        assert dram.queue_delay(0) == 0.0
+
+    def test_average_queue_delay(self):
+        dram = DRAMModel(DRAMConfig())
+        assert dram.average_queue_delay() == 0.0
+        for _ in range(5):
+            dram.access(0, RequestSource.DEMAND)
+        assert dram.average_queue_delay() > 0.0

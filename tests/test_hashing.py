@@ -1,0 +1,67 @@
+"""Unit and property tests for the perceptron hashing helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.hashing import fold_xor, hash_combine, jenkins32, table_index
+
+
+class TestFoldXor:
+    def test_small_value_is_identity(self):
+        assert fold_xor(0x3F, 8) == 0x3F
+
+    def test_folds_high_bits(self):
+        # 0x1_00 folded to 8 bits XORs the high chunk into the low one.
+        assert fold_xor(0x100, 8) == 0x01
+
+    def test_zero(self):
+        assert fold_xor(0, 10) == 0
+
+    def test_negative_value_is_masked(self):
+        assert 0 <= fold_xor(-12345, 12) < (1 << 12)
+
+    def test_invalid_output_bits(self):
+        with pytest.raises(ValueError):
+            fold_xor(5, 0)
+
+
+class TestJenkins32:
+    def test_deterministic(self):
+        assert jenkins32(12345) == jenkins32(12345)
+
+    def test_differs_for_adjacent_inputs(self):
+        assert jenkins32(1000) != jenkins32(1001)
+
+    def test_stays_in_32_bits(self):
+        assert 0 <= jenkins32(2**40) < 2**32
+
+
+class TestHashCombine:
+    def test_order_sensitive(self):
+        assert hash_combine(1, 2) != hash_combine(2, 1)
+
+    def test_deterministic(self):
+        assert hash_combine(3, 4, 5) == hash_combine(3, 4, 5)
+
+    def test_empty_is_constant(self):
+        assert hash_combine() == hash_combine()
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(min_value=1, max_value=20))
+def test_fold_xor_respects_output_width(value, bits):
+    assert 0 <= fold_xor(value, bits) < (1 << bits)
+
+
+@given(st.integers(min_value=-(2**33), max_value=2**33))
+def test_jenkins32_range(value):
+    assert 0 <= jenkins32(value) < 2**32
+
+
+@given(st.integers(min_value=0, max_value=2**48), st.integers(min_value=1, max_value=14))
+def test_table_index_in_range(value, bits):
+    assert 0 <= table_index(value, bits) < (1 << bits)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=6))
+def test_hash_combine_deterministic_property(components):
+    assert hash_combine(*components) == hash_combine(*components)

@@ -1,0 +1,91 @@
+"""Tests for the evaluation metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.metrics import (
+    accuracy,
+    geometric_mean,
+    geometric_mean_speedup,
+    mpki,
+    percent_change,
+    ppki,
+    speedup_percent,
+    weighted_speedup,
+)
+
+
+class TestPerKiloMetrics:
+    def test_mpki(self):
+        assert mpki(50, 1000) == pytest.approx(50.0)
+        assert mpki(0, 1000) == 0.0
+
+    def test_mpki_invalid_instructions(self):
+        with pytest.raises(ValueError):
+            mpki(1, 0)
+
+    def test_ppki(self):
+        assert ppki(200, 100_000) == pytest.approx(2.0)
+
+    def test_accuracy(self):
+        assert accuracy(30, 70) == pytest.approx(0.3)
+        assert accuracy(0, 0) == 0.0
+
+
+class TestChangesAndSpeedups:
+    def test_percent_change(self):
+        assert percent_change(110, 100) == pytest.approx(10.0)
+        assert percent_change(90, 100) == pytest.approx(-10.0)
+        assert percent_change(5, 0) == 0.0
+
+    def test_speedup_percent(self):
+        assert speedup_percent(1.2, 1.0) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            speedup_percent(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_speedup(self):
+        assert geometric_mean_speedup([1.1, 1.1], [1.0, 1.0]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean_speedup([1.0], [1.0, 2.0])
+
+    def test_weighted_speedup(self):
+        assert weighted_speedup([0.5, 0.5], [1.0, 1.0]) == pytest.approx(1.0)
+        assert weighted_speedup([1.0, 1.0], [1.0, 1.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+def test_geometric_mean_bounded_by_min_and_max(values):
+    result = geometric_mean(values)
+    assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=8),
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=8),
+)
+def test_weighted_speedup_positive(shared, single):
+    size = min(len(shared), len(single))
+    result = weighted_speedup(shared[:size], single[:size])
+    assert result > 0
+
+
+@given(st.floats(min_value=0.01, max_value=100), st.floats(min_value=0.01, max_value=100))
+def test_speedup_percent_sign(ipc, baseline):
+    value = speedup_percent(ipc, baseline)
+    if ipc > baseline:
+        assert value > 0
+    elif ipc < baseline:
+        assert value < 0

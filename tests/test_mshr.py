@@ -1,0 +1,77 @@
+"""Tests for the MSHR model."""
+
+import pytest
+
+from repro.memory.mshr import MSHR
+
+
+class TestMSHRBasics:
+    def test_allocate_and_lookup(self):
+        mshr = MSHR(4)
+        entry = mshr.allocate(0x10, issue_cycle=0, ready_cycle=100)
+        assert mshr.lookup(0x10) is entry
+        assert len(mshr) == 1
+
+    def test_merge_duplicate_block(self):
+        mshr = MSHR(4)
+        first = mshr.allocate(0x10, 0, 100)
+        second = mshr.allocate(0x10, 5, 100)
+        assert first is second
+        assert mshr.merged_requests == 1
+        assert len(mshr) == 1
+
+    def test_release(self):
+        mshr = MSHR(4)
+        mshr.allocate(0x10, 0, 100)
+        released = mshr.release(0x10)
+        assert released is not None
+        assert mshr.lookup(0x10) is None
+
+    def test_release_missing_returns_none(self):
+        mshr = MSHR(2)
+        assert mshr.release(0x99) is None
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MSHR(0)
+
+
+class TestMSHRCapacity:
+    def test_full_flag(self):
+        mshr = MSHR(2)
+        mshr.allocate(1, 0, 10)
+        assert not mshr.is_full
+        mshr.allocate(2, 0, 10)
+        assert mshr.is_full
+
+    def test_overflow_retires_oldest_and_counts_stall(self):
+        mshr = MSHR(2)
+        mshr.allocate(1, 0, 10)
+        mshr.allocate(2, 0, 20)
+        mshr.allocate(3, 0, 30)
+        assert mshr.full_stalls == 1
+        assert len(mshr) == 2
+        assert mshr.lookup(1) is None  # oldest (earliest ready) retired
+
+    def test_occupancy(self):
+        mshr = MSHR(4)
+        mshr.allocate(1, 0, 10)
+        mshr.allocate(2, 0, 10)
+        assert mshr.occupancy() == pytest.approx(0.5)
+
+
+class TestMSHRRetirement:
+    def test_retire_completed(self):
+        mshr = MSHR(4)
+        mshr.allocate(1, 0, 10)
+        mshr.allocate(2, 0, 50)
+        completed = mshr.retire_completed(current_cycle=20)
+        assert [entry.block_addr for entry in completed] == [1]
+        assert len(mshr) == 1
+
+    def test_metadata_round_trips(self):
+        mshr = MSHR(4)
+        mshr.allocate(7, 0, 10, is_prefetch=True, metadata={"slp": [1, 2, 3]})
+        entry = mshr.lookup(7)
+        assert entry.is_prefetch
+        assert entry.metadata["slp"] == [1, 2, 3]

@@ -1,0 +1,63 @@
+"""Tests for the virtual-to-physical page table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.addresses import PAGE_SIZE, page_offset
+from repro.memory.paging import PageTable
+
+
+class TestTranslation:
+    def test_offset_preserved(self):
+        table = PageTable()
+        vaddr = 0x1234_5678
+        paddr = table.translate(vaddr)
+        assert page_offset(paddr) == page_offset(vaddr)
+
+    def test_same_page_translates_consistently(self):
+        table = PageTable()
+        base = 0xABCD_0000
+        first = table.translate(base)
+        second = table.translate(base + 64)
+        assert first // PAGE_SIZE == second // PAGE_SIZE
+
+    def test_distinct_pages_get_distinct_frames(self):
+        table = PageTable()
+        frames = {table.translate_page(vpage) for vpage in range(500)}
+        assert len(frames) == 500
+
+    def test_page_fault_counted_once_per_page(self):
+        table = PageTable()
+        table.translate(0x1000)
+        table.translate(0x1040)
+        table.translate(0x2000)
+        assert table.page_faults == 2
+        assert table.mapped_pages() == 2
+
+    def test_different_cores_get_different_layouts(self):
+        table0 = PageTable(core_id=0)
+        table1 = PageTable(core_id=1)
+        vaddr = 0x7777_0000
+        assert table0.translate(vaddr) != table1.translate(vaddr)
+
+    def test_invalid_memory_size(self):
+        with pytest.raises(ValueError):
+            PageTable(memory_frames=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2**30), min_size=1, max_size=200))
+def test_translation_is_deterministic_and_injective(vaddrs):
+    table = PageTable(core_id=3)
+    mapping = {}
+    for vaddr in vaddrs:
+        paddr = table.translate(vaddr)
+        assert paddr == table.translate(vaddr)
+        vpage = vaddr // PAGE_SIZE
+        frame = paddr // PAGE_SIZE
+        if vpage in mapping:
+            assert mapping[vpage] == frame
+        else:
+            mapping[vpage] = frame
+    # Injective: no two virtual pages share a frame.
+    assert len(set(mapping.values())) == len(mapping)

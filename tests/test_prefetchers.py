@@ -1,0 +1,219 @@
+"""Tests for the prefetchers (next-line, stride, IPCP, Berti, SPP) and PPF."""
+
+import pytest
+
+from repro.common.addresses import BLOCK_SIZE
+from repro.common.types import MemLevel
+from repro.prefetchers import make_l1d_prefetcher
+from repro.prefetchers.base import AlwaysIssueFilter, PrefetchRequest
+from repro.prefetchers.berti import BertiPrefetcher
+from repro.prefetchers.ipcp import IPCPPrefetcher
+from repro.prefetchers.next_line import NextLinePrefetcher
+from repro.prefetchers.ppf import PerceptronPrefetchFilter
+from repro.prefetchers.spp import SPPPrefetcher
+from repro.prefetchers.stride import StridePrefetcher
+
+BASE = 0x10_0000
+
+
+class TestNextLine:
+    def test_prefetches_next_blocks(self):
+        prefetcher = NextLinePrefetcher(degree=2)
+        requests = prefetcher.on_demand_access(0x400, BASE, hit=False, cycle=0)
+        assert [r.vaddr for r in requests] == [BASE + 64, BASE + 128]
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestStride:
+    def test_detects_constant_stride(self):
+        prefetcher = StridePrefetcher(degree=1)
+        requests = []
+        for i in range(6):
+            requests = prefetcher.on_demand_access(0x400, BASE + i * 256, False, 0)
+        assert requests, "a trained stride entry should prefetch"
+        assert requests[0].vaddr == BASE + 6 * 256
+
+    def test_no_prefetch_on_random_pattern(self):
+        prefetcher = StridePrefetcher()
+        addresses = [BASE, BASE + 640, BASE + 64, BASE + 8192, BASE + 320]
+        requests = []
+        for address in addresses:
+            requests = prefetcher.on_demand_access(0x400, address, False, 0)
+        assert requests == []
+
+    def test_reset(self):
+        prefetcher = StridePrefetcher()
+        for i in range(6):
+            prefetcher.on_demand_access(0x400, BASE + i * 128, False, 0)
+        prefetcher.reset()
+        assert prefetcher.on_demand_access(0x400, BASE, False, 0) == []
+
+
+class TestIPCP:
+    def test_constant_stride_class_prefetches_ahead(self):
+        prefetcher = IPCPPrefetcher()
+        requests = []
+        for i in range(8):
+            requests = prefetcher.on_demand_access(0x400, BASE + i * BLOCK_SIZE, True, 0)
+        assert prefetcher.class_counts["cs"] > 0
+        targets = [r.vaddr for r in requests]
+        assert BASE + 8 * BLOCK_SIZE + BLOCK_SIZE in targets or targets
+
+    def test_next_line_fallback_on_miss(self):
+        prefetcher = IPCPPrefetcher(nl_degree=1)
+        requests = prefetcher.on_demand_access(0x999, BASE, hit=False, cycle=0)
+        assert prefetcher.class_counts["nl"] == 1
+        assert requests and requests[0].vaddr == BASE + BLOCK_SIZE
+
+    def test_no_fallback_on_hit(self):
+        prefetcher = IPCPPrefetcher()
+        requests = prefetcher.on_demand_access(0x999, BASE, hit=True, cycle=0)
+        assert requests == []
+
+    def test_global_stream_class_on_dense_page(self):
+        prefetcher = IPCPPrefetcher(gs_density_threshold=0.2)
+        # One PC sweeping a page with irregular (non-constant) strides: once
+        # the page is densely touched the GS class takes over.
+        offsets = [(i * 7) % 64 for i in range(64)]
+        for offset in offsets:
+            prefetcher.on_demand_access(0x400, BASE + offset * BLOCK_SIZE, True, 0)
+        assert prefetcher.class_counts["gs"] > 0
+
+    def test_reset_clears_state(self):
+        prefetcher = IPCPPrefetcher()
+        for i in range(8):
+            prefetcher.on_demand_access(0x400, BASE + i * BLOCK_SIZE, True, 0)
+        prefetcher.reset()
+        assert prefetcher.class_counts["cs"] == 0
+
+
+class TestBerti:
+    def test_learns_local_delta(self):
+        prefetcher = BertiPrefetcher(relearn_interval=8, low_coverage=0.1)
+        requests = []
+        for i in range(32):
+            requests = prefetcher.on_demand_access(0x400, BASE + i * BLOCK_SIZE, False, 0)
+        assert requests, "Berti should learn the +1 block delta"
+        deltas = [r.metadata["delta"] for r in requests]
+        assert all(delta > 0 for delta in deltas)
+
+    def test_confidence_reported_as_coverage(self):
+        prefetcher = BertiPrefetcher(relearn_interval=8, low_coverage=0.1)
+        requests = []
+        for i in range(32):
+            requests = prefetcher.on_demand_access(0x400, BASE + i * BLOCK_SIZE, False, 0)
+        assert all(0.0 < r.confidence <= 1.0 for r in requests)
+
+    def test_page_change_restarts_history(self):
+        prefetcher = BertiPrefetcher()
+        prefetcher.on_demand_access(0x400, BASE, False, 0)
+        prefetcher.on_demand_access(0x400, BASE + (1 << 20), False, 0)
+        entry = prefetcher._table[0x400 % prefetcher.table_entries]
+        assert len(entry.history) == 1
+
+    def test_reset(self):
+        prefetcher = BertiPrefetcher()
+        prefetcher.on_demand_access(0x400, BASE, False, 0)
+        prefetcher.reset()
+        assert prefetcher._table == {}
+
+
+class TestSPP:
+    def test_learns_stream_and_prefetches(self):
+        spp = SPPPrefetcher()
+        requests = []
+        for i in range(32):
+            requests = spp.on_access(BASE + i * BLOCK_SIZE, 0x400, hit=False, cycle=0)
+        assert requests, "SPP should follow the +1 delta signature path"
+        assert all(r.fill_level in (MemLevel.L2C, MemLevel.LLC) for r in requests)
+
+    def test_lookahead_confidence_decays(self):
+        spp = SPPPrefetcher()
+        requests = []
+        for i in range(64):
+            requests = spp.on_access(BASE + i * BLOCK_SIZE, 0x400, False, 0)
+        confidences = [r.confidence for r in requests]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_aggressive_preset_prefetches_deeper(self):
+        conservative = SPPPrefetcher()
+        aggressive = SPPPrefetcher(aggressive=True)
+        assert aggressive.max_lookahead_depth > conservative.max_lookahead_depth
+
+    def test_new_page_does_not_prefetch_immediately(self):
+        spp = SPPPrefetcher()
+        assert spp.on_access(BASE, 0x400, False, 0) == []
+
+    def test_reset(self):
+        spp = SPPPrefetcher()
+        for i in range(16):
+            spp.on_access(BASE + i * BLOCK_SIZE, 0x400, False, 0)
+        spp.reset()
+        assert spp.on_access(BASE, 0x400, False, 0) == []
+
+
+class TestPPF:
+    def make_request(self, delta=1, depth=0, confidence=0.8):
+        return PrefetchRequest(
+            vaddr=BASE,
+            trigger_pc=0x400,
+            trigger_vaddr=BASE - 64,
+            confidence=confidence,
+            metadata={
+                "signature": 0x123,
+                "delta": delta,
+                "depth": depth,
+                "path_confidence": confidence,
+            },
+        )
+
+    def test_initially_accepts(self):
+        ppf = PerceptronPrefetchFilter()
+        assert ppf.consult(self.make_request(), BASE, False, 0).issue
+
+    def test_learns_to_reject_useless_prefetches(self):
+        ppf = PerceptronPrefetchFilter(issue_threshold=0)
+        request = self.make_request()
+        for _ in range(60):
+            decision = ppf.consult(request, BASE, False, 0)
+            ppf.train(decision.metadata, False)
+        assert not ppf.consult(request, BASE, False, 0).issue
+        assert ppf.reject_rate > 0.0
+
+    def test_learns_to_keep_useful_prefetches(self):
+        ppf = PerceptronPrefetchFilter(issue_threshold=0)
+        request = self.make_request(delta=2)
+        for _ in range(60):
+            decision = ppf.consult(request, BASE, False, 0)
+            ppf.train(decision.metadata, True)
+        assert ppf.consult(request, BASE, False, 0).issue
+
+    def test_storage_around_40kb(self):
+        ppf = PerceptronPrefetchFilter()
+        assert 18.0 < ppf.storage_kib() < 45.0
+
+    def test_reset(self):
+        ppf = PerceptronPrefetchFilter()
+        decision = ppf.consult(self.make_request(), BASE, False, 0)
+        ppf.train(decision.metadata, False)
+        ppf.reset()
+        assert ppf.consultations == 0
+
+
+class TestFactoryAndFilters:
+    def test_factory_names(self):
+        assert isinstance(make_l1d_prefetcher("ipcp"), IPCPPrefetcher)
+        assert isinstance(make_l1d_prefetcher("berti"), BertiPrefetcher)
+        assert make_l1d_prefetcher("none") is None
+
+    def test_factory_unknown(self):
+        with pytest.raises(ValueError):
+            make_l1d_prefetcher("bingo")
+
+    def test_always_issue_filter(self):
+        filt = AlwaysIssueFilter()
+        request = PrefetchRequest(vaddr=BASE, trigger_pc=1, trigger_vaddr=2)
+        assert filt.consult(request, BASE, False, 0).issue

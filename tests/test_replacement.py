@@ -1,0 +1,86 @@
+"""Tests for the replacement policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.replacement import LRUPolicy, SRRIPPolicy, make_policy
+
+
+class TestLRU:
+    def test_victim_is_least_recently_used(self):
+        lru = LRUPolicy(4)
+        for way in range(4):
+            lru.on_fill(way)
+        lru.on_hit(0)
+        lru.on_hit(1)
+        lru.on_hit(2)
+        assert lru.victim() == 3
+
+    def test_fill_makes_way_most_recent(self):
+        lru = LRUPolicy(2)
+        lru.on_fill(0)
+        lru.on_fill(1)
+        assert lru.victim() == 0
+
+    def test_hit_refreshes_recency(self):
+        lru = LRUPolicy(3)
+        lru.on_fill(0)
+        lru.on_fill(1)
+        lru.on_fill(2)
+        lru.on_hit(0)
+        assert lru.victim() == 1
+
+    def test_invalid_associativity(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0)
+
+
+class TestSRRIP:
+    def test_victim_exists_even_when_all_recent(self):
+        srrip = SRRIPPolicy(4)
+        for way in range(4):
+            srrip.on_fill(way)
+            srrip.on_hit(way)
+        assert 0 <= srrip.victim() < 4
+
+    def test_hit_protects_block(self):
+        srrip = SRRIPPolicy(2)
+        srrip.on_fill(0)
+        srrip.on_fill(1)
+        srrip.on_hit(0)
+        assert srrip.victim() == 1
+
+
+class TestFactory:
+    def test_make_lru(self):
+        assert isinstance(make_policy("lru", 4), LRUPolicy)
+
+    def test_make_srrip(self):
+        assert isinstance(make_policy("SRRIP", 4), SRRIPPolicy)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("plru", 4)
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.integers(min_value=0, max_value=7), max_size=100),
+)
+def test_lru_victim_always_valid_way(associativity, hits):
+    lru = LRUPolicy(associativity)
+    for way in range(associativity):
+        lru.on_fill(way)
+    for hit in hits:
+        lru.on_hit(hit % associativity)
+    assert 0 <= lru.victim() < associativity
+
+
+@given(st.integers(min_value=2, max_value=8), st.data())
+def test_lru_recently_touched_way_is_never_victim(associativity, data):
+    lru = LRUPolicy(associativity)
+    for way in range(associativity):
+        lru.on_fill(way)
+    touched = data.draw(st.integers(min_value=0, max_value=associativity - 1))
+    lru.on_hit(touched)
+    assert lru.victim() != touched

@@ -1,0 +1,156 @@
+"""Integration tests: scenario building, single-core and multi-core drivers."""
+
+import pytest
+
+from repro.common.config import cascade_lake_multi_core, cascade_lake_single_core
+from repro.core.flp import FirstLevelPerceptron
+from repro.core.slp import SecondLevelPerceptron
+from repro.predictors.hermes import HermesPredictor
+from repro.prefetchers.berti import BertiPrefetcher
+from repro.prefetchers.ipcp import IPCPPrefetcher
+from repro.prefetchers.ppf import PerceptronPrefetchFilter
+from repro.sim.multi_core import run_multicore_mix
+from repro.sim.scenarios import SCHEMES, Scenario, build_hierarchy, build_scenario
+from repro.sim.single_core import run_single_core
+
+
+class TestScenarioBuilding:
+    def test_all_schemes_buildable(self):
+        for scheme in SCHEMES:
+            hierarchy = build_hierarchy(build_scenario(scheme))
+            assert hierarchy is not None
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario("magic")
+
+    def test_scenario_name(self):
+        scenario = build_scenario("tlp", l1d_prefetcher="berti")
+        assert scenario.name == "tlp/berti"
+
+    def test_baseline_has_no_predictor_or_filter(self):
+        hierarchy = build_hierarchy(build_scenario("baseline"))
+        from repro.predictors.base import NullOffChipPredictor
+
+        assert isinstance(hierarchy.offchip_predictor, NullOffChipPredictor)
+        assert hierarchy.l1d_prefetch_filter is None
+        assert hierarchy.l2_prefetch_filter is None
+        assert isinstance(hierarchy.l1d_prefetcher, IPCPPrefetcher)
+
+    def test_hermes_scheme_attaches_hermes(self):
+        hierarchy = build_hierarchy(build_scenario("hermes"))
+        assert isinstance(hierarchy.offchip_predictor, HermesPredictor)
+
+    def test_ppf_scheme_attaches_filter_at_l2(self):
+        hierarchy = build_hierarchy(build_scenario("ppf"))
+        assert isinstance(hierarchy.l2_prefetch_filter, PerceptronPrefetchFilter)
+
+    def test_tlp_scheme_attaches_flp_and_slp(self):
+        hierarchy = build_hierarchy(build_scenario("tlp"))
+        assert isinstance(hierarchy.offchip_predictor, FirstLevelPerceptron)
+        assert isinstance(hierarchy.l1d_prefetch_filter, SecondLevelPerceptron)
+
+    def test_berti_prefetcher_selected(self):
+        hierarchy = build_hierarchy(build_scenario("baseline", l1d_prefetcher="berti"))
+        assert isinstance(hierarchy.l1d_prefetcher, BertiPrefetcher)
+
+    def test_prefetcher_7kb_enlarges_tables(self):
+        hierarchy = build_hierarchy(build_scenario("prefetcher_7kb"))
+        assert hierarchy.l1d_prefetcher.ip_table_entries > IPCPPrefetcher().ip_table_entries
+
+    def test_hermes_7kb_enlarges_tables(self):
+        small = HermesPredictor()
+        hierarchy = build_hierarchy(build_scenario("hermes_7kb"))
+        assert hierarchy.offchip_predictor.storage_kib() > small.storage_kib()
+
+    def test_ablation_schemes_attach_expected_components(self):
+        slp_only = build_hierarchy(build_scenario("slp"))
+        from repro.predictors.base import NullOffChipPredictor
+
+        assert isinstance(slp_only.offchip_predictor, NullOffChipPredictor)
+        assert isinstance(slp_only.l1d_prefetch_filter, SecondLevelPerceptron)
+        tsp = build_hierarchy(build_scenario("selective_tsp"))
+        assert tsp.offchip_predictor.selective_delay is True
+
+
+class TestSingleCoreDriver:
+    def test_baseline_run_produces_sane_metrics(self, small_random_trace):
+        result = run_single_core(small_random_trace, build_scenario("baseline"))
+        assert result.instructions > 0
+        assert 0.0 < result.ipc < 4.0
+        assert result.dram_transactions > 0
+        assert result.mpki_by_level["L1D"] >= result.mpki_by_level["LLC"]
+
+    def test_warmup_fraction_validated(self, small_random_trace):
+        with pytest.raises(ValueError):
+            run_single_core(small_random_trace, build_scenario("baseline"), warmup_fraction=1.0)
+
+    def test_results_deterministic(self, small_random_trace):
+        first = run_single_core(small_random_trace, build_scenario("baseline"))
+        second = run_single_core(small_random_trace, build_scenario("baseline"))
+        assert first.ipc == pytest.approx(second.ipc)
+        assert first.dram_transactions == second.dram_transactions
+
+    def test_hermes_issues_speculative_requests(self, small_chase_trace):
+        result = run_single_core(small_chase_trace, build_scenario("hermes"))
+        assert result.speculative_requests > 0
+
+    def test_tlp_filters_prefetches(self, small_random_trace):
+        baseline = run_single_core(small_random_trace, build_scenario("baseline"))
+        tlp = run_single_core(small_random_trace, build_scenario("tlp"))
+        assert (
+            tlp.l1d_prefetches_filtered > 0
+            or tlp.l1d_prefetches_issued <= baseline.l1d_prefetches_issued
+        )
+
+    def test_gap_trace_runs_all_schemes(self, small_gap_trace):
+        for scheme in ("baseline", "hermes", "ppf", "tlp"):
+            result = run_single_core(small_gap_trace, build_scenario(scheme))
+            assert result.instructions > 0
+
+    def test_prefetch_accuracy_in_unit_range(self, small_stream_trace):
+        result = run_single_core(small_stream_trace, build_scenario("baseline"))
+        assert 0.0 <= result.l1d_prefetch_accuracy <= 1.0
+
+    def test_served_by_accounts_for_all_loads(self, small_random_trace):
+        result = run_single_core(small_random_trace, build_scenario("baseline"))
+        served = sum(result.served_by.values())
+        assert served > 0
+
+
+class TestMultiCoreDriver:
+    def test_four_core_mix_runs(self, small_random_trace, small_stream_trace):
+        traces = [small_random_trace, small_stream_trace] * 2
+        result = run_multicore_mix(traces, build_scenario("baseline"))
+        assert len(result.ipcs) == 4
+        assert all(ipc > 0 for ipc in result.ipcs)
+        assert result.dram_transactions > 0
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            run_multicore_mix([], build_scenario("baseline"))
+
+    def test_shared_bandwidth_slows_cores_down(self, small_chase_trace):
+        single = run_single_core(
+            small_chase_trace,
+            build_scenario("baseline"),
+            config=cascade_lake_multi_core(4),
+        )
+        mix = run_multicore_mix(
+            [small_chase_trace] * 4,
+            build_scenario("baseline"),
+            config=cascade_lake_multi_core(4),
+        )
+        assert max(mix.ipcs) <= single.ipc * 1.05
+
+    def test_weighted_speedup_helper(self, small_random_trace):
+        mix = run_multicore_mix([small_random_trace] * 2, build_scenario("baseline"))
+        ws = mix.weighted_speedup([1.0, 1.0])
+        assert ws == pytest.approx(sum(mix.ipcs))
+
+    def test_scheme_comparison_runs(self, small_random_trace):
+        traces = [small_random_trace] * 2
+        baseline = run_multicore_mix(traces, build_scenario("baseline"))
+        tlp = run_multicore_mix(traces, build_scenario("tlp"))
+        assert tlp.dram_transactions > 0
+        assert baseline.dram_transactions > 0

@@ -1,0 +1,233 @@
+"""Tests for the trace container, synthetic generators and workloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import AccessKind, MemoryAccess
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    mixed_trace,
+    pointer_chase_trace,
+    random_access_trace,
+    streaming_trace,
+    strided_trace,
+)
+from repro.traces.trace import Trace
+from repro.workloads.catalog import WorkloadCatalog, WorkloadSpec, default_catalog, make_multicore_mixes
+from repro.workloads.gap import GAP_KERNELS, gap_trace
+from repro.workloads.graphs import CSRGraph, generate_graph
+from repro.workloads.spec_like import SPEC_LIKE_WORKLOADS, spec_like_trace
+
+
+class TestTraceContainer:
+    def test_basic_properties(self):
+        trace = Trace("t")
+        trace.append(MemoryAccess(0x1, 0x100, AccessKind.LOAD))
+        trace.append(MemoryAccess(0x2, 0x200, AccessKind.STORE))
+        trace.append(MemoryAccess(0x3, 0, AccessKind.NON_MEM))
+        assert len(trace) == 3
+        assert trace.num_loads == 1
+        assert trace.num_stores == 1
+        assert trace.num_memory_accesses == 2
+        assert trace.memory_intensity == pytest.approx(2 / 3)
+
+    def test_split(self):
+        trace = Trace("t", [MemoryAccess(0x1, i * 64, AccessKind.LOAD) for i in range(10)])
+        warmup, measured = trace.split(0.3)
+        assert len(warmup) == 3
+        assert len(measured) == 7
+        with pytest.raises(ValueError):
+            trace.split(1.5)
+
+    def test_truncated(self):
+        trace = Trace("t", [MemoryAccess(0x1, i, AccessKind.LOAD) for i in range(10)])
+        assert len(trace.truncated(4)) == 4
+
+    def test_footprint_and_pcs(self):
+        trace = Trace("t", [MemoryAccess(0x1, 0, AccessKind.LOAD), MemoryAccess(0x2, 64, AccessKind.LOAD)])
+        assert trace.footprint_bytes() == 128
+        assert trace.unique_pcs() == 2
+
+    def test_summary_keys(self):
+        trace = Trace("t", [MemoryAccess(0x1, 0, AccessKind.LOAD)])
+        summary = trace.summary()
+        assert summary["name"] == "t"
+        assert summary["instructions"] == 1
+
+
+class TestSyntheticGenerators:
+    def config(self, **kwargs):
+        defaults = dict(num_memory_accesses=500, working_set_bytes=1 << 20, compute_per_access=1, seed=1)
+        defaults.update(kwargs)
+        return SyntheticTraceConfig(**defaults)
+
+    def test_streaming_is_sequential(self):
+        trace = streaming_trace(self.config())
+        loads = [r for r in trace if r.is_memory()]
+        assert loads[1].vaddr - loads[0].vaddr == 8
+
+    def test_strided_jumps_by_stride(self):
+        trace = strided_trace(self.config(), stride_blocks=4, elements_per_column=1)
+        loads = [r for r in trace if r.is_memory()]
+        assert loads[1].vaddr - loads[0].vaddr == 4 * 64
+
+    def test_random_respects_working_set(self):
+        config = self.config(working_set_bytes=1 << 16)
+        trace = random_access_trace(config)
+        assert trace.footprint_bytes() <= (1 << 16) + 64
+
+    def test_pointer_chase_repeats_after_chain(self):
+        config = self.config(num_memory_accesses=64, working_set_bytes=16 * 64)
+        trace = pointer_chase_trace(config)
+        loads = [r.vaddr for r in trace if r.is_memory()]
+        assert loads[:16] == loads[16:32]
+
+    def test_hot_fraction_concentrates_accesses(self):
+        config = self.config(
+            num_memory_accesses=2000, hot_fraction=0.9, hot_working_set_bytes=1 << 14
+        )
+        trace = random_access_trace(config)
+        assert trace.footprint_bytes() < 1 << 19
+
+    def test_mixed_fraction_validated(self):
+        with pytest.raises(ValueError):
+            mixed_trace(self.config(), random_fraction=1.5)
+
+    def test_compute_per_access_controls_intensity(self):
+        sparse = streaming_trace(self.config(compute_per_access=4))
+        dense = streaming_trace(self.config(compute_per_access=0))
+        assert sparse.memory_intensity < dense.memory_intensity
+
+    def test_store_fraction(self):
+        trace = streaming_trace(self.config(store_fraction=1.0))
+        assert trace.num_stores == 500
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(num_memory_accesses=0)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(store_fraction=2.0)
+        with pytest.raises(ValueError):
+            SyntheticTraceConfig(hot_fraction=-0.1)
+
+
+class TestGraphs:
+    def test_uniform_graph_shape(self):
+        graph = generate_graph("urand", scale="tiny")
+        assert graph.num_vertices == 4096
+        assert graph.num_edges > 0
+        assert graph.row_ptr[-1] == graph.num_edges
+
+    def test_power_law_graph_has_hubs(self):
+        graph = generate_graph("kron", scale="tiny")
+        degrees = [graph.degree(v) for v in range(graph.num_vertices)]
+        assert max(degrees) > 10 * (sum(degrees) / len(degrees))
+
+    def test_road_graph_degree_bounded(self):
+        graph = generate_graph("road", scale="tiny")
+        degrees = [graph.degree(v) for v in range(graph.num_vertices)]
+        assert max(degrees) <= 4
+
+    def test_neighbors_consistent_with_row_ptr(self):
+        graph = generate_graph("urand", scale="tiny")
+        vertex = 17
+        assert len(graph.neighbors(vertex)) == graph.degree(vertex)
+
+    def test_unknown_graph_and_scale(self):
+        with pytest.raises(ValueError):
+            generate_graph("nope")
+        with pytest.raises(ValueError):
+            generate_graph("urand", scale="huge")
+
+    def test_footprint_positive(self):
+        graph = generate_graph("urand", scale="tiny")
+        assert graph.footprint_bytes() > 0
+
+
+class TestGAPKernels:
+    @pytest.mark.parametrize("kernel", sorted(GAP_KERNELS))
+    def test_each_kernel_emits_a_trace(self, kernel):
+        trace = gap_trace(kernel, graph="urand", scale="tiny", max_memory_accesses=800)
+        assert trace.num_memory_accesses > 400
+        assert trace.metadata["suite"] == "gap"
+        assert trace.metadata["kernel"] == kernel
+
+    def test_budget_respected(self):
+        trace = gap_trace("bfs", graph="urand", scale="tiny", max_memory_accesses=500)
+        assert trace.num_memory_accesses <= 500
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            gap_trace("dijkstra", graph="urand", scale="tiny")
+
+    def test_kernels_use_multiple_pcs(self):
+        trace = gap_trace("bfs", graph="urand", scale="tiny", max_memory_accesses=1000)
+        assert trace.unique_pcs() >= 4
+
+    def test_deterministic_given_seed(self):
+        first = gap_trace("pr", graph="urand", scale="tiny", max_memory_accesses=300, seed=9)
+        second = gap_trace("pr", graph="urand", scale="tiny", max_memory_accesses=300, seed=9)
+        assert [r.vaddr for r in first] == [r.vaddr for r in second]
+
+
+class TestSpecLikeWorkloads:
+    def test_all_named_workloads_generate(self):
+        for name in SPEC_LIKE_WORKLOADS:
+            trace = spec_like_trace(name, num_memory_accesses=300)
+            assert trace.num_memory_accesses == 300
+            assert trace.metadata["suite"] == "spec"
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            spec_like_trace("gromacs_like")
+
+    def test_workload_count_covers_suite(self):
+        assert len(SPEC_LIKE_WORKLOADS) >= 10
+
+
+class TestCatalog:
+    def test_default_catalog_contents(self):
+        catalog = default_catalog()
+        assert len(catalog) >= 24
+        assert "bfs.kron" in catalog.names("gap")
+        assert "spec.mcf_like" in catalog.names("spec")
+        assert set(catalog.suites()) == {"gap", "spec"}
+
+    def test_build_trace_by_name(self):
+        catalog = default_catalog(gap_scale="tiny")
+        trace = catalog.build("bfs.urand", num_memory_accesses=500)
+        assert trace.num_memory_accesses <= 500
+
+    def test_duplicate_names_rejected(self):
+        catalog = WorkloadCatalog()
+        spec = WorkloadSpec("x", "gap", lambda budget: Trace("x"))
+        catalog.add(spec)
+        with pytest.raises(ValueError):
+            catalog.add(spec)
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            default_catalog().get("nope")
+
+    def test_multicore_mixes_shape(self):
+        catalog = default_catalog()
+        mixes = make_multicore_mixes(catalog, "gap", num_homogeneous=2, num_heterogeneous=2)
+        assert len(mixes) == 4
+        for _, workloads in mixes:
+            assert len(workloads) == 4
+        homogeneous = mixes[0][1]
+        assert len(set(homogeneous)) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=1, max_value=300), st.integers(min_value=0, max_value=4))
+def test_synthetic_trace_length_matches_config(accesses, compute):
+    config = SyntheticTraceConfig(
+        num_memory_accesses=accesses,
+        working_set_bytes=1 << 18,
+        compute_per_access=compute,
+        seed=2,
+    )
+    trace = streaming_trace(config)
+    assert trace.num_memory_accesses == accesses
+    assert len(trace) == accesses * (1 + compute)
