@@ -1,0 +1,182 @@
+"""Simulator throughput benchmark: simulated memory-accesses per second.
+
+Measures the hot-path speed of the simulator itself (not the modelled
+system) on the quick configuration: one cache-hostile GAP workload and one
+SPEC-like workload, each under the baseline scenario (prefetchers only) and
+under TLP (the heaviest scheme: FLP + SLP perceptrons on every access).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --check
+
+Writes ``BENCH_throughput.json`` with per-scenario accesses/second plus the
+geometric mean, and compares against the committed reference numbers in
+``benchmarks/throughput_baseline.json`` (recorded on the CI reference
+machine; the ``seed`` block preserves the pre-optimization numbers this PR's
+speedup is measured against).  With ``--check`` the script exits non-zero
+when the geometric mean regresses more than ``--tolerance`` (default 30%)
+below the committed baseline -- the CI throughput smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+from pathlib import Path
+
+from repro.sim.scenarios import build_scenario
+from repro.sim.single_core import run_single_core
+from repro.workloads.gap import gap_trace
+from repro.workloads.spec_like import spec_like_trace
+
+#: (workload, scheme) scenarios measured by the benchmark.
+SCENARIOS = (
+    ("bfs.urand", "baseline"),
+    ("bfs.urand", "tlp"),
+    ("spec.mcf_like", "baseline"),
+    ("spec.mcf_like", "tlp"),
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent / "throughput_baseline.json"
+DEFAULT_OUTPUT = "BENCH_throughput.json"
+
+
+def calibration_score(iterations: int = 400_000) -> float:
+    """Machine-speed score: hash-loop iterations per second.
+
+    The committed baseline records the score of the machine it was measured
+    on; ``--check`` scales the baseline by the ratio of the current score to
+    the recorded one, so a slower CI runner is held to a proportionally
+    lower absolute floor instead of failing on hardware variance.  The loop
+    mirrors the simulator's real hot path (integer hashing).
+    """
+    from repro.common.hashing import jenkins32
+
+    best = math.inf
+    for _ in range(3):
+        start = time.perf_counter()
+        value = 0
+        for i in range(iterations):
+            value ^= jenkins32(i)
+        best = min(best, time.perf_counter() - start)
+    return iterations / best
+
+
+def _build_trace(workload: str, accesses: int):
+    if workload.startswith("spec."):
+        return spec_like_trace(workload[len("spec."):], num_memory_accesses=accesses)
+    kernel, _, graph = workload.partition(".")
+    return gap_trace(kernel, graph=graph, scale="medium", max_memory_accesses=accesses)
+
+
+def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0.25) -> dict:
+    """Run every scenario ``repeats`` times and report the best throughput."""
+    traces = {}
+    results = {}
+    for workload, scheme in SCENARIOS:
+        if workload not in traces:
+            traces[workload] = _build_trace(workload, accesses)
+        trace = traces[workload]
+        best = math.inf
+        for _ in range(repeats):
+            scenario = build_scenario(scheme, l1d_prefetcher="ipcp")
+            start = time.perf_counter()
+            run_single_core(trace, scenario, warmup_fraction=warmup_fraction)
+            best = min(best, time.perf_counter() - start)
+        results[f"{workload}/{scheme}"] = {
+            "seconds": round(best, 4),
+            "accesses_per_sec": round(accesses / best, 1),
+        }
+    rates = [entry["accesses_per_sec"] for entry in results.values()]
+    geomean = math.exp(sum(math.log(rate) for rate in rates) / len(rates))
+    return {
+        "accesses": accesses,
+        "repeats": repeats,
+        "scenarios": results,
+        "geomean_accesses_per_sec": round(geomean, 1),
+    }
+
+
+def load_baseline() -> dict | None:
+    """Load the committed reference numbers, if present."""
+    try:
+        with BASELINE_PATH.open("r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--accesses", type=int, default=12_000,
+                        help="memory accesses per scenario (default 12000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per scenario; the best time counts")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="where to write the JSON report")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when throughput regresses below the "
+                             "committed baseline (CI smoke)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression with --check "
+                             "(default 0.30)")
+    args = parser.parse_args(argv)
+
+    report = measure(accesses=args.accesses, repeats=args.repeats)
+    baseline = load_baseline()
+
+    print(f"simulator throughput ({args.accesses} accesses, best of {args.repeats}):")
+    seed = (baseline or {}).get("seed", {}).get("scenarios", {})
+    for name, entry in report["scenarios"].items():
+        line = f"  {name:<24} {entry['accesses_per_sec']:>10,.0f} acc/s"
+        seed_entry = seed.get(name)
+        if seed_entry:
+            line += f"  ({entry['accesses_per_sec'] / seed_entry['accesses_per_sec']:.2f}x vs seed)"
+        print(line)
+    print(f"  {'geomean':<24} {report['geomean_accesses_per_sec']:>10,.0f} acc/s")
+
+    if baseline:
+        reference = baseline.get("geomean_accesses_per_sec")
+        seed_geomean = (baseline.get("seed") or {}).get("geomean_accesses_per_sec")
+        if seed_geomean:
+            speedup = report["geomean_accesses_per_sec"] / seed_geomean
+            report["speedup_vs_seed"] = round(speedup, 2)
+            print(f"  speedup vs seed geomean: {speedup:.2f}x")
+        if args.check and reference:
+            # Normalise the cross-machine comparison by the hash-loop
+            # calibration score recorded alongside the baseline.
+            baseline_score = baseline.get("calibration_score")
+            if baseline_score:
+                score = calibration_score()
+                report["calibration_score"] = round(score, 1)
+                scale = score / baseline_score
+                print(f"  machine calibration: {scale:.2f}x the baseline machine")
+            else:
+                scale = 1.0
+            floor = (1.0 - args.tolerance) * reference * scale
+            if report["geomean_accesses_per_sec"] < floor:
+                print(
+                    f"THROUGHPUT REGRESSION: geomean "
+                    f"{report['geomean_accesses_per_sec']:,.0f} acc/s is below "
+                    f"{floor:,.0f} acc/s "
+                    f"({args.tolerance:.0%} under the committed baseline "
+                    f"{reference:,.0f} scaled by machine speed {scale:.2f}x)"
+                )
+                Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+                return 1
+            print(
+                f"throughput check passed: geomean >= {floor:,.0f} acc/s "
+                f"(baseline {reference:,.0f}, machine scale {scale:.2f}x, "
+                f"tolerance {args.tolerance:.0%})"
+            )
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

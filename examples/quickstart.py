@@ -5,6 +5,10 @@ baseline system (IPCP + SPP, no off-chip prediction), through Hermes, and
 through TLP, and prints the paper's headline metrics: speedup over the
 baseline, change in DRAM transactions, and L1D prefetcher accuracy.
 
+The simulations go through the campaign engine's persistent result cache
+(``.repro_cache/`` by default), so a second invocation of this script skips
+them entirely.
+
 Run with::
 
     python examples/quickstart.py
@@ -12,19 +16,31 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_scenario, run_single_core
-from repro.workloads import gap_trace
+from repro.experiments import CampaignCache
+from repro.experiments.common import ExperimentConfig
+
+WORKLOAD = "bfs.kron"
+ACCESSES = 12_000
 
 
 def main() -> None:
+    # warmup_fraction pinned to the simulation driver's default so the
+    # numbers match what this script printed before it used the engine.
+    campaign = CampaignCache(
+        ExperimentConfig(memory_accesses=ACCESSES, warmup_fraction=0.2)
+    )
     print("Generating a BFS trace over a synthetic power-law (kron-like) graph...")
-    trace = gap_trace("bfs", graph="kron", scale="medium", max_memory_accesses=12_000)
+    trace = campaign.trace(WORKLOAD)
     print(f"  trace: {trace.summary()}")
 
     results = {}
     for scheme in ("baseline", "hermes", "tlp"):
         print(f"Simulating scheme {scheme!r}...")
-        results[scheme] = run_single_core(trace, build_scenario(scheme))
+        results[scheme] = campaign.single_core(WORKLOAD, scheme)
+    engine = campaign.engine
+    if engine.cache_hits:
+        print(f"  ({engine.cache_hits} of {len(results)} runs served from the "
+              f"result cache)")
 
     baseline = results["baseline"]
     print()

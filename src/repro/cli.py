@@ -9,6 +9,10 @@ Examples::
     python -m repro.cli figure fig01
     python -m repro.cli figure fig10
 
+    # Simulate the full campaign in parallel with a persistent result cache
+    python -m repro.cli campaign --jobs 8
+    python -m repro.cli campaign --list
+
     # List available workloads and schemes
     python -m repro.cli list
 """
@@ -16,6 +20,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Sequence
 
 from repro.experiments import CampaignCache
@@ -31,7 +36,7 @@ from repro.experiments import (
     fig17_storage_budget,
     table02_storage,
 )
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, geomean_speedup_percent
 from repro.sim.scenarios import SCHEMES, build_scenario
 from repro.sim.single_core import run_single_core
 from repro.stats.metrics import percent_change, speedup_percent
@@ -93,6 +98,71 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_campaign_cache(args: argparse.Namespace) -> CampaignCache:
+    from repro.sim.engine import CampaignEngine
+    from repro.sim.result_cache import ResultCache
+
+    config = ExperimentConfig(
+        memory_accesses=args.accesses,
+        l1d_prefetchers=tuple(args.prefetchers),
+    )
+    if args.no_cache:
+        result_cache = None
+    else:
+        result_cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    engine = CampaignEngine(result_cache=result_cache, jobs=args.jobs)
+    return CampaignCache(config, engine=engine)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    cache = _build_campaign_cache(args)
+    schemes = tuple(args.schemes)
+    points = cache.enumerate_points(schemes, include_multicore=args.multicore)
+
+    if args.list:
+        rows = cache.engine.status(points)
+        cached_count = sum(1 for _, _, cached in rows if cached)
+        print(f"{len(rows)} campaign points "
+              f"({cached_count} cached, {len(rows) - cached_count} to simulate)")
+        for point, key, cached in rows:
+            status = "cached" if cached else "missing"
+            print(f"  [{status:>7}] {key[:12]}  {point.kind:<11} {point.label}")
+        return 0
+
+    start = time.perf_counter()
+    cache.run_campaign(schemes, include_multicore=args.multicore, jobs=args.jobs)
+    elapsed = time.perf_counter() - start
+    engine = cache.engine
+    print(
+        f"campaign: {len(points)} points in {elapsed:.1f}s "
+        f"({engine.simulations_run} simulated, {engine.cache_hits} cache hits, "
+        f"jobs={engine.resolve_jobs(args.jobs)})"
+    )
+
+    rows = []
+    for prefetcher in cache.config.l1d_prefetchers:
+        baseline_results = {
+            workload: cache.single_core(workload, "baseline", prefetcher)
+            for workload in cache.config.workloads()
+        }
+        for scheme in schemes:
+            if scheme == "baseline":
+                continue
+            scheme_results = {
+                workload: cache.single_core(workload, scheme, prefetcher)
+                for workload in cache.config.workloads()
+            }
+            speedup = geomean_speedup_percent(
+                [scheme_results[w].ipc for w in cache.config.workloads()],
+                [baseline_results[w].ipc for w in cache.config.workloads()],
+            )
+            rows.append(f"  {scheme}/{prefetcher:<8} geomean speedup {speedup:+6.2f}%")
+    if rows:
+        print("single-core campaign summary (speedup over baseline):")
+        print("\n".join(rows))
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     module = FIGURES.get(args.name)
     if module is None:
@@ -126,6 +196,35 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser = subparsers.add_parser("figure", help="regenerate one paper figure")
     figure_parser.add_argument("name", help="figure id, e.g. fig01, fig10, table02")
     figure_parser.set_defaults(func=_cmd_figure)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="simulate the evaluation campaign in parallel with a result cache",
+    )
+    campaign_parser.add_argument(
+        "--schemes", nargs="+", default=["ppf", "hermes", "hermes_ppf", "tlp"],
+        choices=list(SCHEMES),
+        help="schemes to simulate (the baseline is always included)")
+    campaign_parser.add_argument(
+        "--prefetchers", nargs="+", default=["ipcp", "berti"],
+        choices=["ipcp", "berti", "next_line", "stride", "none"],
+        help="L1D prefetchers to sweep")
+    campaign_parser.add_argument("--accesses", type=int, default=12_000,
+                                 help="memory accesses per single-core point")
+    campaign_parser.add_argument("--multicore", action="store_true",
+                                 help="also simulate the multi-core mixes")
+    campaign_parser.add_argument("--jobs", type=int, default=None,
+                                 help="parallel worker processes "
+                                      "(default: os.cpu_count())")
+    campaign_parser.add_argument("--no-cache", action="store_true",
+                                 help="disable the persistent result cache")
+    campaign_parser.add_argument("--cache-dir", default=None,
+                                 help="result cache directory "
+                                      "(default: $REPRO_CACHE_DIR or .repro_cache)")
+    campaign_parser.add_argument("--list", action="store_true",
+                                 help="print the enumerated points and their "
+                                      "cache status without simulating")
+    campaign_parser.set_defaults(func=_cmd_campaign)
     return parser
 
 

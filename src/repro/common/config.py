@@ -9,7 +9,7 @@ multi-core mode.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.common.addresses import BLOCK_SIZE
 
@@ -119,6 +119,28 @@ class SystemConfig:
             self.dram, bandwidth_gbps=per_core_gbps * self.num_cores
         )
         return replace(self, dram=dram)
+
+
+def system_config_to_dict(config: SystemConfig) -> dict:
+    """Serialize a :class:`SystemConfig` to a JSON-safe dictionary.
+
+    Used by the campaign engine both to hash a configuration into a result
+    cache key and to ship configurations to worker processes.
+    """
+    return asdict(config)
+
+
+def system_config_from_dict(payload: dict) -> SystemConfig:
+    """Reconstruct a :class:`SystemConfig` serialized by
+    :func:`system_config_to_dict`."""
+    return SystemConfig(
+        core=CoreConfig(**payload["core"]),
+        l1d=CacheConfig(**payload["l1d"]),
+        l2c=CacheConfig(**payload["l2c"]),
+        llc=CacheConfig(**payload["llc"]),
+        dram=DRAMConfig(**payload["dram"]),
+        num_cores=payload["num_cores"],
+    )
 
 
 def cascade_lake_single_core() -> SystemConfig:

@@ -42,7 +42,7 @@ class RequestSource(enum.IntEnum):
     SPECULATIVE_OFFCHIP = 3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryAccess:
     """A single record of a workload trace.
 
@@ -61,7 +61,7 @@ class MemoryAccess:
         return self.kind is not AccessKind.NON_MEM
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """What happened to a demand access once the hierarchy resolved it.
 

@@ -9,18 +9,22 @@ schemes are what the figures check.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.common.config import SystemConfig, cascade_lake_multi_core, cascade_lake_single_core
-from repro.sim.multi_core import MultiCoreResult, run_multicore_mix
+from repro.common.config import SystemConfig, system_config_to_dict
+from repro.sim.engine import (
+    CampaignEngine,
+    CampaignPoint,
+    multi_core_point,
+    single_core_point,
+)
+from repro.sim.multi_core import MultiCoreResult
+from repro.sim.result_cache import ResultCache
 from repro.sim.results import SingleCoreResult
-from repro.sim.scenarios import Scenario, build_scenario
-from repro.sim.single_core import run_single_core
 from repro.stats.metrics import geometric_mean
 from repro.traces.trace import Trace
-from repro.workloads.gap import gap_trace
-from repro.workloads.spec_like import spec_like_trace
 
 #: Default single-core workload selection.  Six GAP kernel/graph pairs and
 #: six SPEC-like workloads, chosen to span the MPKI range the paper targets
@@ -105,46 +109,68 @@ def quick_experiment_config() -> ExperimentConfig:
 class CampaignCache:
     """Caches traces and simulation results across experiment modules.
 
-    Keyed by workload name / (workload, scheme, prefetcher), so that e.g. the
-    Figure 10, 11 and 12 harnesses, which all need the same single-core runs,
-    only simulate each configuration once per process.
+    A thin in-process memo (keyed by workload name / (workload, scheme,
+    prefetcher)) layered on top of the :class:`~repro.sim.engine.
+    CampaignEngine`, which adds the persistent on-disk result cache and the
+    parallel fan-out.  The Figure 10, 11 and 12 harnesses, which all need
+    the same single-core runs, simulate each configuration at most once per
+    process -- and not at all when the engine's disk cache is warm.
     """
 
-    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        engine: Optional[CampaignEngine] = None,
+        jobs: Optional[int] = None,
+        use_result_cache: bool = True,
+    ) -> None:
         self.config = config if config is not None else default_experiment_config()
-        self._traces: dict[tuple[str, int], Trace] = {}
-        self._single_core: dict[tuple[str, str, str, int], SingleCoreResult] = {}
+        if engine is None:
+            engine = CampaignEngine(
+                result_cache=ResultCache() if use_result_cache else None,
+                jobs=jobs if jobs is not None else 1,
+            )
+        self.engine = engine
+        self._single_core: dict[tuple, SingleCoreResult] = {}
         self._multi_core: dict[tuple[str, str, str, float], MultiCoreResult] = {}
 
     # ------------------------------------------------------------------
     # Traces
     # ------------------------------------------------------------------
     def trace(self, workload: str, memory_accesses: Optional[int] = None) -> Trace:
-        """Build (or reuse) the trace of a named workload."""
+        """Build (or reuse) the trace of a named workload.
+
+        Delegates to the engine's trace memo so a trace built here is
+        reused by in-process point execution rather than regenerated.
+        """
         budget = (
             memory_accesses
             if memory_accesses is not None
             else self.config.memory_accesses
         )
-        key = (workload, budget)
-        if key not in self._traces:
-            self._traces[key] = self._build_trace(workload, budget)
-        return self._traces[key]
-
-    def _build_trace(self, workload: str, budget: int) -> Trace:
-        if workload.startswith("spec."):
-            return spec_like_trace(workload[len("spec."):], num_memory_accesses=budget)
-        kernel, _, graph = workload.partition(".")
-        return gap_trace(
-            kernel,
-            graph=graph,
-            scale=self.config.gap_scale,
-            max_memory_accesses=budget,
-        )
+        return self.engine.trace(workload, budget, self.config.gap_scale)
 
     # ------------------------------------------------------------------
     # Single-core runs
     # ------------------------------------------------------------------
+    def _single_core_point(
+        self,
+        workload: str,
+        scheme: str,
+        l1d_prefetcher: str,
+        budget: int,
+        system: Optional[SystemConfig] = None,
+    ) -> CampaignPoint:
+        return single_core_point(
+            workload,
+            scheme,
+            l1d_prefetcher,
+            memory_accesses=budget,
+            warmup_fraction=self.config.warmup_fraction,
+            gap_scale=self.config.gap_scale,
+            system=system,
+        )
+
     def single_core(
         self,
         workload: str,
@@ -159,16 +185,19 @@ class CampaignCache:
             if memory_accesses is not None
             else self.config.memory_accesses
         )
-        key = (workload, scheme, l1d_prefetcher, budget)
+        # A custom system config participates in the memo key (the common
+        # default-system path pays no serialization cost).
+        system_token = (
+            None
+            if system is None
+            else json.dumps(system_config_to_dict(system), sort_keys=True)
+        )
+        key = (workload, scheme, l1d_prefetcher, budget, system_token)
         if key not in self._single_core:
-            trace = self.trace(workload, budget)
-            scenario = build_scenario(scheme, l1d_prefetcher=l1d_prefetcher)
-            self._single_core[key] = run_single_core(
-                trace,
-                scenario,
-                config=system if system is not None else cascade_lake_single_core(),
-                warmup_fraction=self.config.warmup_fraction,
+            point = self._single_core_point(
+                workload, scheme, l1d_prefetcher, budget, system
             )
+            self._single_core[key] = self.engine.run_point(point)
         return self._single_core[key]
 
     # ------------------------------------------------------------------
@@ -190,6 +219,25 @@ class CampaignCache:
                 mixes.append((f"{suite}.heter.{index}", selection))
         return mixes
 
+    def _multi_core_point(
+        self,
+        mix_name: str,
+        workloads: list[str],
+        scheme: str,
+        l1d_prefetcher: str,
+        per_core_bandwidth_gbps: float,
+    ) -> CampaignPoint:
+        return multi_core_point(
+            mix_name,
+            workloads,
+            scheme,
+            l1d_prefetcher,
+            memory_accesses=self.config.multicore_memory_accesses,
+            warmup_fraction=self.config.warmup_fraction,
+            gap_scale=self.config.gap_scale,
+            per_core_bandwidth_gbps=per_core_bandwidth_gbps,
+        )
+
     def multi_core(
         self,
         mix_name: str,
@@ -201,19 +249,90 @@ class CampaignCache:
         """Run (or reuse) one multi-core mix simulation."""
         key = (mix_name, scheme, l1d_prefetcher, per_core_bandwidth_gbps)
         if key not in self._multi_core:
-            budget = self.config.multicore_memory_accesses
-            traces = [self.trace(workload, budget) for workload in workloads]
-            scenario = build_scenario(scheme, l1d_prefetcher=l1d_prefetcher)
-            system = cascade_lake_multi_core(num_cores=len(workloads))
-            system = system.with_dram_bandwidth(per_core_bandwidth_gbps)
-            self._multi_core[key] = run_multicore_mix(
-                traces,
-                scenario,
-                config=system,
-                warmup_fraction=self.config.warmup_fraction,
-                mix_name=mix_name,
+            point = self._multi_core_point(
+                mix_name, workloads, scheme, l1d_prefetcher, per_core_bandwidth_gbps
             )
+            self._multi_core[key] = self.engine.run_point(point)
         return self._multi_core[key]
+
+    # ------------------------------------------------------------------
+    # Campaign enumeration and parallel execution
+    # ------------------------------------------------------------------
+    def enumerate_points(
+        self,
+        schemes: Optional[tuple[str, ...]] = None,
+        include_multicore: bool = False,
+        per_core_bandwidth_gbps: float = 3.2,
+    ) -> list[CampaignPoint]:
+        """Enumerate every (workload, scheme, prefetcher) point up front.
+
+        The single-core cross product always includes the baseline scheme
+        (every figure normalises against it); multi-core mixes are appended
+        when ``include_multicore`` is set.
+        """
+        selected = schemes if schemes is not None else COMPARISON_SCHEMES
+        ordered_schemes = ("baseline",) + tuple(
+            scheme for scheme in selected if scheme != "baseline"
+        )
+        points: list[CampaignPoint] = []
+        for prefetcher in self.config.l1d_prefetchers:
+            for scheme in ordered_schemes:
+                for workload in self.config.workloads():
+                    points.append(
+                        self._single_core_point(
+                            workload, scheme, prefetcher, self.config.memory_accesses
+                        )
+                    )
+        if include_multicore:
+            mixes = self.multicore_mixes("gap") + self.multicore_mixes("spec")
+            for prefetcher in self.config.l1d_prefetchers:
+                for scheme in ordered_schemes:
+                    for mix_name, workloads in mixes:
+                        points.append(
+                            self._multi_core_point(
+                                mix_name,
+                                workloads,
+                                scheme,
+                                prefetcher,
+                                per_core_bandwidth_gbps,
+                            )
+                        )
+        return points
+
+    def run_campaign(
+        self,
+        schemes: Optional[tuple[str, ...]] = None,
+        include_multicore: bool = False,
+        jobs: Optional[int] = None,
+    ) -> int:
+        """Simulate the whole campaign, fanning points out across ``jobs``.
+
+        Populates the in-memory memos so subsequent :meth:`single_core` /
+        :meth:`multi_core` calls are hits.  Returns the number of points.
+        """
+        points = self.enumerate_points(schemes, include_multicore=include_multicore)
+        results = self.engine.run(points, jobs=jobs)
+        for point in points:
+            result = results[point.key()]
+            if point.kind == "single_core":
+                self._single_core[
+                    (
+                        point.workloads[0],
+                        point.scheme,
+                        point.l1d_prefetcher,
+                        point.memory_accesses,
+                        None,
+                    )
+                ] = result
+            else:
+                system = json.loads(point.system_json)
+                per_core_gbps = (
+                    system["dram"]["bandwidth_gbps"] / max(1, system["num_cores"])
+                )
+                self._multi_core[
+                    (point.mix_name, point.scheme, point.l1d_prefetcher, per_core_gbps)
+                ] = result
+        return len(points)
 
 
 # ----------------------------------------------------------------------

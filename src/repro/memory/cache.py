@@ -19,7 +19,7 @@ from repro.memory.mshr import MSHR
 from repro.memory.replacement import ReplacementPolicy, make_policy
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheBlock:
     """Metadata for one resident cache block.
 
@@ -105,8 +105,13 @@ class Cache:
             make_policy(replacement, self.associativity)
             for _ in range(self.num_sets)
         ]
-        # way assignment per set: block_addr -> way index
+        # way assignment per set: block_addr -> way index, plus the reverse
+        # map way -> block_addr so victim resolution is O(1) instead of a
+        # linear scan over the set.
         self._ways: list[dict[int, int]] = [{} for _ in range(self.num_sets)]
+        self._way_contents: list[list[Optional[int]]] = [
+            [None] * self.associativity for _ in range(self.num_sets)
+        ]
         self._free_ways: list[list[int]] = [
             list(range(self.associativity)) for _ in range(self.num_sets)
         ]
@@ -118,7 +123,11 @@ class Cache:
     # Indexing helpers
     # ------------------------------------------------------------------
     def set_index(self, block_addr: int) -> int:
-        """Return the set index for a block address."""
+        """Return the set index for a block address.
+
+        The hot accessors (lookup/fill/resident/get_block) inline this
+        computation; keep them in sync if the indexing scheme ever changes.
+        """
         return block_addr % self.num_sets
 
     def resident(self, block_addr: int) -> bool:
@@ -127,13 +136,11 @@ class Cache:
         Used by the Hermes prediction-breakdown analysis (Figure 4) to find
         where a block lives without perturbing the simulation.
         """
-        set_idx = self.set_index(block_addr)
-        return block_addr in self._sets[set_idx]
+        return block_addr in self._sets[block_addr % self.num_sets]
 
     def get_block(self, block_addr: int) -> Optional[CacheBlock]:
         """Return the resident block metadata, if present (non-intrusive)."""
-        set_idx = self.set_index(block_addr)
-        return self._sets[set_idx].get(block_addr)
+        return self._sets[block_addr % self.num_sets].get(block_addr)
 
     # ------------------------------------------------------------------
     # Access path
@@ -144,17 +151,17 @@ class Cache:
         Returns True on hit.  On a hit to a not-yet-used prefetched block the
         block is marked useful and the ``prefetch_hits`` counter incremented.
         """
-        set_idx = self.set_index(block_addr)
-        cache_set = self._sets[set_idx]
-        self.stats.demand_accesses += 1
-        block = cache_set.get(block_addr)
+        set_idx = block_addr % self.num_sets
+        stats = self.stats
+        stats.demand_accesses += 1
+        block = self._sets[set_idx].get(block_addr)
         if block is None:
-            self.stats.demand_misses += 1
+            stats.demand_misses += 1
             return False
-        self.stats.demand_hits += 1
+        stats.demand_hits += 1
         if block.prefetched and not block.prefetch_useful:
             block.prefetch_useful = True
-            self.stats.prefetch_hits += 1
+            stats.prefetch_hits += 1
         if is_write:
             block.dirty = True
         way = self._ways[set_idx][block_addr]
@@ -186,7 +193,7 @@ class Cache:
         """
         if ready_cycle is None:
             ready_cycle = cycle
-        set_idx = self.set_index(block_addr)
+        set_idx = block_addr % self.num_sets
         cache_set = self._sets[set_idx]
         existing = cache_set.get(block_addr)
         if existing is not None:
@@ -196,16 +203,18 @@ class Cache:
                 existing.prefetched = False
             if dirty:
                 existing.dirty = True
-            existing.ready_cycle = min(existing.ready_cycle, ready_cycle)
+            if ready_cycle < existing.ready_cycle:
+                existing.ready_cycle = ready_cycle
             return None
 
         eviction: Optional[EvictionInfo] = None
-        if not self._free_ways[set_idx]:
+        free_ways = self._free_ways[set_idx]
+        if not free_ways:
             victim_way = self._policies[set_idx].victim()
-            victim_addr = self._addr_in_way(set_idx, victim_way)
+            victim_addr = self._way_contents[set_idx][victim_way]
             if victim_addr is not None:
                 eviction = self._evict(set_idx, victim_addr)
-        way = self._free_ways[set_idx].pop()
+        way = free_ways.pop()
 
         block = CacheBlock(
             block_addr=block_addr,
@@ -217,6 +226,7 @@ class Cache:
         )
         cache_set[block_addr] = block
         self._ways[set_idx][block_addr] = way
+        self._way_contents[set_idx][way] = block_addr
         self._policies[set_idx].on_fill(way)
         if prefetched:
             self.stats.prefetch_fills += 1
@@ -236,14 +246,12 @@ class Cache:
     # Internals
     # ------------------------------------------------------------------
     def _addr_in_way(self, set_idx: int, way: int) -> Optional[int]:
-        for addr, assigned_way in self._ways[set_idx].items():
-            if assigned_way == way:
-                return addr
-        return None
+        return self._way_contents[set_idx][way]
 
     def _evict(self, set_idx: int, block_addr: int) -> EvictionInfo:
         block = self._sets[set_idx].pop(block_addr)
         way = self._ways[set_idx].pop(block_addr)
+        self._way_contents[set_idx][way] = None
         self._free_ways[set_idx].append(way)
         self.stats.evictions += 1
         if block.dirty:

@@ -47,7 +47,7 @@ from repro.prefetchers.base import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchRecord:
     """Tracking record for one issued L1D prefetch.
 
@@ -195,22 +195,24 @@ class MemoryHierarchy:
         useless DRAM transaction each, which is exactly the overhead the
         paper quantifies in Figures 2/3.
         """
+        stats = self.stats
+        l1d = self.l1d
         paddr = self.page_table.translate(vaddr)
         block = block_address(paddr)
         if is_write:
-            self.stats.demand_stores += 1
+            stats.demand_stores += 1
         else:
-            self.stats.demand_loads += 1
+            stats.demand_loads += 1
 
         decision = self.offchip_predictor.predict(pc, vaddr, cycle)
         if decision.predicted_offchip:
-            self.stats.offchip_predictions += 1
+            stats.offchip_predictions += 1
 
         speculative_issued = False
         speculative_ready: Optional[int] = None
         if decision.action is OffChipAction.IMMEDIATE:
             speculative_issued = True
-            self.stats.speculative_requests += 1
+            stats.speculative_requests += 1
             self._record_offchip_prediction_location(block)
             dram_latency = self.dram.access(
                 cycle + self._predictor_latency, RequestSource.SPECULATIVE_OFFCHIP
@@ -218,8 +220,8 @@ class MemoryHierarchy:
             speculative_ready = self._predictor_latency + dram_latency
 
         # --- L1D lookup -------------------------------------------------
-        latency = self.l1d.latency
-        resident = self.l1d.get_block(block)
+        latency = l1d.latency
+        resident = l1d.get_block(block)
         prefetch_hit = bool(
             resident is not None and resident.prefetched and not resident.prefetch_useful
         )
@@ -227,7 +229,7 @@ class MemoryHierarchy:
             # The block is present but its fill (typically an in-flight
             # prefetch) has not arrived yet; the demand access waits for it.
             latency = max(latency, resident.ready_cycle - cycle)
-        l1d_hit = self.l1d.lookup(block, is_write=is_write)
+        l1d_hit = l1d.lookup(block, is_write=is_write)
         if prefetch_hit and l1d_hit:
             self._resolve_l1d_prefetch_use(block)
 
@@ -238,20 +240,20 @@ class MemoryHierarchy:
         # the L1D lookup has resolved as a miss.
         if decision.action is OffChipAction.DELAYED:
             if l1d_hit:
-                self.stats.delayed_predictions_saved += 1
+                stats.delayed_predictions_saved += 1
             else:
                 speculative_issued = True
-                self.stats.speculative_requests += 1
-                self.stats.delayed_speculative_requests += 1
+                stats.speculative_requests += 1
+                stats.delayed_speculative_requests += 1
                 self._record_offchip_prediction_location(
                     block, already_missed_l1d=True
                 )
-                issue_at = cycle + self.l1d.latency + self._predictor_latency
+                issue_at = cycle + l1d.latency + self._predictor_latency
                 dram_latency = self.dram.access(
                     issue_at, RequestSource.SPECULATIVE_OFFCHIP
                 )
                 speculative_ready = (
-                    self.l1d.latency + self._predictor_latency + dram_latency
+                    l1d.latency + self._predictor_latency + dram_latency
                 )
 
         if l1d_hit:
@@ -268,12 +270,12 @@ class MemoryHierarchy:
             # arrives when the speculative fetch completes (which started
             # earlier than the demand's own DRAM access would have, hiding
             # the on-chip lookup latency).
-            effective_latency = max(self.l1d.latency, speculative_ready)
+            effective_latency = max(l1d.latency, speculative_ready)
 
         went_offchip = served_by is MemLevel.DRAM
         self.offchip_predictor.train(decision.metadata, went_offchip)
 
-        self.stats.served_by[served_by] += 1
+        stats.served_by[served_by] += 1
         return AccessOutcome(
             served_by=served_by,
             latency=latency,

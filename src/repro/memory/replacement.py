@@ -35,32 +35,37 @@ class ReplacementPolicy(ABC):
 
 
 class LRUPolicy(ReplacementPolicy):
-    """Classic least-recently-used replacement."""
+    """Classic least-recently-used replacement.
+
+    Recency is tracked with a monotonically increasing access stamp per way,
+    making the per-access update O(1); only victim selection (run on
+    evictions, which are far rarer than hits) scans the ways.  The victim is
+    identical to a rank-based LRU: stamps are unique, so the minimum stamp is
+    exactly the least recently touched way.
+    """
 
     def __init__(self, associativity: int) -> None:
         super().__init__(associativity)
-        # _order[i] is the recency rank of way i; 0 = most recently used.
-        self._order = list(range(associativity))
-
-    def _touch(self, way: int) -> None:
-        previous_rank = self._order[way]
-        for other in range(self.associativity):
-            if self._order[other] < previous_rank:
-                self._order[other] += 1
-        self._order[way] = 0
+        # _stamps[i] is the access time of way i; untouched ways keep their
+        # initial stamps, preserving fill order for victim selection.
+        self._stamps = list(range(-associativity, 0))
+        self._clock = 0
 
     def on_hit(self, way: int) -> None:
-        self._touch(way)
+        self._clock += 1
+        self._stamps[way] = self._clock
 
     def on_fill(self, way: int) -> None:
-        self._touch(way)
+        self._clock += 1
+        self._stamps[way] = self._clock
 
     def victim(self) -> int:
+        stamps = self._stamps
         worst_way = 0
-        worst_rank = -1
-        for way, rank in enumerate(self._order):
-            if rank > worst_rank:
-                worst_rank = rank
+        worst_stamp = stamps[0]
+        for way in range(1, self.associativity):
+            if stamps[way] < worst_stamp:
+                worst_stamp = stamps[way]
                 worst_way = way
         return worst_way
 

@@ -15,13 +15,19 @@ plus the *leveling feature* used only by SLP:
 The features are computed from a :class:`FeatureContext`; the
 :class:`FeatureHistory` helper maintains the state they need (page buffer for
 the first-access bit, last-4 load PC history).
+
+Feature extraction sits on the per-access hot path (one context per demand
+load per predictor), so :class:`FeatureContext` is a ``__slots__`` class and
+each :class:`FeatureHistory` reuses a single instance instead of allocating
+one per access.  The last-4 PC tuple and its folded hash are cached and only
+invalidated by :meth:`FeatureHistory.observe`.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.common.addresses import (
     block_offset,
@@ -30,16 +36,37 @@ from repro.common.addresses import (
 )
 from repro.common.hashing import hash_combine
 
+#: PC-history windows repeat heavily (loops), so their folded hash is
+#: memoized; the cap bounds the memo for PC-rich workloads.
+_PCS_HASH_MEMO_LIMIT = 1 << 16
 
-@dataclass
+
 class FeatureContext:
     """Inputs available to the feature extractors for one prediction."""
 
-    pc: int
-    address: int
-    first_access: bool
-    last_load_pcs: tuple[int, ...]
-    flp_prediction: bool = False
+    __slots__ = (
+        "pc",
+        "address",
+        "first_access",
+        "last_load_pcs",
+        "flp_prediction",
+        "_pcs_hash",
+    )
+
+    def __init__(
+        self,
+        pc: int = 0,
+        address: int = 0,
+        first_access: bool = False,
+        last_load_pcs: tuple[int, ...] = (),
+        flp_prediction: bool = False,
+    ) -> None:
+        self.pc = pc
+        self.address = address
+        self.first_access = first_access
+        self.last_load_pcs = last_load_pcs
+        self.flp_prediction = flp_prediction
+        self._pcs_hash: Optional[int] = None
 
     @property
     def cacheline_offset(self) -> int:
@@ -50,6 +77,22 @@ class FeatureContext:
     def byte_offset(self) -> int:
         """Offset of the access within its 64B block (0..63)."""
         return block_offset(self.address)
+
+    @property
+    def last_pcs_hash(self) -> int:
+        """Folded hash of ``last_load_pcs`` (computed lazily, cached)."""
+        if self._pcs_hash is None:
+            self._pcs_hash = (
+                hash_combine(*self.last_load_pcs) if self.last_load_pcs else 0
+            )
+        return self._pcs_hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FeatureContext(pc={self.pc:#x}, address={self.address:#x}, "
+            f"first_access={self.first_access}, last_load_pcs={self.last_load_pcs}, "
+            f"flp_prediction={self.flp_prediction})"
+        )
 
 
 @dataclass(frozen=True)
@@ -75,27 +118,53 @@ class FeatureSpec:
 
 
 def _pc_xor_cacheline_offset(ctx: FeatureContext) -> int:
-    return ctx.pc ^ (ctx.cacheline_offset << 2)
+    return ctx.pc ^ (cacheline_offset_in_page(ctx.address) << 2)
 
 
 def _pc_xor_byte_offset(ctx: FeatureContext) -> int:
-    return ctx.pc ^ (ctx.byte_offset << 2)
+    return ctx.pc ^ (block_offset(ctx.address) << 2)
+
+
+# The combined-hash features have small input domains (a PC plus one bit, or
+# a 6-bit offset plus one bit), so their hash_combine results are memoized in
+# module-level tables shared by all predictor instances (the hashes are pure
+# functions of the inputs).
+_PC_FIRST_MEMO: dict[int, int] = {}
+_OFFSET_FIRST_MEMO: dict[int, int] = {}
+_FLP_OFFSET_MEMO: dict[int, int] = {}
 
 
 def _pc_plus_first_access(ctx: FeatureContext) -> int:
-    return hash_combine(ctx.pc, int(ctx.first_access))
+    key = (ctx.pc << 1) | (1 if ctx.first_access else 0)
+    value = _PC_FIRST_MEMO.get(key)
+    if value is None:
+        if len(_PC_FIRST_MEMO) >= _PCS_HASH_MEMO_LIMIT:
+            _PC_FIRST_MEMO.clear()
+        value = hash_combine(ctx.pc, int(ctx.first_access))
+        _PC_FIRST_MEMO[key] = value
+    return value
 
 
 def _offset_plus_first_access(ctx: FeatureContext) -> int:
-    return hash_combine(ctx.cacheline_offset, int(ctx.first_access))
+    key = (cacheline_offset_in_page(ctx.address) << 1) | (1 if ctx.first_access else 0)
+    value = _OFFSET_FIRST_MEMO.get(key)
+    if value is None:
+        value = hash_combine(key >> 1, key & 1)
+        _OFFSET_FIRST_MEMO[key] = value
+    return value
 
 
 def _last_four_load_pcs(ctx: FeatureContext) -> int:
-    return hash_combine(*ctx.last_load_pcs) if ctx.last_load_pcs else 0
+    return ctx.last_pcs_hash
 
 
 def _flp_prediction_plus_offset(ctx: FeatureContext) -> int:
-    return hash_combine(int(ctx.flp_prediction), ctx.cacheline_offset)
+    key = (cacheline_offset_in_page(ctx.address) << 1) | (1 if ctx.flp_prediction else 0)
+    value = _FLP_OFFSET_MEMO.get(key)
+    if value is None:
+        value = hash_combine(key & 1, key >> 1)
+        _FLP_OFFSET_MEMO[key] = value
+    return value
 
 
 #: Per-feature weight-table sizes chosen so that the total weight storage of
@@ -179,38 +248,77 @@ class FeatureHistory:
         self.pc_history_length = pc_history_length
         self._page_buffer: OrderedDict[int, None] = OrderedDict()
         self._pc_history: deque[int] = deque(maxlen=pc_history_length)
+        # Cached view of the PC history, invalidated by observe().
+        self._pcs_tuple: Optional[tuple[int, ...]] = None
+        self._pcs_hash: Optional[int] = None
+        self._pcs_hash_memo: dict[tuple[int, ...], int] = {}
+        # One reusable context per history: the extractors consume it
+        # synchronously inside predict(), so no per-access allocation is
+        # needed.
+        self._context = FeatureContext()
 
     def observe(self, pc: int, address: int) -> None:
         """Record an access so future contexts see updated history."""
         page = page_number(address)
-        if page in self._page_buffer:
-            self._page_buffer.move_to_end(page)
+        page_buffer = self._page_buffer
+        if page in page_buffer:
+            page_buffer.move_to_end(page)
         else:
-            self._page_buffer[page] = None
-            if len(self._page_buffer) > self.page_buffer_entries:
-                self._page_buffer.popitem(last=False)
+            page_buffer[page] = None
+            if len(page_buffer) > self.page_buffer_entries:
+                page_buffer.popitem(last=False)
         self._pc_history.append(pc)
+        self._pcs_tuple = None
+        self._pcs_hash = None
 
     def is_first_access(self, address: int) -> bool:
         """True when the page of ``address`` is not in the page buffer."""
         return page_number(address) not in self._page_buffer
 
+    def _current_pcs(self) -> tuple[int, ...]:
+        pcs = self._pcs_tuple
+        if pcs is None:
+            pcs = self._pcs_tuple = tuple(self._pc_history)
+        return pcs
+
+    def _current_pcs_hash(self, pcs: tuple[int, ...]) -> int:
+        folded = self._pcs_hash
+        if folded is None:
+            memo = self._pcs_hash_memo
+            folded = memo.get(pcs)
+            if folded is None:
+                if len(memo) >= _PCS_HASH_MEMO_LIMIT:
+                    memo.clear()
+                folded = hash_combine(*pcs) if pcs else 0
+                memo[pcs] = folded
+            self._pcs_hash = folded
+        return folded
+
     def context(
         self, pc: int, address: int, flp_prediction: bool = False
     ) -> FeatureContext:
-        """Build the feature context for a prediction at (pc, address)."""
-        return FeatureContext(
-            pc=pc,
-            address=address,
-            first_access=self.is_first_access(address),
-            last_load_pcs=tuple(self._pc_history),
-            flp_prediction=flp_prediction,
-        )
+        """Build the feature context for a prediction at (pc, address).
+
+        The returned context is owned by this history and reused on the next
+        call; consumers must not hold on to it across accesses.
+        """
+        pcs = self._current_pcs()
+        ctx = self._context
+        ctx.pc = pc
+        ctx.address = address
+        ctx.first_access = page_number(address) not in self._page_buffer
+        ctx.last_load_pcs = pcs
+        ctx.flp_prediction = flp_prediction
+        ctx._pcs_hash = self._current_pcs_hash(pcs)
+        return ctx
 
     def reset(self) -> None:
         """Clear the page buffer and the PC history."""
         self._page_buffer.clear()
         self._pc_history.clear()
+        self._pcs_tuple = None
+        self._pcs_hash = None
+        self._pcs_hash_memo.clear()
 
     def storage_bits(self, page_tag_bits: int = 36) -> int:
         """Approximate storage of the page buffer, in bits."""

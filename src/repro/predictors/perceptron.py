@@ -6,6 +6,14 @@ hash of the feature value.  A prediction sums the selected weights; training
 increments or decrements them following the standard perceptron update rule
 with a training threshold (weights stop moving once the prediction is both
 correct and confident).
+
+The prediction path is the hottest code in the simulator (every demand load
+and every prefetch candidate consults a perceptron), so the implementation
+precomputes per-feature index widths at construction time and memoizes the
+``feature value -> table index`` hash per feature.  Feature values repeat
+heavily across a trace (loads in loops see the same PCs and offsets), so the
+memo turns most predictions into dictionary lookups while remaining
+bit-identical to the direct hash computation.
 """
 
 from __future__ import annotations
@@ -14,6 +22,11 @@ from dataclasses import dataclass
 
 from repro.common.hashing import table_index
 from repro.predictors.features import FeatureContext, FeatureSpec
+
+#: Per-feature memo entries kept before the memo is cleared.  Feature values
+#: come from hashes of PCs and addresses, so a trace touches a bounded set;
+#: the cap only guards against pathological workloads.
+_INDEX_MEMO_LIMIT = 1 << 16
 
 
 @dataclass
@@ -54,20 +67,45 @@ class HashedPerceptron:
             maximum = (1 << (spec.weight_bits - 1)) - 1
             minimum = -(1 << (spec.weight_bits - 1))
             self._weight_limits.append((minimum, maximum))
+        # Hot-path plan: one row per feature holding everything the fused
+        # prediction loop needs (extractor, index bits, entry count, weight
+        # table, value->index memo), so predict() touches no attributes of
+        # FeatureSpec and recomputes no bit widths.
+        self._plan: list[tuple] = [
+            (
+                spec.extractor,
+                max(1, (spec.table_entries - 1).bit_length()),
+                spec.table_entries,
+                table,
+                {},
+            )
+            for spec, table in zip(self.features, self._tables)
+        ]
         self.stats = PerceptronStats()
 
     # ------------------------------------------------------------------
     # Prediction
     # ------------------------------------------------------------------
+    def _compute(self, context: FeatureContext) -> tuple[int, list[int]]:
+        """Fused index selection + weight summation (the hot loop)."""
+        total = 0
+        indices = []
+        append = indices.append
+        for extractor, bits, entries, table, memo in self._plan:
+            value = extractor(context)
+            index = memo.get(value)
+            if index is None:
+                if len(memo) >= _INDEX_MEMO_LIMIT:
+                    memo.clear()
+                index = table_index(value, bits) % entries
+                memo[value] = index
+            append(index)
+            total += table[index]
+        return total, indices
+
     def indices_for(self, context: FeatureContext) -> list[int]:
         """Compute the weight-table index selected by each feature."""
-        indices = []
-        for spec in self.features:
-            value = spec.extractor(context)
-            bits = max(1, (spec.table_entries - 1).bit_length())
-            index = table_index(value, bits) % spec.table_entries
-            indices.append(index)
-        return indices
+        return self._compute(context)[1]
 
     def confidence(self, indices: list[int]) -> int:
         """Sum the weights selected by ``indices``."""
@@ -78,11 +116,11 @@ class HashedPerceptron:
 
     def predict(self, context: FeatureContext) -> tuple[int, list[int]]:
         """Return ``(confidence, indices)`` for a feature context."""
-        indices = self.indices_for(context)
-        total = self.confidence(indices)
-        self.stats.predictions += 1
+        total, indices = self._compute(context)
+        stats = self.stats
+        stats.predictions += 1
         if total >= 0:
-            self.stats.positive_predictions += 1
+            stats.positive_predictions += 1
         return total, indices
 
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ from typing import Optional
 from repro.common.types import MemLevel
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchRequest:
     """A prefetch candidate produced by a prefetcher.
 
@@ -71,7 +71,7 @@ class L2Prefetcher(ABC):
         """Clear all internal state."""
 
 
-@dataclass
+@dataclass(slots=True)
 class FilterDecision:
     """Outcome of consulting a prefetch filter for one candidate."""
 

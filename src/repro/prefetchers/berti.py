@@ -61,7 +61,9 @@ class BertiPrefetcher(L1DPrefetcher):
         block = block_address(vaddr)
         page = page_number(vaddr)
         key = pc % self.table_entries
-        entry = self._table.setdefault(key, _BertiEntry())
+        entry = self._table.get(key)
+        if entry is None:
+            entry = self._table[key] = _BertiEntry()
 
         if entry.current_page != page:
             # New page for this PC: the local-delta history restarts.

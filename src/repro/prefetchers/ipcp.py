@@ -33,7 +33,7 @@ from repro.prefetchers.base import L1DPrefetcher, PrefetchRequest
 _BLOCKS_PER_PAGE = 1 << (PAGE_BITS - 6)
 
 
-@dataclass
+@dataclass(slots=True)
 class _IPEntry:
     """Per-PC tracking entry of the IP table."""
 
@@ -44,7 +44,7 @@ class _IPEntry:
     valid: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _RegionEntry:
     """Per-page region tracker used for global-stream detection."""
 
@@ -94,7 +94,9 @@ class IPCPPrefetcher(L1DPrefetcher):
     ) -> list[PrefetchRequest]:
         block = block_address(vaddr)
         ip_key = pc % self.ip_table_entries
-        entry = self._ip_table.setdefault(ip_key, _IPEntry())
+        entry = self._ip_table.get(ip_key)
+        if entry is None:
+            entry = self._ip_table[ip_key] = _IPEntry()
 
         stride = 0
         if entry.valid:

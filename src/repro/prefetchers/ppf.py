@@ -54,6 +54,11 @@ class PerceptronPrefetchFilter(PrefetchFilter):
             name: [0] * table_entries for name in self.FEATURES
         }
         self._index_bits = max(1, (table_entries - 1).bit_length())
+        # value -> index memo per feature; feature values repeat heavily so
+        # this removes most hash computations from the consult hot path.
+        self._index_memo: dict[str, dict[int, int]] = {
+            name: {} for name in self.FEATURES
+        }
         self.consultations = 0
         self.rejected = 0
         self.accepted = 0
@@ -86,10 +91,19 @@ class PerceptronPrefetchFilter(PrefetchFilter):
         }
 
     def _indices(self, values: dict[str, int]) -> dict[str, int]:
-        return {
-            name: fold_xor(jenkins32(value), self._index_bits) % self.table_entries
-            for name, value in values.items()
-        }
+        indices = {}
+        bits = self._index_bits
+        entries = self.table_entries
+        for name, value in values.items():
+            memo = self._index_memo[name]
+            index = memo.get(value)
+            if index is None:
+                if len(memo) >= 1 << 16:
+                    memo.clear()
+                index = fold_xor(jenkins32(value), bits) % entries
+                memo[value] = index
+            indices[name] = index
+        return indices
 
     # ------------------------------------------------------------------
     # Filter interface

@@ -34,6 +34,9 @@ class _PatternEntry:
 
     deltas: dict[int, int] = field(default_factory=dict)
     total: int = 0
+    #: Cached (delta, count) of the strongest prediction; invalidated by
+    #: training so repeated lookahead queries between trains avoid the scan.
+    _best: tuple[int, int] | None = None
 
     def confidence(self, delta: int) -> float:
         if self.total == 0:
@@ -43,8 +46,18 @@ class _PatternEntry:
     def best(self) -> tuple[int, float] | None:
         if not self.deltas or self.total == 0:
             return None
-        delta, count = max(self.deltas.items(), key=lambda item: item[1])
-        return delta, count / self.total
+        cached = self._best
+        if cached is None:
+            # First maximal count in insertion order, matching
+            # max(items, key=count) exactly.
+            best_delta = 0
+            best_count = -1
+            for delta, count in self.deltas.items():
+                if count > best_count:
+                    best_count = count
+                    best_delta = delta
+            cached = self._best = (best_delta, best_count)
+        return cached[0], cached[1] / self.total
 
 
 class SPPPrefetcher(L2Prefetcher):
@@ -163,9 +176,12 @@ class SPPPrefetcher(L2Prefetcher):
 
     def _train_pattern(self, signature: int, delta: int) -> None:
         key = signature % self.pattern_table_entries
-        pattern = self._patterns.setdefault(key, _PatternEntry())
+        pattern = self._patterns.get(key)
+        if pattern is None:
+            pattern = self._patterns[key] = _PatternEntry()
         pattern.deltas[delta] = pattern.deltas.get(delta, 0) + 1
         pattern.total += 1
+        pattern._best = None
         # Periodically halve the counters so stale deltas fade away.
         if pattern.total >= 64:
             pattern.deltas = {

@@ -1,6 +1,16 @@
-"""Simulation drivers: scenario builders, single-core and multi-core runs."""
+"""Simulation drivers: scenario builders, single-core and multi-core runs,
+and the parallel campaign engine with its persistent result cache."""
 
+from repro.sim.engine import (
+    CampaignEngine,
+    CampaignPoint,
+    build_workload_trace,
+    execute_point,
+    multi_core_point,
+    single_core_point,
+)
 from repro.sim.multi_core import MultiCoreResult, run_multicore_mix
+from repro.sim.result_cache import ResultCache, default_cache_dir
 from repro.sim.results import SingleCoreResult
 from repro.sim.scenarios import (
     SCHEMES,
@@ -11,12 +21,20 @@ from repro.sim.scenarios import (
 from repro.sim.single_core import run_single_core
 
 __all__ = [
+    "CampaignEngine",
+    "CampaignPoint",
     "MultiCoreResult",
-    "run_multicore_mix",
-    "SingleCoreResult",
+    "ResultCache",
     "SCHEMES",
     "Scenario",
+    "SingleCoreResult",
     "build_hierarchy",
     "build_scenario",
+    "build_workload_trace",
+    "default_cache_dir",
+    "execute_point",
+    "multi_core_point",
+    "run_multicore_mix",
     "run_single_core",
+    "single_core_point",
 ]

@@ -1,0 +1,341 @@
+"""Campaign execution engine.
+
+The paper's evaluation is a campaign: a cross product of workloads, schemes,
+L1D prefetchers and trace budgets, each point an independent simulation.
+This module enumerates campaign points up front, fans them out across a
+:class:`concurrent.futures.ProcessPoolExecutor` (``--jobs N``), and persists
+every result to the on-disk :class:`~repro.sim.result_cache.ResultCache`,
+keyed by a content hash of everything that determines the outcome.  A warm
+cache means re-running a figure harness performs zero simulations.
+
+Layering: the engine sits between the raw simulation drivers
+(:mod:`repro.sim.single_core` / :mod:`repro.sim.multi_core`) and the
+experiment harnesses; :class:`repro.experiments.common.CampaignCache` is a
+thin per-process memo on top of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.common.config import (
+    SystemConfig,
+    cascade_lake_multi_core,
+    cascade_lake_single_core,
+    system_config_from_dict,
+    system_config_to_dict,
+)
+from repro.sim.multi_core import MultiCoreResult, run_multicore_mix
+from repro.sim.result_cache import ResultCache
+from repro.sim.results import SingleCoreResult
+from repro.sim.scenarios import build_scenario
+from repro.sim.single_core import run_single_core
+from repro.traces.trace import Trace
+from repro.workloads.gap import gap_trace
+from repro.workloads.spec_like import spec_like_trace
+
+#: Bumped whenever simulator behaviour changes in a way that invalidates
+#: previously cached results.
+CACHE_SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Campaign points
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One simulation of a campaign, described by plain data.
+
+    Points are picklable (they cross process boundaries) and canonically
+    serializable (their JSON form is hashed into the result cache key).
+    ``system_json`` is the canonical JSON of the resolved
+    :class:`~repro.common.config.SystemConfig`, so two points with the same
+    workload but different system parameters (e.g. DRAM bandwidth) never
+    collide.
+    """
+
+    kind: str  # "single_core" | "multi_core"
+    workloads: tuple[str, ...]
+    scheme: str
+    l1d_prefetcher: str
+    memory_accesses: int
+    warmup_fraction: float
+    gap_scale: str
+    system_json: str
+    mix_name: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identifier, e.g. ``bfs.urand/tlp/ipcp``."""
+        target = self.mix_name if self.mix_name else "+".join(self.workloads)
+        return f"{target}/{self.scheme}/{self.l1d_prefetcher}"
+
+    def key(self) -> str:
+        """Content-hash cache key of this point."""
+        payload = asdict(self)
+        payload["schema"] = CACHE_SCHEMA_VERSION
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def single_core_point(
+    workload: str,
+    scheme: str,
+    l1d_prefetcher: str,
+    memory_accesses: int,
+    warmup_fraction: float,
+    gap_scale: str = "medium",
+    system: Optional[SystemConfig] = None,
+) -> CampaignPoint:
+    """Describe one single-core simulation as a :class:`CampaignPoint`."""
+    resolved = system if system is not None else cascade_lake_single_core()
+    return CampaignPoint(
+        kind="single_core",
+        workloads=(workload,),
+        scheme=scheme,
+        l1d_prefetcher=l1d_prefetcher,
+        memory_accesses=memory_accesses,
+        warmup_fraction=warmup_fraction,
+        gap_scale=gap_scale,
+        system_json=json.dumps(system_config_to_dict(resolved), sort_keys=True),
+    )
+
+
+def multi_core_point(
+    mix_name: str,
+    workloads: Sequence[str],
+    scheme: str,
+    l1d_prefetcher: str,
+    memory_accesses: int,
+    warmup_fraction: float,
+    gap_scale: str = "medium",
+    per_core_bandwidth_gbps: float = 3.2,
+) -> CampaignPoint:
+    """Describe one multi-core mix simulation as a :class:`CampaignPoint`."""
+    system = cascade_lake_multi_core(num_cores=len(workloads))
+    system = system.with_dram_bandwidth(per_core_bandwidth_gbps)
+    return CampaignPoint(
+        kind="multi_core",
+        workloads=tuple(workloads),
+        scheme=scheme,
+        l1d_prefetcher=l1d_prefetcher,
+        memory_accesses=memory_accesses,
+        warmup_fraction=warmup_fraction,
+        gap_scale=gap_scale,
+        system_json=json.dumps(system_config_to_dict(system), sort_keys=True),
+        mix_name=mix_name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Point execution (runs in worker processes as well as in-process)
+# ----------------------------------------------------------------------
+def build_workload_trace(
+    workload: str, memory_accesses: int, gap_scale: str = "medium"
+) -> Trace:
+    """Build the trace of a named workload (``spec.*`` or ``<kernel>.<graph>``)."""
+    if workload.startswith("spec."):
+        return spec_like_trace(
+            workload[len("spec."):], num_memory_accesses=memory_accesses
+        )
+    kernel, _, graph = workload.partition(".")
+    return gap_trace(
+        kernel,
+        graph=graph,
+        scale=gap_scale,
+        max_memory_accesses=memory_accesses,
+    )
+
+
+def execute_point(
+    point: CampaignPoint, traces: Optional[dict[tuple[str, int, str], Trace]] = None
+) -> SingleCoreResult | MultiCoreResult:
+    """Run the simulation described by ``point``.
+
+    ``traces`` is an optional (workload, budget, gap_scale) -> Trace memo
+    used by the in-process execution path; worker processes rebuild traces
+    from the workload name, which is deterministic, so both paths produce
+    identical results.
+    """
+    def trace_for(workload: str) -> Trace:
+        if traces is None:
+            return build_workload_trace(workload, point.memory_accesses, point.gap_scale)
+        key = (workload, point.memory_accesses, point.gap_scale)
+        cached = traces.get(key)
+        if cached is None:
+            cached = traces[key] = build_workload_trace(
+                workload, point.memory_accesses, point.gap_scale
+            )
+        return cached
+
+    system = system_config_from_dict(json.loads(point.system_json))
+    scenario = build_scenario(point.scheme, l1d_prefetcher=point.l1d_prefetcher)
+    if point.kind == "single_core":
+        return run_single_core(
+            trace_for(point.workloads[0]),
+            scenario,
+            config=system,
+            warmup_fraction=point.warmup_fraction,
+        )
+    if point.kind == "multi_core":
+        return run_multicore_mix(
+            [trace_for(workload) for workload in point.workloads],
+            scenario,
+            config=system,
+            warmup_fraction=point.warmup_fraction,
+            mix_name=point.mix_name,
+        )
+    raise ValueError(f"unknown campaign point kind {point.kind!r}")
+
+
+def _execute_for_pool(point: CampaignPoint) -> tuple[str, dict]:
+    """Worker-side entry point: returns (key, serialized result)."""
+    from repro.sim.result_cache import result_to_dict
+
+    result = execute_point(point)
+    return point.key(), result_to_dict(result)
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class CampaignEngine:
+    """Runs campaign points with parallel fan-out and persistent caching.
+
+    Attributes:
+        result_cache: the on-disk cache consulted before simulating (None
+            disables persistence).
+        jobs: default worker count for :meth:`run` (``os.cpu_count()`` when
+            None; 1 forces in-process serial execution).
+        simulations_run: number of points actually simulated by this engine
+            (cache hits excluded) -- the counter the regression tests use to
+            prove that a warm cache performs zero simulations.
+    """
+
+    def __init__(
+        self,
+        result_cache: Optional[ResultCache] = None,
+        jobs: Optional[int] = None,
+    ) -> None:
+        self.result_cache = result_cache
+        self.jobs = jobs
+        self.simulations_run = 0
+        self.cache_hits = 0
+        self._traces: dict[tuple[str, int, str], Trace] = {}
+
+    def trace(
+        self, workload: str, memory_accesses: int, gap_scale: str = "medium"
+    ) -> Trace:
+        """Build (or reuse) a workload trace via the engine's in-process memo.
+
+        The same memo backs in-process point execution, so a trace built
+        here is never regenerated when the point simulating it runs.
+        """
+        key = (workload, memory_accesses, gap_scale)
+        cached = self._traces.get(key)
+        if cached is None:
+            cached = self._traces[key] = build_workload_trace(
+                workload, memory_accesses, gap_scale
+            )
+        return cached
+
+    def resolve_jobs(self, jobs: Optional[int] = None) -> int:
+        """Effective worker count for a run."""
+        effective = jobs if jobs is not None else self.jobs
+        if effective is None:
+            effective = os.cpu_count() or 1
+        return max(1, effective)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_point(self, point: CampaignPoint) -> SingleCoreResult | MultiCoreResult:
+        """Run (or fetch from cache) one point in-process."""
+        key = point.key()
+        if self.result_cache is not None:
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        result = execute_point(point, traces=self._traces)
+        self.simulations_run += 1
+        if self.result_cache is not None:
+            self.result_cache.put(key, result, point=asdict(point))
+        return result
+
+    def run(
+        self,
+        points: Iterable[CampaignPoint],
+        jobs: Optional[int] = None,
+    ) -> dict[str, SingleCoreResult | MultiCoreResult]:
+        """Run a batch of points, fanning out cache misses across processes.
+
+        Returns ``{point key: result}`` for every requested point.  Workers
+        are only spawned for points that miss the cache; with one miss (or
+        ``jobs == 1``) execution stays in-process to avoid fork overhead.
+        """
+        ordered: list[CampaignPoint] = []
+        seen: set[str] = set()
+        for point in points:
+            key = point.key()
+            if key not in seen:
+                seen.add(key)
+                ordered.append(point)
+
+        results: dict[str, SingleCoreResult | MultiCoreResult] = {}
+        missing: list[tuple[str, CampaignPoint]] = []
+        for point in ordered:
+            key = point.key()
+            if self.result_cache is not None:
+                cached = self.result_cache.get(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    results[key] = cached
+                    continue
+            missing.append((key, point))
+
+        effective_jobs = self.resolve_jobs(jobs)
+        if missing:
+            if effective_jobs <= 1 or len(missing) <= 1:
+                for key, point in missing:
+                    result = execute_point(point, traces=self._traces)
+                    self.simulations_run += 1
+                    if self.result_cache is not None:
+                        self.result_cache.put(key, result, point=asdict(point))
+                    results[key] = result
+            else:
+                from repro.sim.result_cache import result_from_dict
+
+                workers = min(effective_jobs, len(missing))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    by_point = dict(missing)
+                    for key, payload in pool.map(
+                        _execute_for_pool, (point for _, point in missing)
+                    ):
+                        result = result_from_dict(payload)
+                        self.simulations_run += 1
+                        if self.result_cache is not None:
+                            self.result_cache.put(
+                                key, result, point=asdict(by_point[key])
+                            )
+                        results[key] = result
+        return results
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def status(
+        self, points: Iterable[CampaignPoint]
+    ) -> list[tuple[CampaignPoint, str, bool]]:
+        """Return ``(point, key, cached)`` for each point, without simulating."""
+        rows = []
+        for point in points:
+            key = point.key()
+            cached = self.result_cache is not None and self.result_cache.contains(key)
+            rows.append((point, key, cached))
+        return rows

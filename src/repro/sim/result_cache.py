@@ -1,0 +1,134 @@
+"""On-disk result cache for campaign simulations.
+
+The paper's evaluation is a large cross product of (workload, scheme,
+prefetcher, budget) points; simulating one point is expensive while its
+result is a small bag of counters.  The cache stores one JSON file per
+simulated point, keyed by a content hash of everything that determines the
+outcome (workload, scenario, system configuration, trace budget, warm-up
+split), so that re-running a figure harness or example script skips every
+point that has already been simulated -- across processes and across runs.
+
+The cache directory defaults to ``.repro_cache`` in the working directory
+and can be redirected with the ``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.sim.multi_core import MultiCoreResult
+from repro.sim.results import SingleCoreResult
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment or the default."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+# ----------------------------------------------------------------------
+# Result serialization
+# ----------------------------------------------------------------------
+def result_to_dict(result: SingleCoreResult | MultiCoreResult) -> dict:
+    """Serialize a simulation result to a JSON-safe dictionary."""
+    if isinstance(result, SingleCoreResult):
+        kind = "single_core"
+    elif isinstance(result, MultiCoreResult):
+        kind = "multi_core"
+    else:
+        raise TypeError(f"unsupported result type {type(result).__name__}")
+    return {"kind": kind, "fields": dataclasses.asdict(result)}
+
+
+def result_from_dict(payload: dict) -> SingleCoreResult | MultiCoreResult:
+    """Reconstruct a simulation result serialized by :func:`result_to_dict`."""
+    kind = payload.get("kind")
+    fields = payload.get("fields", {})
+    if kind == "single_core":
+        return SingleCoreResult(**fields)
+    if kind == "multi_core":
+        return MultiCoreResult(**fields)
+    raise ValueError(f"unsupported cached result kind {kind!r}")
+
+
+class ResultCache:
+    """One-file-per-result JSON store.
+
+    Writes are atomic (write to a temp file, then rename) so that a crashed
+    or interrupted campaign never leaves a truncated entry behind; corrupt
+    or unreadable entries are treated as misses.
+    """
+
+    def __init__(self, directory: Optional[Path | str] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        """True when an entry for ``key`` exists (does not count hit/miss)."""
+        return self._path(key).is_file()
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def get(self, key: str) -> Optional[SingleCoreResult | MultiCoreResult]:
+        """Return the cached result for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            result = result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(
+        self,
+        key: str,
+        result: SingleCoreResult | MultiCoreResult,
+        point: Optional[dict] = None,
+    ) -> None:
+        """Store ``result`` under ``key``.
+
+        ``point`` is the (JSON-safe) description of the simulated point; it
+        is stored alongside the result so that cache entries are
+        self-describing and debuggable with a text editor.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "point": point, "result": result_to_dict(result)}
+        path = self._path(key)
+        tmp_path = path.with_suffix(".tmp")
+        with tmp_path.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+        tmp_path.replace(path)
+
+    def entries(self) -> list[str]:
+        """Return the keys of every stored entry."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry, returning the number removed."""
+        removed = 0
+        for key in self.entries():
+            try:
+                self._path(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -4,6 +4,28 @@ from __future__ import annotations
 
 import pytest
 
+from repro.sim.result_cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the persistent result cache at a per-session temp directory.
+
+    Keeps the test suite hermetic: runs never read results persisted by a
+    previous run (which would mask simulator changes) and never leave a
+    ``.repro_cache`` directory in the repository.
+    """
+    import os
+
+    directory = tmp_path_factory.mktemp("repro_result_cache")
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(directory)
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
+
 from repro.common.config import cascade_lake_single_core
 from repro.traces.synthetic import (
     SyntheticTraceConfig,

@@ -139,6 +139,65 @@ class TestStatsAndOccupancy:
         assert cache.stats.demand_hit_rate == pytest.approx(0.5)
 
 
+class TestVictimResolution:
+    """Regression tests for the way -> block_addr reverse map.
+
+    The eviction path resolves the replacement policy's victim way to a
+    block address; an earlier implementation scanned the whole set.  These
+    tests pin down that the fast map always evicts exactly the block the
+    policy selected.
+    """
+
+    def test_eviction_removes_policy_victim(self):
+        cache = tiny_cache(sets=1, ways=4)
+        for addr in range(4):
+            cache.fill(addr)
+        victim_way = cache._policies[0].victim()
+        victim_addr = cache._addr_in_way(0, victim_way)
+        eviction = cache.fill(4)
+        assert eviction.block_addr == victim_addr
+
+    def test_addr_in_way_tracks_fills_and_evictions(self):
+        cache = tiny_cache(sets=1, ways=2)
+        cache.fill(10)
+        cache.fill(20)
+        ways = {cache._addr_in_way(0, way) for way in range(2)}
+        assert ways == {10, 20}
+        cache.invalidate(10)
+        remaining = [cache._addr_in_way(0, way) for way in range(2)]
+        assert remaining.count(None) == 1
+        assert 20 in remaining
+
+    def test_lru_sequence_eviction_order(self):
+        cache = tiny_cache(sets=1, ways=3)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(3)
+        cache.lookup(1)          # order (LRU -> MRU): 2, 3, 1
+        assert cache.fill(4).block_addr == 2
+        cache.lookup(3)          # order: 1, 4, 3
+        assert cache.fill(5).block_addr == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=200),
+)
+def test_reverse_map_matches_set_contents(ways, block_stream):
+    cache = tiny_cache(sets=2, ways=ways)
+    for block in block_stream:
+        if not cache.lookup(block):
+            cache.fill(block)
+        for set_idx in range(2):
+            mapped = {
+                cache._addr_in_way(set_idx, way)
+                for way in range(ways)
+                if cache._addr_in_way(set_idx, way) is not None
+            }
+            assert mapped == set(cache._sets[set_idx].keys())
+
+
 @settings(max_examples=30, deadline=None)
 @given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300))
 def test_cache_never_exceeds_capacity(block_stream):

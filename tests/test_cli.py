@@ -48,3 +48,36 @@ class TestExecution:
                      "--accesses", "1500"]) == 0
         output = capsys.readouterr().out
         assert "ipc=" in output
+
+
+class TestCampaignCommand:
+    def test_campaign_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.command == "campaign"
+        assert args.jobs is None
+        assert not args.no_cache
+        assert not args.list
+
+    def test_campaign_list_prints_points_without_simulating(self, capsys, tmp_path):
+        assert main([
+            "campaign", "--list", "--schemes", "tlp", "--prefetchers", "ipcp",
+            "--accesses", "1000", "--cache-dir", str(tmp_path),
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "campaign points" in output
+        assert "bfs.urand/tlp/ipcp" in output
+        assert "missing" in output
+        # Listing must not simulate anything (no cache entries created).
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_campaign_simulates_then_lists_cached(self, capsys, tmp_path):
+        common = ["--schemes", "tlp", "--prefetchers", "ipcp",
+                  "--accesses", "600", "--cache-dir", str(tmp_path), "--jobs", "1"]
+        assert main(["campaign"] + common) == 0
+        output = capsys.readouterr().out
+        assert "simulated" in output
+        assert "geomean speedup" in output
+        assert main(["campaign", "--list"] + common) == 0
+        output = capsys.readouterr().out
+        assert "missing" not in output
+        assert "cached" in output

@@ -85,6 +85,8 @@ class TestMemoryBoundBehaviour:
 
 class TestCoreRunner:
     def test_incremental_stepping_matches_batch_run(self):
+        # run_trace() is a fused copy of step(); this pins the two exactly
+        # equal so a timing change applied to only one copy is caught.
         config = CoreConfig()
         trace = make_trace(500)
         batch = OutOfOrderCore(config).run(trace, fixed_latency_memory(50))
@@ -92,8 +94,24 @@ class TestCoreRunner:
         for record in trace:
             runner.step(record)
         incremental = runner.finish()
-        assert incremental.cycles == pytest.approx(batch.cycles)
+        assert incremental.cycles == batch.cycles
         assert incremental.instructions == batch.instructions
+        assert incremental.loads == batch.loads
+        assert incremental.stores == batch.stores
+        assert incremental.total_load_latency == batch.total_load_latency
+
+    def test_incremental_stepping_matches_batch_run_under_rob_pressure(self):
+        # A tiny ROB with long-latency loads exercises the rob_constraint
+        # branch of both implementations.
+        config = CoreConfig(rob_size=8)
+        trace = make_trace(400, loads_every=2)
+        batch = OutOfOrderCore(config).run(trace, fixed_latency_memory(300))
+        runner = CoreRunner(config, fixed_latency_memory(300))
+        for record in trace:
+            runner.step(record)
+        incremental = runner.finish()
+        assert incremental.cycles == batch.cycles
+        assert incremental.total_load_latency == batch.total_load_latency
 
     def test_next_dispatch_cycle_monotonic(self):
         runner = CoreRunner(CoreConfig(), fixed_latency_memory(20))

@@ -1,0 +1,211 @@
+"""Tests for the campaign engine and the persistent result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import CampaignCache
+from repro.experiments.common import quick_experiment_config
+from repro.experiments import fig10_12_singlecore
+from repro.sim.engine import (
+    CampaignEngine,
+    execute_point,
+    multi_core_point,
+    single_core_point,
+)
+from repro.sim.multi_core import MultiCoreResult
+from repro.sim.result_cache import ResultCache, result_from_dict, result_to_dict
+from repro.sim.results import SingleCoreResult
+
+#: Tiny trace budget so each simulated point costs ~10ms.
+BUDGET = 800
+
+
+def tiny_point(workload="bfs.urand", scheme="baseline", budget=BUDGET):
+    return single_core_point(
+        workload, scheme, "ipcp", memory_accesses=budget, warmup_fraction=0.25
+    )
+
+
+class TestCampaignPoint:
+    def test_key_is_deterministic(self):
+        assert tiny_point().key() == tiny_point().key()
+
+    def test_key_distinguishes_scheme_budget_and_workload(self):
+        keys = {
+            tiny_point().key(),
+            tiny_point(scheme="tlp").key(),
+            tiny_point(budget=BUDGET + 1).key(),
+            tiny_point(workload="spec.mcf_like").key(),
+        }
+        assert len(keys) == 4
+
+    def test_multi_core_key_distinguishes_bandwidth(self):
+        def point(bw):
+            return multi_core_point(
+                "mix", ["bfs.urand"] * 2, "baseline", "ipcp",
+                memory_accesses=BUDGET, warmup_fraction=0.25,
+                per_core_bandwidth_gbps=bw,
+            )
+        assert point(3.2).key() != point(1.6).key()
+
+    def test_label(self):
+        assert tiny_point().label == "bfs.urand/baseline/ipcp"
+
+
+class TestResultCacheSerialization:
+    def test_single_core_round_trip(self):
+        result = execute_point(tiny_point())
+        assert isinstance(result, SingleCoreResult)
+        restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert dataclasses.asdict(restored) == dataclasses.asdict(result)
+
+    def test_multi_core_round_trip(self):
+        point = multi_core_point(
+            "mix", ["bfs.urand", "bfs.urand"], "baseline", "ipcp",
+            memory_accesses=BUDGET, warmup_fraction=0.25,
+        )
+        result = execute_point(point)
+        assert isinstance(result, MultiCoreResult)
+        restored = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert dataclasses.asdict(restored) == dataclasses.asdict(result)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"kind": "bogus", "fields": {}})
+
+
+class TestResultCacheStore:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = execute_point(tiny_point())
+        cache.put("abc", result)
+        restored = cache.get("abc")
+        assert dataclasses.asdict(restored) == dataclasses.asdict(result)
+        assert cache.hits == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "bad.json").write_text("{not json")
+        assert cache.get("bad") is None
+
+    def test_entries_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = execute_point(tiny_point())
+        cache.put("k1", result)
+        cache.put("k2", result)
+        assert cache.entries() == ["k1", "k2"]
+        assert cache.clear() == 2
+        assert cache.entries() == []
+
+
+class TestEngineCaching:
+    def test_cache_hit_short_circuits_simulation(self, tmp_path):
+        point = tiny_point()
+        first = CampaignEngine(result_cache=ResultCache(tmp_path))
+        result = first.run_point(point)
+        assert first.simulations_run == 1
+
+        second = CampaignEngine(result_cache=ResultCache(tmp_path))
+        cached = second.run_point(point)
+        assert second.simulations_run == 0
+        assert second.cache_hits == 1
+        assert dataclasses.asdict(cached) == dataclasses.asdict(result)
+
+    def test_run_deduplicates_points(self, tmp_path):
+        engine = CampaignEngine(result_cache=ResultCache(tmp_path))
+        results = engine.run([tiny_point(), tiny_point()], jobs=1)
+        assert engine.simulations_run == 1
+        assert len(results) == 1
+
+    def test_no_cache_engine_always_simulates(self):
+        engine = CampaignEngine(result_cache=None)
+        engine.run_point(tiny_point())
+        engine.run_point(tiny_point())
+        assert engine.simulations_run == 2
+
+    def test_status_reports_cache_state_without_simulating(self, tmp_path):
+        engine = CampaignEngine(result_cache=ResultCache(tmp_path))
+        points = [tiny_point(), tiny_point(scheme="hermes")]
+        rows = engine.status(points)
+        assert [cached for _, _, cached in rows] == [False, False]
+        assert engine.simulations_run == 0
+        engine.run_point(points[0])
+        rows = engine.status(points)
+        assert [cached for _, _, cached in rows] == [True, False]
+
+
+class TestEngineDeterminism:
+    def test_serial_and_parallel_results_identical(self, tmp_path):
+        points = [tiny_point(w, s) for w in ("bfs.urand", "spec.mcf_like")
+                  for s in ("baseline", "tlp")]
+        serial = CampaignEngine(result_cache=None).run(points, jobs=1)
+        parallel = CampaignEngine(result_cache=None).run(points, jobs=2)
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert (
+                dataclasses.asdict(serial[key]) == dataclasses.asdict(parallel[key])
+            )
+
+    def test_cached_result_metrics_identical_to_fresh(self, tmp_path):
+        point = tiny_point(scheme="tlp")
+        engine = CampaignEngine(result_cache=ResultCache(tmp_path))
+        fresh = engine.run_point(point)
+        warm = CampaignEngine(result_cache=ResultCache(tmp_path)).run_point(point)
+        assert warm.ipc == fresh.ipc
+        assert warm.mpki_by_level == fresh.mpki_by_level
+        assert warm.dram_transactions == fresh.dram_transactions
+
+
+class TestWarmCacheSkipsFigureHarness:
+    def test_second_fig10_invocation_performs_zero_simulations(self, tmp_path, monkeypatch):
+        from repro.sim import result_cache as result_cache_module
+
+        monkeypatch.setenv(result_cache_module.CACHE_DIR_ENV, str(tmp_path))
+        config = quick_experiment_config()
+
+        cold = CampaignCache(config)
+        fig10_12_singlecore.run(cache=cold, schemes=("tlp",))
+        assert cold.engine.simulations_run > 0
+
+        warm = CampaignCache(config)
+        result = fig10_12_singlecore.run(cache=warm, schemes=("tlp",))
+        assert warm.engine.simulations_run == 0
+        assert warm.engine.cache_hits > 0
+        assert set(result.geomean_speedup["ipcp"]) == {"tlp"}
+
+
+class TestCampaignEnumeration:
+    def test_enumerate_points_covers_cross_product(self):
+        config = quick_experiment_config()
+        campaign = CampaignCache(config, use_result_cache=False)
+        points = campaign.enumerate_points(schemes=("tlp",))
+        # (baseline + tlp) x workloads x prefetchers
+        expected = 2 * len(config.workloads()) * len(config.l1d_prefetchers)
+        assert len(points) == expected
+        assert all(point.kind == "single_core" for point in points)
+
+    def test_enumerate_points_includes_multicore_mixes(self):
+        config = quick_experiment_config()
+        campaign = CampaignCache(config, use_result_cache=False)
+        points = campaign.enumerate_points(schemes=("tlp",), include_multicore=True)
+        assert any(point.kind == "multi_core" for point in points)
+
+    def test_run_campaign_populates_memo(self, tmp_path):
+        from repro.sim import result_cache as result_cache_module
+
+        config = quick_experiment_config()
+        engine = CampaignEngine(result_cache=ResultCache(tmp_path), jobs=1)
+        campaign = CampaignCache(config, engine=engine)
+        count = campaign.run_campaign(schemes=("tlp",))
+        assert count == len(campaign.enumerate_points(schemes=("tlp",)))
+        simulated = engine.simulations_run
+        # Every figure-harness lookup is now a memo hit: no further runs.
+        campaign.single_core(config.workloads()[0], "tlp", config.l1d_prefetchers[0])
+        assert engine.simulations_run == simulated

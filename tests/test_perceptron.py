@@ -80,6 +80,42 @@ class TestFeatureHistory:
         assert history.is_first_access(0x1000)
         assert history.context(1, 0x1000).last_load_pcs == ()
 
+    def test_pc_tuple_cached_between_observations(self):
+        history = FeatureHistory()
+        history.observe(1, 0x1000)
+        history.observe(2, 0x2000)
+        first = history.context(10, 0x3000).last_load_pcs
+        second = history.context(11, 0x4000).last_load_pcs
+        # No observe() in between: the tuple is reused, not rebuilt.
+        assert first is second
+
+    def test_pc_tuple_invalidated_on_observe(self):
+        history = FeatureHistory()
+        history.observe(1, 0x1000)
+        before = history.context(10, 0x3000).last_load_pcs
+        history.observe(2, 0x2000)
+        after = history.context(10, 0x3000).last_load_pcs
+        assert after == (1, 2)
+        assert after != before
+
+    def test_context_pcs_hash_matches_direct_hash(self):
+        from repro.common.hashing import hash_combine
+
+        history = FeatureHistory()
+        for pc in (3, 5, 7, 11):
+            history.observe(pc, 0x1000)
+        context = history.context(99, 0x2000)
+        assert context.last_pcs_hash == hash_combine(3, 5, 7, 11)
+
+    def test_standalone_context_computes_hash_lazily(self):
+        from repro.common.hashing import hash_combine
+
+        context = FeatureContext(pc=1, address=2, first_access=False,
+                                 last_load_pcs=(4, 5))
+        assert context.last_pcs_hash == hash_combine(4, 5)
+        assert FeatureContext(pc=1, address=2, first_access=False,
+                              last_load_pcs=()).last_pcs_hash == 0
+
 
 class TestHashedPerceptron:
     def test_initial_prediction_is_zero(self):
