@@ -13,6 +13,14 @@ Examples::
     python -m repro.cli campaign --jobs 8
     python -m repro.cli campaign --list
 
+    # Shard the campaign across machines, then merge the shard caches
+    python -m repro.cli campaign --shard 0/2 --cache-dir shard0
+    python -m repro.cli campaign --shard 1/2 --cache-dir shard1
+    python -m repro.cli cache merge shard0 shard1
+
+    # Bound the result cache size (also: REPRO_CACHE_MAX_MB=64 on writes)
+    python -m repro.cli cache gc --max-mb 64
+
     # List available workloads and schemes
     python -m repro.cli list
 """
@@ -115,9 +123,20 @@ def _build_campaign_cache(args: argparse.Namespace) -> CampaignCache:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.sim.engine import parse_shard, shard_points
+
     cache = _build_campaign_cache(args)
     schemes = tuple(args.schemes)
     points = cache.enumerate_points(schemes, include_multicore=args.multicore)
+
+    shard = None
+    if args.shard:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as error:
+            print(error)
+            return 2
+        points = shard_points(points, *shard)
 
     if args.list:
         rows = cache.engine.status(points)
@@ -130,14 +149,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     start = time.perf_counter()
-    cache.run_campaign(schemes, include_multicore=args.multicore, jobs=args.jobs)
+    if shard is not None:
+        # A shard simulates its own point subset only; the cross-shard
+        # summary is printed by an unsharded run over the merged cache.
+        cache.engine.run(points, jobs=args.jobs)
+    else:
+        cache.run_campaign(schemes, include_multicore=args.multicore, jobs=args.jobs)
     elapsed = time.perf_counter() - start
     engine = cache.engine
+    shard_note = f", shard {shard[0]}/{shard[1]}" if shard is not None else ""
     print(
         f"campaign: {len(points)} points in {elapsed:.1f}s "
         f"({engine.simulations_run} simulated, {engine.cache_hits} cache hits, "
-        f"jobs={engine.resolve_jobs(args.jobs)})"
+        f"jobs={engine.resolve_jobs(args.jobs)}{shard_note})"
     )
+    if shard is not None:
+        return 0
 
     rows = []
     for prefetcher in cache.config.l1d_prefetchers:
@@ -160,6 +187,40 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if rows:
         print("single-core campaign summary (speedup over baseline):")
         print("\n".join(rows))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.sim.result_cache import ResultCache
+
+    cache = ResultCache(args.dir) if args.dir else ResultCache()
+    if args.cache_command == "merge":
+        total_copied = 0
+        total_skipped = 0
+        for source in args.sources:
+            try:
+                copied, skipped = cache.merge_from(source)
+            except FileNotFoundError as error:
+                print(error)
+                return 1
+            print(f"  {source}: {copied} copied, {skipped} already present")
+            total_copied += copied
+            total_skipped += skipped
+        print(
+            f"merged {total_copied} entries into {cache.directory} "
+            f"({total_skipped} duplicates skipped, "
+            f"{len(cache.entries())} entries total)"
+        )
+        return 0
+    # argparse's required subparser guarantees merge/gc are the only commands.
+    max_bytes = int(args.max_mb * 1024 * 1024)
+    before = cache.size_bytes()
+    removed, freed = cache.gc(max_bytes)
+    print(
+        f"cache gc: {cache.directory} {before / 1024:.0f} KiB -> "
+        f"{(before - freed) / 1024:.0f} KiB "
+        f"({removed} entries evicted, cap {args.max_mb:g} MB)"
+    )
     return 0
 
 
@@ -224,7 +285,32 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--list", action="store_true",
                                  help="print the enumerated points and their "
                                       "cache status without simulating")
+    campaign_parser.add_argument("--shard", default=None, metavar="i/n",
+                                 help="simulate only shard i of n (deterministic "
+                                      "partition of the --list enumeration); "
+                                      "combine shard caches with 'repro cache merge'")
     campaign_parser.set_defaults(func=_cmd_campaign)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="manage the persistent result cache"
+    )
+    cache_parser.add_argument("--dir", default=None,
+                              help="cache directory to operate on "
+                                   "(default: $REPRO_CACHE_DIR or .repro_cache)")
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    merge_parser = cache_sub.add_parser(
+        "merge", help="copy entries from other cache directories (e.g. shards)"
+    )
+    merge_parser.add_argument("sources", nargs="+",
+                              help="cache directories to merge from")
+    gc_parser = cache_sub.add_parser(
+        "gc", help="evict oldest entries until the cache fits a size cap"
+    )
+    gc_parser.add_argument("--max-mb", type=float, required=True,
+                           help="target cache size in MB "
+                                "(also enforceable on writes via "
+                                "$REPRO_CACHE_MAX_MB)")
+    cache_parser.set_defaults(func=_cmd_cache)
     return parser
 
 

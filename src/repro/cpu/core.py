@@ -28,7 +28,8 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.common.config import CoreConfig
-from repro.common.types import AccessKind, AccessOutcome, MemoryAccess
+from repro.common.types import AccessOutcome, MemoryAccess
+from repro.traces.trace import KIND_LOAD, KIND_STORE, trace_lists
 
 #: Signature of the memory callback: (pc, vaddr, cycle, is_write) -> outcome.
 MemoryCallback = Callable[[int, int, int, bool], AccessOutcome]
@@ -117,8 +118,13 @@ class CoreRunner:
             rob_constraint = self._retire_times[0]
         return max(self._dispatch_cycle, rob_constraint)
 
-    def step(self, record: MemoryAccess) -> None:
-        """Dispatch, execute and retire one trace record."""
+    def step_values(self, pc: int, vaddr: int, kind: int) -> None:
+        """Dispatch, execute and retire one record given as column scalars.
+
+        ``kind`` is an :class:`AccessKind` value (or its plain-int code, as
+        stored in a columnar trace's ``kind`` array -- ``IntEnum`` members
+        compare equal to their codes, so both step identically).
+        """
         retire_times = self._retire_times
         dispatch = self._dispatch_cycle
         if len(retire_times) >= self.rob_size:
@@ -126,16 +132,15 @@ class CoreRunner:
             if rob_constraint > dispatch:
                 dispatch = rob_constraint
 
-        kind = record.kind
-        if kind is AccessKind.LOAD:
-            outcome = self.memory(record.pc, record.vaddr, int(dispatch), False)
+        if kind == KIND_LOAD:
+            outcome = self.memory(pc, vaddr, int(dispatch), False)
             latency = outcome.effective_latency
             self.loads += 1
             self.total_load_latency += latency
-        elif kind is AccessKind.STORE:
+        elif kind == KIND_STORE:
             # Stores update the caches but retire through the store buffer
             # without stalling the core.
-            self.memory(record.pc, record.vaddr, int(dispatch), True)
+            self.memory(pc, vaddr, int(dispatch), True)
             latency = 1
             self.stores += 1
         else:
@@ -150,20 +155,29 @@ class CoreRunner:
         self._dispatch_cycle = dispatch + self.dispatch_interval
         self.instructions += 1
 
-    def run_trace(self, trace: Iterable[MemoryAccess]) -> None:
+    def step(self, record: MemoryAccess) -> None:
+        """Dispatch, execute and retire one trace record."""
+        self.step_values(record.pc, record.vaddr, record.kind)
+
+    def run_trace(self, trace) -> None:
         """Step every record of ``trace`` through the core.
 
         Semantically identical to calling :meth:`step` per record, but the
-        per-instruction state lives in locals for the duration of the loop;
-        with traces dominated by cheap NON_MEM records this roughly halves
-        the core model's interpreter overhead.
+        stream is consumed as columns -- three parallel lists of plain ints
+        (see :func:`repro.traces.trace.trace_lists`) -- and the
+        per-instruction state lives in locals for the duration of the loop.
+        No record objects exist on this path: each iteration touches three
+        native ints instead of three attribute loads on a dataclass.
+        ``trace`` may be a columnar :class:`~repro.traces.trace.Trace` or
+        any iterable of :class:`MemoryAccess` records.
         """
+        pcs, vaddrs, kinds = trace_lists(trace)
         retire_times = self._retire_times
         rob_size = self.rob_size
         dispatch_interval = self.dispatch_interval
         memory = self.memory
-        load_kind = AccessKind.LOAD
-        store_kind = AccessKind.STORE
+        load_kind = KIND_LOAD
+        store_kind = KIND_STORE
         dispatch_cycle = self._dispatch_cycle
         last_retire = self._last_retire
         instructions = loads = stores = 0
@@ -171,21 +185,20 @@ class CoreRunner:
         popleft = retire_times.popleft
         append = retire_times.append
 
-        for record in trace:
+        for pc, vaddr, kind in zip(pcs, vaddrs, kinds):
             dispatch = dispatch_cycle
             if len(retire_times) >= rob_size:
                 rob_constraint = popleft()
                 if rob_constraint > dispatch:
                     dispatch = rob_constraint
 
-            kind = record.kind
-            if kind is load_kind:
-                outcome = memory(record.pc, record.vaddr, int(dispatch), False)
+            if kind == load_kind:
+                outcome = memory(pc, vaddr, int(dispatch), False)
                 latency = outcome.effective_latency
                 loads += 1
                 total_load_latency += latency
-            elif kind is store_kind:
-                memory(record.pc, record.vaddr, int(dispatch), True)
+            elif kind == store_kind:
+                memory(pc, vaddr, int(dispatch), True)
                 latency = 1
                 stores += 1
             else:

@@ -18,6 +18,7 @@ bit-identical to the direct hash computation.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.common.hashing import table_index
@@ -59,8 +60,11 @@ class HashedPerceptron:
             raise ValueError("a perceptron needs at least one feature")
         self.features = list(features)
         self.training_threshold = training_threshold
-        self._tables: list[list[int]] = [
-            [0] * spec.table_entries for spec in self.features
+        # Weight rows are C-int arrays: 4 bytes per weight instead of a
+        # pointer to a boxed int, while keeping the same int-in/int-out
+        # subscript interface the fused plan and the training loop use.
+        self._tables: list[array] = [
+            array("i", bytes(4 * spec.table_entries)) for spec in self.features
         ]
         self._weight_limits: list[tuple[int, int]] = []
         for spec in self.features:
@@ -166,10 +170,13 @@ class HashedPerceptron:
         return self._tables[feature_index][entry]
 
     def reset(self) -> None:
-        """Zero every weight and clear statistics."""
+        """Zero every weight and clear statistics.
+
+        Rows are zeroed in place (one C-level slice assignment per row) so
+        the references held by the fused prediction plan stay valid.
+        """
         for table in self._tables:
-            for i in range(len(table)):
-                table[i] = 0
+            table[:] = array("i", bytes(4 * len(table)))
         self.stats = PerceptronStats()
 
     def saturation_fraction(self) -> float:

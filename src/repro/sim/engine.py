@@ -106,6 +106,46 @@ def single_core_point(
     )
 
 
+def shard_points(
+    points: Sequence[CampaignPoint], shard_index: int, shard_count: int
+) -> list[CampaignPoint]:
+    """Deterministic shard of an enumerated point list.
+
+    Point ``i`` of the enumeration belongs to shard ``i % shard_count``, so
+    the shards of one enumeration are disjoint, cover every point, and are
+    stable across machines (the enumeration order is deterministic).  Used
+    by ``repro campaign --shard i/n``; the per-shard result caches are
+    recombined with ``repro cache merge``.
+    """
+    if shard_count <= 0:
+        raise ValueError(f"shard count must be positive, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard index must be in [0, {shard_count}), got {shard_index}"
+        )
+    return [
+        point for index, point in enumerate(points) if index % shard_count == shard_index
+    ]
+
+
+def parse_shard(spec: str) -> tuple[int, int]:
+    """Parse an ``i/n`` shard specification into ``(index, count)``."""
+    index_text, separator, count_text = spec.partition("/")
+    try:
+        if not separator:
+            raise ValueError(spec)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like 'i/n' (e.g. 0/4), got {spec!r}"
+        ) from None
+    if count <= 0 or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must satisfy 0 <= i < n, got {spec!r}"
+        )
+    return index, count
+
+
 def multi_core_point(
     mix_name: str,
     workloads: Sequence[str],

@@ -20,7 +20,7 @@ from repro.cpu.core import CoreResult, CoreRunner
 from repro.memory.hierarchy import MemoryHierarchy, SharedMemory
 from repro.sim.scenarios import Scenario, build_hierarchy
 from repro.stats.metrics import weighted_speedup
-from repro.traces.trace import Trace
+from repro.traces.trace import Trace, trace_lists
 
 
 @dataclass
@@ -74,19 +74,21 @@ def run_multicore_mix(
     # learn; timing contention during warm-up is irrelevant).
     for hierarchy, warm in zip(hierarchies, warmups):
         runner = CoreRunner(system.core, _make_callback(hierarchy))
-        for record in warm:
-            runner.step(record)
+        runner.run_trace(warm)
     for index, hierarchy in enumerate(hierarchies):
         hierarchy.reset_stats(include_shared=(index == 0))
 
     # Measured phase: interleave the cores in dispatch-time order so that
-    # they contend for the shared DRAM channel.
+    # they contend for the shared DRAM channel.  The record streams are
+    # consumed as column lists (pc, vaddr, kind) -- no record objects are
+    # materialized on this path.
     runners = [
         CoreRunner(system.core, _make_callback(hierarchy))
         for hierarchy in hierarchies
     ]
+    columns = [trace_lists(trace) for trace in measured]
     positions = [0] * len(traces)
-    lengths = [len(trace) for trace in measured]
+    lengths = [len(pcs) for pcs, _, _ in columns]
     active = [length > 0 for length in lengths]
     while any(active):
         best_core = -1
@@ -99,9 +101,11 @@ def run_multicore_mix(
                 best_cycle = cycle
                 best_core = core_id
         runner = runners[best_core]
-        runner.step(measured[best_core][positions[best_core]])
-        positions[best_core] += 1
-        if positions[best_core] >= lengths[best_core]:
+        position = positions[best_core]
+        pcs, vaddrs, kinds = columns[best_core]
+        runner.step_values(pcs[position], vaddrs[position], kinds[position])
+        positions[best_core] = position + 1
+        if position + 1 >= lengths[best_core]:
             active[best_core] = False
 
     results: list[CoreResult] = [runner.finish() for runner in runners]

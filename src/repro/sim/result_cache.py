@@ -10,6 +10,13 @@ point that has already been simulated -- across processes and across runs.
 
 The cache directory defaults to ``.repro_cache`` in the working directory
 and can be redirected with the ``REPRO_CACHE_DIR`` environment variable.
+
+Sharded campaigns (``repro campaign --shard i/n``) write disjoint entry sets
+into per-shard directories; :meth:`ResultCache.merge_from` (exposed as
+``repro cache merge``) folds them back into one cache.  Size is bounded by
+an explicit ``repro cache gc --max-mb N`` sweep or, opportunistically on
+writes, by the ``REPRO_CACHE_MAX_MB`` environment variable; both evict the
+oldest entries (by file modification time) first.
 """
 
 from __future__ import annotations
@@ -26,6 +33,10 @@ from repro.sim.results import SingleCoreResult
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable capping the cache size in MiB; enforced
+#: opportunistically on writes (oldest entries evicted first).
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -33,6 +44,38 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 def default_cache_dir() -> Path:
     """Resolve the cache directory from the environment or the default."""
     return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+_warned_bad_cap = False
+
+
+def cache_size_cap_bytes() -> Optional[int]:
+    """The ``REPRO_CACHE_MAX_MB`` cap in bytes, or None when unset.
+
+    An unparseable or non-positive value disables the cap but warns once,
+    so a typo (``REPRO_CACHE_MAX_MB=64MB``) doesn't silently leave the
+    cache unbounded.
+    """
+    global _warned_bad_cap
+    raw = os.environ.get(CACHE_MAX_MB_ENV)
+    if not raw:
+        return None
+    try:
+        max_mb = float(raw)
+    except ValueError:
+        max_mb = -1.0
+    if max_mb <= 0:
+        if not _warned_bad_cap:
+            _warned_bad_cap = True
+            import warnings
+
+            warnings.warn(
+                f"ignoring invalid {CACHE_MAX_MB_ENV}={raw!r} "
+                f"(expected a positive number of MB); cache is unbounded",
+                stacklevel=2,
+            )
+        return None
+    return int(max_mb * 1024 * 1024)
 
 
 # ----------------------------------------------------------------------
@@ -72,6 +115,10 @@ class ResultCache:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Running byte total of the directory, maintained incrementally
+        #: once initialized so the opportunistic per-write size-cap check
+        #: costs O(1) instead of a directory scan.
+        self._approx_size: Optional[int] = None
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -114,7 +161,19 @@ class ResultCache:
         tmp_path = path.with_suffix(".tmp")
         with tmp_path.open("w", encoding="utf-8") as fh:
             json.dump(payload, fh, sort_keys=True)
+        previous = 0
+        if self._approx_size is not None:
+            try:
+                previous = path.stat().st_size
+            except OSError:
+                previous = 0
         tmp_path.replace(path)
+        if self._approx_size is not None:
+            try:
+                self._approx_size += path.stat().st_size - previous
+            except OSError:
+                self._approx_size = None
+        self._enforce_size_cap()
 
     def entries(self) -> list[str]:
         """Return the keys of every stored entry."""
@@ -131,4 +190,97 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self._approx_size = None
         return removed
+
+    # ------------------------------------------------------------------
+    # Size accounting, garbage collection and shard merging
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Total size of every stored entry, in bytes (directory scan)."""
+        if not self.directory.is_dir():
+            return 0
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _enforce_size_cap(self) -> None:
+        """Apply the ``REPRO_CACHE_MAX_MB`` cap, if one is configured.
+
+        Called on every write; the first call scans the directory once,
+        after which the running total makes the check O(1) until a GC
+        actually has to evict.
+        """
+        cap = cache_size_cap_bytes()
+        if cap is None:
+            return
+        if self._approx_size is None:
+            self._approx_size = self.size_bytes()
+        if self._approx_size > cap:
+            self.gc(cap)
+
+    def gc(self, max_bytes: int) -> tuple[int, int]:
+        """Evict oldest entries until the cache fits in ``max_bytes``.
+
+        Age is the file modification time (merge preserves source entry
+        content but not mtimes, so post-merge age is merge order).  Returns
+        ``(entries_removed, bytes_freed)``.
+        """
+        if not self.directory.is_dir():
+            return (0, 0)
+        stamped = []
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            stamped.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        stamped.sort()
+        removed = 0
+        freed = 0
+        for _, size, path in stamped:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        self._approx_size = total - freed
+        return (removed, freed)
+
+    def merge_from(self, source: Path | str) -> tuple[int, int]:
+        """Copy entries from another cache directory into this one.
+
+        Entries whose key already exists here are skipped (keys are content
+        hashes of everything that determines the result, so an existing
+        entry is the same result).  Returns ``(copied, skipped)``.
+        """
+        source_dir = Path(source)
+        if not source_dir.is_dir():
+            raise FileNotFoundError(f"cache directory {source_dir} does not exist")
+        copied = 0
+        skipped = 0
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for entry in sorted(source_dir.glob("*.json")):
+            destination = self.directory / entry.name
+            if destination.exists():
+                skipped += 1
+                continue
+            tmp_path = destination.with_suffix(".tmp")
+            tmp_path.write_bytes(entry.read_bytes())
+            tmp_path.replace(destination)
+            if self._approx_size is not None:
+                try:
+                    self._approx_size += destination.stat().st_size
+                except OSError:
+                    self._approx_size = None
+            copied += 1
+        return (copied, skipped)

@@ -4,6 +4,11 @@ Mirrors the paper's single-core methodology (Section V-C): each workload is
 run for a warm-up phase (caches and predictors learn, statistics discarded)
 followed by a measured phase from which IPC, DRAM transaction counts, MPKIs
 and prefetch statistics are reported.
+
+The warm-up/measured split is a zero-copy view into the trace's columns and
+the core consumes the record stream column-wise (see
+:meth:`repro.cpu.core.CoreRunner.run_trace`); no per-record objects are
+materialized anywhere on the simulation path.
 """
 
 from __future__ import annotations

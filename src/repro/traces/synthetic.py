@@ -1,4 +1,4 @@
-"""Synthetic memory-trace generators.
+"""Synthetic memory-trace generators (vectorized, columnar).
 
 These generators produce the elementary access patterns the SPEC-like
 workloads (:mod:`repro.workloads.spec_like`) are composed of: sequential
@@ -6,22 +6,60 @@ streaming, constant strides, uniform random accesses over a working set, and
 pointer chasing.  Each generator interleaves ``compute_per_access`` non-memory
 records between memory records so that memory intensity (and therefore MPKI)
 is controllable.
+
+Every generator emits whole :class:`~repro.traces.trace.Trace` columns from
+vectorized numpy RNG draws instead of appending records one at a time, and is
+**bit-identical** to the record-at-a-time reference implementations kept in
+``REFERENCE_GENERATORS`` (the columnar/legacy equivalence tests pin this).
+Exactness rests on two properties of ``numpy.random.Generator``:
+
+* array draws equal repeated scalar draws: ``rng.random(n)`` produces the
+  same values as ``n`` successive ``rng.random()`` calls, and likewise for
+  ``rng.integers(lo, hi, size=n)``;
+* where a generator interleaves *different* draw kinds per record (a branch
+  ``random()`` then a bounded ``integers()``), the draws are replayed from
+  the raw ``uint64`` stream (``bit_generator.random_raw``): doubles are
+  ``(u64 >> 11) * 2**-53`` and bounded integers below ``2**32`` use Lemire's
+  multiply-shift on a ``uint32`` sub-stream (low half of a fresh carrier
+  word first, buffered high half second).  Lemire rejections -- probability
+  ``((2**32 - m) % m) / 2**32`` per draw, zero for power-of-two bounds --
+  would shift the stream, so any detected rejection falls back to the
+  reference implementation for the whole trace (bit-identical by
+  construction, just slower).
+
+``mixed_trace`` is the one generator whose *draw count* per record is data
+dependent (the bounded draw only happens on the random branch), which makes
+raw-stream positions sequential; it keeps a scalar draw loop but still
+assembles columns and compute-interleave vectorically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.common.addresses import BLOCK_SIZE
 from repro.common.types import AccessKind, MemoryAccess
-from repro.traces.trace import Trace
+from repro.traces.trace import (
+    ADDR_DTYPE,
+    KIND_DTYPE,
+    KIND_LOAD,
+    KIND_NON_MEM,
+    KIND_STORE,
+    Trace,
+)
 
 #: Base virtual address of generated data regions (arbitrary, page aligned).
 DATA_BASE = 0x10_0000_0000
 #: Base virtual address of generated code regions (for PCs).
 CODE_BASE = 0x40_0000
+
+_U64_11 = np.uint64(11)
+_U64_32 = np.uint64(32)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_DOUBLE_SCALE = 1.0 / (1 << 53)
 
 
 @dataclass(frozen=True)
@@ -62,12 +100,94 @@ class SyntheticTraceConfig:
             raise ValueError("hot_working_set_bytes must be at least one block")
 
 
-def interleave_compute(
-    trace: Trace,
-    pc: int,
-    count: int,
-) -> None:
-    """Append ``count`` non-memory records to ``trace``."""
+# ----------------------------------------------------------------------
+# Columnar assembly helpers
+# ----------------------------------------------------------------------
+def interleave_columns(
+    mem_pc: np.ndarray,
+    mem_vaddr: np.ndarray,
+    mem_kind: np.ndarray,
+    compute_pc: int,
+    compute_per_access: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Interleave ``compute_per_access`` NON_MEM records after each memory
+    record, as whole columns (one reshape, no Python loop)."""
+    n = len(mem_pc)
+    width = 1 + compute_per_access
+    pc = np.empty(n * width, dtype=ADDR_DTYPE)
+    vaddr = np.zeros(n * width, dtype=ADDR_DTYPE)
+    kind = np.full(n * width, KIND_NON_MEM, dtype=KIND_DTYPE)
+    pc_rows = pc.reshape(n, width)
+    pc_rows[:, 0] = mem_pc
+    if compute_per_access:
+        pc_rows[:, 1:] = compute_pc + 4 * np.arange(compute_per_access, dtype=ADDR_DTYPE)
+    vaddr.reshape(n, width)[:, 0] = mem_vaddr
+    kind.reshape(n, width)[:, 0] = mem_kind
+    return pc, vaddr, kind
+
+
+def _assemble(
+    name: str,
+    metadata: dict,
+    mem_pc: np.ndarray,
+    mem_vaddr: np.ndarray,
+    mem_kind: np.ndarray,
+    compute_pc: int,
+    compute_per_access: int,
+) -> Trace:
+    pc, vaddr, kind = interleave_columns(
+        mem_pc, mem_vaddr, mem_kind, compute_pc, compute_per_access
+    )
+    return Trace.from_columns(name, pc, vaddr, kind, metadata)
+
+
+def _store_kinds(store_doubles: Optional[np.ndarray], store_fraction: float, n: int) -> np.ndarray:
+    """Kind column of ``n`` memory records given their store draws."""
+    if store_doubles is None or store_fraction <= 0:
+        return np.full(n, KIND_LOAD, dtype=KIND_DTYPE)
+    return np.where(store_doubles < store_fraction, KIND_STORE, KIND_LOAD).astype(KIND_DTYPE)
+
+
+# ----------------------------------------------------------------------
+# Raw-stream replay helpers
+# ----------------------------------------------------------------------
+def _raw_uint64(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Draw ``count`` words of the generator's raw uint64 stream."""
+    return rng.bit_generator.random_raw(count).astype(np.uint64, copy=False)
+
+
+def _doubles_from_raw(raw: np.ndarray) -> np.ndarray:
+    """The doubles ``rng.random()`` would produce from these raw words."""
+    return (raw >> _U64_11) * _DOUBLE_SCALE
+
+
+def _lemire32_from_raw(
+    u32: np.ndarray, bounds: np.ndarray
+) -> tuple[np.ndarray, bool]:
+    """The values ``rng.integers(0, bound)`` would produce from a uint32
+    sub-stream, via Lemire's multiply-shift.
+
+    Returns ``(values, exact)``; ``exact`` is False when any draw would have
+    been rejected and redrawn (caller must fall back to the reference path).
+    """
+    bounds = bounds.astype(np.uint64, copy=False)
+    product = u32 * bounds
+    values = (product >> _U64_32).astype(ADDR_DTYPE)
+    leftover = product & _MASK32
+    thresholds = (np.uint64(1 << 32) - bounds) % bounds
+    return values, not bool(np.any(leftover < thresholds))
+
+
+def _split_carriers(carriers: np.ndarray, odd: np.ndarray) -> np.ndarray:
+    """uint32 sub-stream values: low half of each carrier first, then high."""
+    return np.where(odd == 0, carriers & _MASK32, carriers >> _U64_32)
+
+
+# ----------------------------------------------------------------------
+# Record-at-a-time reference implementations
+# ----------------------------------------------------------------------
+def interleave_compute(trace: Trace, pc: int, count: int) -> None:
+    """Append ``count`` non-memory records to ``trace`` (reference path)."""
     for i in range(count):
         trace.append(MemoryAccess(pc=pc + 4 * i, vaddr=0, kind=AccessKind.NON_MEM))
 
@@ -87,15 +207,9 @@ def _emit(
     interleave_compute(trace, compute_pc, config.compute_per_access)
 
 
-def streaming_trace(
+def _streaming_reference(
     config: SyntheticTraceConfig, element_bytes: int = 8, name: str = "stream"
 ) -> Trace:
-    """Sequential element-wise sweep over the working set (lbm/stream-like).
-
-    Accesses advance by ``element_bytes`` (8 by default), so each 64B block
-    is touched several times before the sweep moves on -- the access pattern
-    of array traversals in real streaming kernels.
-    """
     rng = np.random.default_rng(config.seed)
     trace = Trace(name, metadata={"pattern": "streaming", **config.__dict__})
     load_pc = CODE_BASE + 0x100
@@ -110,19 +224,12 @@ def streaming_trace(
     return trace
 
 
-def strided_trace(
+def _strided_reference(
     config: SyntheticTraceConfig,
     stride_blocks: int = 4,
     elements_per_column: int = 8,
     name: str = "strided",
 ) -> Trace:
-    """Column-walk sweep (dense linear algebra with a leading-dimension jump).
-
-    The generator models a column-major walk of a 2D array: it reads
-    ``elements_per_column`` consecutive 8-byte elements, then jumps ahead by
-    ``stride_blocks`` cache blocks (the leading dimension), wrapping at the
-    end of the working set.
-    """
     if stride_blocks == 0:
         raise ValueError("stride_blocks must be non-zero")
     rng = np.random.default_rng(config.seed)
@@ -148,13 +255,7 @@ def strided_trace(
     return trace
 
 
-def random_access_trace(config: SyntheticTraceConfig, name: str = "random") -> Trace:
-    """Random block accesses over the working set (omnetpp/mcf-like).
-
-    A ``hot_fraction`` of the accesses go to a small hot region (modelling the
-    temporal locality of real irregular codes); the rest are uniform over the
-    full working set.
-    """
+def _random_reference(config: SyntheticTraceConfig, name: str = "random") -> Trace:
     rng = np.random.default_rng(config.seed)
     trace = Trace(name, metadata={"pattern": "random", **config.__dict__})
     hot_pc = CODE_BASE + 0x300
@@ -172,16 +273,9 @@ def random_access_trace(config: SyntheticTraceConfig, name: str = "random") -> T
     return trace
 
 
-def pointer_chase_trace(
+def _pointer_chase_reference(
     config: SyntheticTraceConfig, chain_length: int | None = None, name: str = "chase"
 ) -> Trace:
-    """Dependent pointer chasing through a shuffled linked list (mcf-like).
-
-    The chain is a random permutation of the blocks of the working set, so
-    consecutive accesses have no spatial locality and every step is likely a
-    cache miss once the chain exceeds the cache capacity.  A ``hot_fraction``
-    of the steps instead walk a short hot chain that stays cache resident.
-    """
     rng = np.random.default_rng(config.seed)
     trace = Trace(name, metadata={"pattern": "pointer_chase", **config.__dict__})
     load_pc = CODE_BASE + 0x400
@@ -208,12 +302,11 @@ def pointer_chase_trace(
     return trace
 
 
-def mixed_trace(
+def _mixed_reference(
     config: SyntheticTraceConfig,
     random_fraction: float = 0.5,
     name: str = "mixed",
 ) -> Trace:
-    """Mixture of streaming and random accesses (gcc/xalancbmk-like)."""
     if not 0.0 <= random_fraction <= 1.0:
         raise ValueError("random_fraction must be in [0, 1]")
     rng = np.random.default_rng(config.seed)
@@ -236,3 +329,307 @@ def mixed_trace(
             if address >= limit:
                 address = DATA_BASE
     return trace
+
+
+#: Record-at-a-time implementations, bit-identical to the columnar
+#: generators; the equivalence tests compare against these and the
+#: raw-stream generators fall back to them on a (rare) Lemire rejection.
+REFERENCE_GENERATORS = {
+    "streaming": _streaming_reference,
+    "strided": _strided_reference,
+    "random": _random_reference,
+    "pointer_chase": _pointer_chase_reference,
+    "mixed": _mixed_reference,
+}
+
+
+# ----------------------------------------------------------------------
+# Vectorized generators
+# ----------------------------------------------------------------------
+def streaming_trace(
+    config: SyntheticTraceConfig, element_bytes: int = 8, name: str = "stream"
+) -> Trace:
+    """Sequential element-wise sweep over the working set (lbm/stream-like).
+
+    Accesses advance by ``element_bytes`` (8 by default), so each 64B block
+    is touched several times before the sweep moves on -- the access pattern
+    of array traversals in real streaming kernels.
+    """
+    rng = np.random.default_rng(config.seed)
+    n = config.num_memory_accesses
+    load_pc = CODE_BASE + 0x100
+    compute_pc = CODE_BASE + 0x1000
+    period = -(-config.working_set_bytes // element_bytes)  # ceil division
+    vaddr = DATA_BASE + (np.arange(n, dtype=ADDR_DTYPE) % period) * element_bytes
+    store_draws = rng.random(n) if config.store_fraction > 0 else None
+    return _assemble(
+        name,
+        {"pattern": "streaming", **config.__dict__},
+        np.full(n, load_pc, dtype=ADDR_DTYPE),
+        vaddr,
+        _store_kinds(store_draws, config.store_fraction, n),
+        compute_pc,
+        config.compute_per_access,
+    )
+
+
+def strided_trace(
+    config: SyntheticTraceConfig,
+    stride_blocks: int = 4,
+    elements_per_column: int = 8,
+    name: str = "strided",
+) -> Trace:
+    """Column-walk sweep (dense linear algebra with a leading-dimension jump).
+
+    The generator models a column-major walk of a 2D array: it reads
+    ``elements_per_column`` consecutive 8-byte elements, then jumps ahead by
+    ``stride_blocks`` cache blocks (the leading dimension), wrapping at the
+    end of the working set.
+    """
+    if stride_blocks == 0:
+        raise ValueError("stride_blocks must be non-zero")
+    if stride_blocks < 0:
+        # Negative strides make the address walk non-monotone, which the
+        # sweep-at-a-time vectorization below does not model.
+        return _strided_reference(config, stride_blocks, elements_per_column, name)
+    rng = np.random.default_rng(config.seed)
+    n = config.num_memory_accesses
+    load_pc = CODE_BASE + 0x200
+    compute_pc = CODE_BASE + 0x2000
+    working_set = config.working_set_bytes
+    stride = stride_blocks * BLOCK_SIZE
+
+    # Deltas between consecutive accesses are globally periodic (the column
+    # counter keeps running across wraps): the jump after the k-th access is
+    # ``stride`` when (k+1) is a multiple of elements_per_column, else 8.
+    if elements_per_column <= 0:
+        deltas = np.full(n, stride, dtype=ADDR_DTYPE)
+    else:
+        deltas = np.full(n, 8, dtype=ADDR_DTYPE)
+        deltas[elements_per_column - 1 :: elements_per_column] = stride
+    prefix = np.empty(n, dtype=ADDR_DTYPE)  # prefix[k] = sum of deltas[:k]
+    prefix[0] = 0
+    np.cumsum(deltas[:-1], out=prefix[1:])
+
+    # Walk sweep by sweep: within one sweep addresses are base + prefix
+    # difference; at a wrap the overshoot is folded into [0, BLOCK_SIZE).
+    rel = np.empty(n, dtype=ADDR_DTYPE)
+    start = 0
+    base = 0
+    while start < n:
+        bound = working_set - base + int(prefix[start])
+        stop = int(np.searchsorted(prefix[start:], bound, side="left")) + start
+        stop = max(stop, start + 1)
+        rel[start:stop] = base + (prefix[start:stop] - prefix[start])
+        if stop < n:
+            overshoot = base + int(prefix[stop]) - int(prefix[start]) - working_set
+            base = overshoot % BLOCK_SIZE
+        start = stop
+
+    store_draws = rng.random(n) if config.store_fraction > 0 else None
+    return _assemble(
+        name,
+        {"pattern": "strided", "stride_blocks": stride_blocks},
+        np.full(n, load_pc, dtype=ADDR_DTYPE),
+        DATA_BASE + rel,
+        _store_kinds(store_draws, config.store_fraction, n),
+        compute_pc,
+        config.compute_per_access,
+    )
+
+
+def random_access_trace(config: SyntheticTraceConfig, name: str = "random") -> Trace:
+    """Random block accesses over the working set (omnetpp/mcf-like).
+
+    A ``hot_fraction`` of the accesses go to a small hot region (modelling the
+    temporal locality of real irregular codes); the rest are uniform over the
+    full working set.
+    """
+    n = config.num_memory_accesses
+    hot_pc = CODE_BASE + 0x300
+    cold_pc = CODE_BASE + 0x340
+    compute_pc = CODE_BASE + 0x3000
+    num_blocks = config.working_set_bytes // BLOCK_SIZE
+    hot_blocks = max(1, config.hot_working_set_bytes // BLOCK_SIZE)
+    has_hot = config.hot_fraction > 0
+    has_stores = config.store_fraction > 0
+    if num_blocks >= 1 << 32 or (has_hot and hot_blocks < 2) or num_blocks < 2:
+        # Bounds of 1 skip the RNG draw inside numpy and bounds >= 2**32 use
+        # the 64-bit generation path; neither fits the uint32 replay below.
+        return _random_reference(config, name)
+
+    rng = np.random.default_rng(config.seed)
+    metadata = {"pattern": "random", **config.__dict__}
+
+    if not has_hot:
+        if not has_stores:
+            # Pure bounded draws: array draws equal repeated scalar draws.
+            offsets = rng.integers(0, num_blocks, size=n)
+            kinds = _store_kinds(None, 0.0, n)
+        else:
+            # Per record: integers(0, num_blocks) then random().  Raw layout
+            # per pair of records: [carrier, s0, s1].
+            pairs = (n + 1) // 2
+            raw = _raw_uint64(rng, n + pairs)
+            k = np.arange(n)
+            pair, odd = k // 2, k % 2
+            u32 = _split_carriers(raw[pair * 3], odd)
+            offsets, exact = _lemire32_from_raw(
+                u32, np.full(n, num_blocks, dtype=np.uint64)
+            )
+            if not exact:
+                return _random_reference(config, name)
+            store_draws = _doubles_from_raw(raw[pair * 3 + 1 + odd])
+            kinds = _store_kinds(store_draws, config.store_fraction, n)
+        pc = np.full(n, cold_pc, dtype=ADDR_DTYPE)
+        vaddr = DATA_BASE + np.asarray(offsets, dtype=ADDR_DTYPE) * BLOCK_SIZE
+        return _assemble(name, metadata, pc, vaddr, kinds, compute_pc,
+                         config.compute_per_access)
+
+    # Hot/cold branch per record: random() then integers(0, hot|cold) and,
+    # with stores, a trailing random().  Raw layout per pair of records:
+    # [u0, carrier, s0, u1, s1] (or [u0, carrier, u1] without stores).
+    k = np.arange(n)
+    pair, odd = k // 2, k % 2
+    pairs = (n + 1) // 2
+    if has_stores:
+        raw = _raw_uint64(rng, 2 * n + pairs)
+        u_pos = pair * 5 + np.where(odd == 0, 0, 3)
+        c_pos = pair * 5 + 1
+        s_pos = pair * 5 + np.where(odd == 0, 2, 4)
+        store_draws = _doubles_from_raw(raw[s_pos])
+    else:
+        raw = _raw_uint64(rng, n + pairs)
+        u_pos = pair * 3 + np.where(odd == 0, 0, 2)
+        c_pos = pair * 3 + 1
+        store_draws = None
+    hot_mask = _doubles_from_raw(raw[u_pos]) < config.hot_fraction
+    bounds = np.where(hot_mask, hot_blocks, num_blocks).astype(np.uint64)
+    u32 = _split_carriers(raw[c_pos], odd)
+    offsets, exact = _lemire32_from_raw(u32, bounds)
+    if not exact:
+        return _random_reference(config, name)
+    pc = np.where(hot_mask, hot_pc, cold_pc).astype(ADDR_DTYPE)
+    vaddr = DATA_BASE + offsets * BLOCK_SIZE
+    kinds = _store_kinds(store_draws, config.store_fraction, n)
+    return _assemble(name, metadata, pc, vaddr, kinds, compute_pc,
+                     config.compute_per_access)
+
+
+def pointer_chase_trace(
+    config: SyntheticTraceConfig, chain_length: int | None = None, name: str = "chase"
+) -> Trace:
+    """Dependent pointer chasing through a shuffled linked list (mcf-like).
+
+    The chain is a random permutation of the blocks of the working set, so
+    consecutive accesses have no spatial locality and every step is likely a
+    cache miss once the chain exceeds the cache capacity.  A ``hot_fraction``
+    of the steps instead walk a short hot chain that stays cache resident.
+    """
+    rng = np.random.default_rng(config.seed)
+    n = config.num_memory_accesses
+    load_pc = CODE_BASE + 0x400
+    hot_pc = CODE_BASE + 0x440
+    compute_pc = CODE_BASE + 0x4000
+    num_blocks = config.working_set_bytes // BLOCK_SIZE
+    if chain_length is None:
+        chain_length = num_blocks
+    chain_length = min(chain_length, num_blocks)
+    permutation = rng.permutation(chain_length)
+    hot_blocks = max(1, config.hot_working_set_bytes // BLOCK_SIZE)
+    hot_permutation = rng.permutation(hot_blocks)
+
+    # Draws per record are plain doubles ([branch], [store]), so batched
+    # draws replay the scalar stream directly.
+    has_hot = config.hot_fraction > 0
+    has_stores = config.store_fraction > 0
+    store_draws = None
+    if has_hot and has_stores:
+        doubles = rng.random(2 * n)
+        branch_draws, store_draws = doubles[0::2], doubles[1::2]
+    elif has_hot:
+        branch_draws = rng.random(n)
+    elif has_stores:
+        branch_draws = None
+        store_draws = rng.random(n)
+    else:
+        branch_draws = None
+
+    if branch_draws is None:
+        hot_mask = np.zeros(n, dtype=bool)
+    else:
+        hot_mask = branch_draws < config.hot_fraction
+    blocks = np.empty(n, dtype=ADDR_DTYPE)
+    hot_order = np.cumsum(hot_mask) - 1
+    cold_order = np.cumsum(~hot_mask) - 1
+    if hot_mask.any():
+        blocks[hot_mask] = hot_permutation[hot_order[hot_mask] % hot_blocks]
+    cold_mask = ~hot_mask
+    blocks[cold_mask] = permutation[cold_order[cold_mask] % chain_length]
+
+    pc = np.where(hot_mask, hot_pc, load_pc).astype(ADDR_DTYPE)
+    return _assemble(
+        name,
+        {"pattern": "pointer_chase", **config.__dict__},
+        pc,
+        DATA_BASE + blocks * BLOCK_SIZE,
+        _store_kinds(store_draws, config.store_fraction, n),
+        compute_pc,
+        config.compute_per_access,
+    )
+
+
+def mixed_trace(
+    config: SyntheticTraceConfig,
+    random_fraction: float = 0.5,
+    name: str = "mixed",
+) -> Trace:
+    """Mixture of streaming and random accesses (gcc/xalancbmk-like).
+
+    The bounded draw only happens on the random branch, so the raw-stream
+    position of every subsequent draw depends on earlier branch outcomes;
+    the draws stay scalar (bit-identical to the reference by construction)
+    while record assembly and compute interleaving are columnar.
+    """
+    if not 0.0 <= random_fraction <= 1.0:
+        raise ValueError("random_fraction must be in [0, 1]")
+    rng = np.random.default_rng(config.seed)
+    n = config.num_memory_accesses
+    stream_pc = CODE_BASE + 0x500
+    random_pc = CODE_BASE + 0x540
+    compute_pc = CODE_BASE + 0x5000
+    num_blocks = config.working_set_bytes // BLOCK_SIZE
+    working_set = config.working_set_bytes
+    store_fraction = config.store_fraction
+
+    pcs: list[int] = []
+    vaddrs: list[int] = []
+    kinds: list[int] = []
+    pc_append, va_append, kind_append = pcs.append, vaddrs.append, kinds.append
+    random_draw = rng.random
+    integer_draw = rng.integers
+    address = 0
+    for _ in range(n):
+        if random_draw() < random_fraction:
+            pc_append(random_pc)
+            va_append(DATA_BASE + int(integer_draw(0, num_blocks)) * BLOCK_SIZE)
+        else:
+            pc_append(stream_pc)
+            va_append(DATA_BASE + address)
+            address += BLOCK_SIZE
+            if address >= working_set:
+                address = 0
+        if store_fraction > 0 and random_draw() < store_fraction:
+            kind_append(KIND_STORE)
+        else:
+            kind_append(KIND_LOAD)
+
+    return _assemble(
+        name,
+        {"pattern": "mixed", "random_fraction": random_fraction},
+        np.asarray(pcs, dtype=ADDR_DTYPE),
+        np.asarray(vaddrs, dtype=ADDR_DTYPE),
+        np.asarray(kinds, dtype=KIND_DTYPE),
+        compute_pc,
+        config.compute_per_access,
+    )

@@ -1,105 +1,245 @@
-"""Trace container.
+"""Columnar trace container.
 
-A :class:`Trace` is an ordered list of :class:`~repro.common.types.MemoryAccess`
-records plus a name and free-form metadata (suite, input graph, generator
-parameters).  It is what the workload generators produce and what the
-simulation drivers consume.
+A :class:`Trace` stores one workload's instruction/memory stream as three
+parallel numpy columns -- ``pc``, ``vaddr`` and ``kind`` -- plus a name and
+free-form metadata (suite, input graph, generator parameters).  The
+struct-of-arrays layout is what makes million-record traces cheap: the
+workload generators emit whole columns from vectorized RNG draws,
+``truncated()``/``split()`` return zero-copy views, and the summary
+statistics (`num_loads`, `footprint_bytes`, `unique_pcs`, ...) are single
+array reductions instead of Python loops.
+
+The object API is preserved for callers that still want records: iteration
+and indexing materialize :class:`~repro.common.types.MemoryAccess` instances
+lazily, and ``append()``/``extend()`` buffer per-record additions in a tail
+that is consolidated into the columns on the next columnar read.  The hot
+simulation drivers never materialize records -- they step directly over the
+column lists returned by :meth:`as_lists` (see :func:`trace_lists`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
+import numpy as np
+
+from repro.common.addresses import BLOCK_BITS, BLOCK_SIZE
 from repro.common.types import AccessKind, MemoryAccess
 
+#: Integer codes of the ``kind`` column (values of :class:`AccessKind`).
+KIND_LOAD = int(AccessKind.LOAD)
+KIND_STORE = int(AccessKind.STORE)
+KIND_NON_MEM = int(AccessKind.NON_MEM)
 
-@dataclass
+#: Column dtypes: addresses are signed 64-bit (every simulated address fits
+#: comfortably and ``tolist()`` yields plain Python ints), kinds are one byte.
+ADDR_DTYPE = np.int64
+KIND_DTYPE = np.uint8
+
+
+def _empty_columns() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    return (
+        np.empty(0, dtype=ADDR_DTYPE),
+        np.empty(0, dtype=ADDR_DTYPE),
+        np.empty(0, dtype=KIND_DTYPE),
+    )
+
+
 class Trace:
-    """An instruction/memory trace of one workload."""
+    """An instruction/memory trace of one workload, stored as columns."""
 
-    name: str
-    records: list[MemoryAccess] = field(default_factory=list)
-    metadata: dict = field(default_factory=dict)
+    __slots__ = ("name", "metadata", "_pc", "_vaddr", "_kind", "_tail", "_lists")
 
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def __iter__(self) -> Iterator[MemoryAccess]:
-        return iter(self.records)
-
-    def __getitem__(self, index):
-        return self.records[index]
+    def __init__(
+        self,
+        name: str,
+        records: Optional[Iterable[MemoryAccess]] = None,
+        metadata: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.metadata = metadata if metadata is not None else {}
+        self._pc, self._vaddr, self._kind = _empty_columns()
+        #: Per-record appends land here as (pc, vaddr, kind) int tuples and
+        #: are folded into the columns by :meth:`_consolidate`.
+        self._tail: list[tuple[int, int, int]] = []
+        self._lists: Optional[tuple[list, list, list]] = None
+        if records is not None:
+            self.extend(records)
 
     # ------------------------------------------------------------------
-    # Construction helpers
+    # Construction
     # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        pc: np.ndarray,
+        vaddr: np.ndarray,
+        kind: np.ndarray,
+        metadata: Optional[dict] = None,
+    ) -> "Trace":
+        """Build a trace directly from parallel column arrays (no copy)."""
+        trace = cls(name, metadata=metadata)
+        if not (len(pc) == len(vaddr) == len(kind)):
+            raise ValueError(
+                f"column lengths differ: pc={len(pc)} vaddr={len(vaddr)} "
+                f"kind={len(kind)}"
+            )
+        trace._pc = np.asarray(pc, dtype=ADDR_DTYPE)
+        trace._vaddr = np.asarray(vaddr, dtype=ADDR_DTYPE)
+        trace._kind = np.asarray(kind, dtype=KIND_DTYPE)
+        return trace
+
     def append(self, record: MemoryAccess) -> None:
         """Append one record."""
-        self.records.append(record)
+        self._tail.append((record.pc, record.vaddr, int(record.kind)))
+        self._lists = None
 
     def extend(self, records: Iterable[MemoryAccess]) -> None:
         """Append many records."""
-        self.records.extend(records)
+        self._tail.extend((r.pc, r.vaddr, int(r.kind)) for r in records)
+        self._lists = None
 
+    def _consolidate(self) -> None:
+        """Fold the per-record append tail into the columns."""
+        if not self._tail:
+            return
+        pc = np.fromiter((t[0] for t in self._tail), dtype=ADDR_DTYPE, count=len(self._tail))
+        vaddr = np.fromiter((t[1] for t in self._tail), dtype=ADDR_DTYPE, count=len(self._tail))
+        kind = np.fromiter((t[2] for t in self._tail), dtype=KIND_DTYPE, count=len(self._tail))
+        self._pc = np.concatenate([self._pc, pc]) if len(self._pc) else pc
+        self._vaddr = np.concatenate([self._vaddr, vaddr]) if len(self._vaddr) else vaddr
+        self._kind = np.concatenate([self._kind, kind]) if len(self._kind) else kind
+        self._tail.clear()
+
+    # ------------------------------------------------------------------
+    # Columnar access (the hot path)
+    # ------------------------------------------------------------------
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return the ``(pc, vaddr, kind)`` column arrays."""
+        self._consolidate()
+        return self._pc, self._vaddr, self._kind
+
+    def as_lists(self) -> tuple[list, list, list]:
+        """Return the columns as plain Python lists (cached).
+
+        This is what the core stepping loops consume: list indexing over
+        native ints is faster in the interpreter than per-element numpy
+        access, and the conversion is a single C-level ``tolist()`` per
+        column.  The cache is invalidated by ``append()``/``extend()``.
+        """
+        if self._lists is None:
+            pc, vaddr, kind = self.columns()
+            self._lists = (pc.tolist(), vaddr.tolist(), kind.tolist())
+        return self._lists
+
+    # ------------------------------------------------------------------
+    # Object API (lazy materialization)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pc) + len(self._tail)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        pcs, vaddrs, kinds = self.as_lists()
+        for pc, vaddr, kind in zip(pcs, vaddrs, kinds):
+            yield MemoryAccess(pc=pc, vaddr=vaddr, kind=AccessKind(kind))
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            pc, vaddr, kind = self.columns()
+            return Trace.from_columns(
+                self.name, pc[index], vaddr[index], kind[index], dict(self.metadata)
+            )
+        pcs, vaddrs, kinds = self.as_lists()
+        return MemoryAccess(
+            pc=pcs[index], vaddr=vaddrs[index], kind=AccessKind(kinds[index])
+        )
+
+    @property
+    def records(self) -> list[MemoryAccess]:
+        """Materialize every record as a fresh object list (legacy/test API).
+
+        Read-only snapshot: the returned list is built on the fly from the
+        columns, so mutating it does **not** modify the trace.  Use
+        :meth:`append`/:meth:`extend` to add records.
+        """
+        return list(self)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
     def truncated(self, max_instructions: int) -> "Trace":
-        """Return a copy limited to the first ``max_instructions`` records."""
-        return Trace(
-            name=self.name,
-            records=self.records[:max_instructions],
-            metadata=dict(self.metadata),
+        """Return a zero-copy view limited to the first ``max_instructions``."""
+        pc, vaddr, kind = self.columns()
+        return Trace.from_columns(
+            self.name,
+            pc[:max_instructions],
+            vaddr[:max_instructions],
+            kind[:max_instructions],
+            dict(self.metadata),
         )
 
     def split(self, fraction: float) -> tuple["Trace", "Trace"]:
-        """Split into (first, second) parts at ``fraction`` of the length.
+        """Split into zero-copy (first, second) views at ``fraction``.
 
         Used to separate the warm-up portion from the measured portion.
+        The returned traces share the parent's column buffers.
         """
         if not 0.0 <= fraction <= 1.0:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-        cut = int(len(self.records) * fraction)
-        first = Trace(self.name + ".warmup", self.records[:cut], dict(self.metadata))
-        second = Trace(self.name, self.records[cut:], dict(self.metadata))
+        pc, vaddr, kind = self.columns()
+        cut = int(len(pc) * fraction)
+        first = Trace.from_columns(
+            self.name + ".warmup", pc[:cut], vaddr[:cut], kind[:cut], dict(self.metadata)
+        )
+        second = Trace.from_columns(
+            self.name, pc[cut:], vaddr[cut:], kind[cut:], dict(self.metadata)
+        )
         return first, second
 
     # ------------------------------------------------------------------
-    # Properties
+    # Vectorized summary statistics
     # ------------------------------------------------------------------
     @property
     def num_instructions(self) -> int:
         """Total record count (memory and non-memory)."""
-        return len(self.records)
+        return len(self)
 
     @property
     def num_loads(self) -> int:
         """Number of load records."""
-        return sum(1 for r in self.records if r.kind is AccessKind.LOAD)
+        _, _, kind = self.columns()
+        return int(np.count_nonzero(kind == KIND_LOAD))
 
     @property
     def num_stores(self) -> int:
         """Number of store records."""
-        return sum(1 for r in self.records if r.kind is AccessKind.STORE)
+        _, _, kind = self.columns()
+        return int(np.count_nonzero(kind == KIND_STORE))
 
     @property
     def num_memory_accesses(self) -> int:
         """Number of load + store records."""
-        return sum(1 for r in self.records if r.is_memory())
+        _, _, kind = self.columns()
+        return int(np.count_nonzero(kind != KIND_NON_MEM))
 
     @property
     def memory_intensity(self) -> float:
         """Fraction of records that access memory."""
-        if not self.records:
+        if len(self) == 0:
             return 0.0
-        return self.num_memory_accesses / len(self.records)
+        return self.num_memory_accesses / len(self)
 
     def footprint_bytes(self) -> int:
-        """Approximate data footprint: number of distinct blocks times 64."""
-        blocks = {r.vaddr >> 6 for r in self.records if r.is_memory()}
-        return len(blocks) * 64
+        """Approximate data footprint: distinct blocks times the block size."""
+        _, vaddr, kind = self.columns()
+        blocks = np.unique(vaddr[kind != KIND_NON_MEM] >> BLOCK_BITS)
+        return int(len(blocks)) * BLOCK_SIZE
 
     def unique_pcs(self) -> int:
         """Number of distinct PCs of memory records."""
-        return len({r.pc for r in self.records if r.is_memory()})
+        pc, _, kind = self.columns()
+        return int(len(np.unique(pc[kind != KIND_NON_MEM])))
 
     def summary(self) -> dict:
         """Small dictionary of headline characteristics."""
@@ -112,3 +252,25 @@ class Trace:
             "footprint_kib": self.footprint_bytes() // 1024,
             "unique_pcs": self.unique_pcs(),
         }
+
+
+def trace_lists(trace) -> tuple[list, list, list]:
+    """Column lists of ``trace``, accepting object-trace stand-ins.
+
+    Returns ``(pcs, vaddrs, kinds)`` Python lists.  A :class:`Trace` (or any
+    object exposing ``as_lists``) hits the cached columnar path; a plain
+    iterable of :class:`MemoryAccess` records -- the legacy representation,
+    still used by tests and by the columnar/legacy equivalence harness -- is
+    converted record by record.
+    """
+    as_lists = getattr(trace, "as_lists", None)
+    if as_lists is not None:
+        return as_lists()
+    pcs: list[int] = []
+    vaddrs: list[int] = []
+    kinds: list[int] = []
+    for record in trace:
+        pcs.append(record.pc)
+        vaddrs.append(record.vaddr)
+        kinds.append(int(record.kind))
+    return pcs, vaddrs, kinds

@@ -6,7 +6,7 @@ from repro.workloads.catalog import (
     default_catalog,
     make_multicore_mixes,
 )
-from repro.workloads.gap import GAP_KERNELS, GraphWorkload, gap_trace
+from repro.workloads.gap import GAP_KERNELS, TraceEmitter, gap_trace
 from repro.workloads.graphs import CSRGraph, generate_graph, GRAPH_GENERATORS
 from repro.workloads.spec_like import SPEC_LIKE_WORKLOADS, spec_like_trace
 
@@ -16,7 +16,7 @@ __all__ = [
     "default_catalog",
     "make_multicore_mixes",
     "GAP_KERNELS",
-    "GraphWorkload",
+    "TraceEmitter",
     "gap_trace",
     "CSRGraph",
     "generate_graph",

@@ -15,40 +15,54 @@ addresses of every array access it performs, producing a
 GAP binary would exhibit (at reduced scale).  Every distinct load/store site
 in the kernel gets its own synthetic PC, which is what the perceptron
 features key on.
+
+The emitter is columnar: kernels append plain-int ``(pc, vaddr, kind)``
+scalars to three column buffers (no per-record object construction), the
+per-access compute interleave is expanded vectorically at the end, and the
+kernels walk cached plain-list views of the CSR arrays instead of indexing
+numpy scalars one element at a time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.common.types import AccessKind, MemoryAccess
-from repro.traces.trace import Trace
+from repro.traces.synthetic import interleave_columns
+from repro.traces.trace import ADDR_DTYPE, KIND_DTYPE, KIND_LOAD, KIND_STORE, Trace
 from repro.workloads.graphs import CSRGraph, generate_graph
 
 #: Base virtual addresses of the kernel data structures.  They are spaced
-#: far apart so arrays never overlap regardless of graph size.
-_ROW_PTR_BASE = 0x20_0000_0000
-_COL_IDX_BASE = 0x21_0000_0000
-_PROP_A_BASE = 0x22_0000_0000
-_PROP_B_BASE = 0x23_0000_0000
-_PROP_C_BASE = 0x24_0000_0000
-_QUEUE_BASE = 0x25_0000_0000
+#: far apart so arrays never overlap regardless of graph size.  The kernels
+#: inline the address arithmetic (base + element_size * index); the element
+#: sizes are: row_ptr 8B, col_idx 4B, prop_a 4B, prop_b 4B, prop_c 8B,
+#: queue 4B.
+_ROW_PTR_BASE = 0x20_0000_0000   # 8-byte elements
+_COL_IDX_BASE = 0x21_0000_0000   # 4-byte elements
+_PROP_A_BASE = 0x22_0000_0000    # 4-byte elements
+_PROP_B_BASE = 0x23_0000_0000    # 4-byte elements
+_PROP_C_BASE = 0x24_0000_0000    # 8-byte elements
+_QUEUE_BASE = 0x25_0000_0000     # 4-byte elements
 
 _CODE_BASE = 0x50_0000
 
 
 class TraceEmitter:
-    """Collects memory accesses emitted by a kernel, up to a budget."""
+    """Collects memory accesses emitted by a kernel, up to a budget.
+
+    Accesses land in three parallel column buffers; :meth:`build_trace`
+    interleaves the compute records and assembles the columnar trace.
+    """
 
     def __init__(
         self, name: str, max_memory_accesses: int, compute_per_access: int
     ) -> None:
-        self.trace = Trace(name)
+        self.name = name
         self.max_memory_accesses = max_memory_accesses
         self.compute_per_access = compute_per_access
         self.memory_accesses = 0
+        self._pcs: list[int] = []
+        self._vaddrs: list[int] = []
+        self._kinds: list[int] = []
         self._compute_pc = _CODE_BASE + 0xF000
 
     @property
@@ -57,66 +71,52 @@ class TraceEmitter:
         return self.memory_accesses >= self.max_memory_accesses
 
     def load(self, pc: int, vaddr: int) -> None:
-        """Emit one load plus its share of compute records."""
-        self._emit(pc, vaddr, AccessKind.LOAD)
+        """Emit one load (plus its share of compute records at build time)."""
+        if self.memory_accesses >= self.max_memory_accesses:
+            return
+        self._pcs.append(pc)
+        self._vaddrs.append(vaddr)
+        self._kinds.append(KIND_LOAD)
+        self.memory_accesses += 1
 
     def store(self, pc: int, vaddr: int) -> None:
-        """Emit one store plus its share of compute records."""
-        self._emit(pc, vaddr, AccessKind.STORE)
-
-    def _emit(self, pc: int, vaddr: int, kind: AccessKind) -> None:
-        if self.exhausted:
+        """Emit one store (plus its share of compute records at build time)."""
+        if self.memory_accesses >= self.max_memory_accesses:
             return
-        self.trace.append(MemoryAccess(pc=pc, vaddr=int(vaddr), kind=kind))
+        self._pcs.append(pc)
+        self._vaddrs.append(vaddr)
+        self._kinds.append(KIND_STORE)
         self.memory_accesses += 1
-        for i in range(self.compute_per_access):
-            self.trace.append(
-                MemoryAccess(pc=self._compute_pc + 4 * i, vaddr=0, kind=AccessKind.NON_MEM)
-            )
 
-
-@dataclass
-class GraphWorkload:
-    """Addresses of the CSR arrays and property arrays of one kernel run."""
-
-    graph: CSRGraph
-
-    def row_ptr_addr(self, vertex: int) -> int:
-        """Address of ``row_ptr[vertex]`` (8-byte elements)."""
-        return _ROW_PTR_BASE + 8 * vertex
-
-    def col_idx_addr(self, edge: int) -> int:
-        """Address of ``col_idx[edge]`` (4-byte elements)."""
-        return _COL_IDX_BASE + 4 * edge
-
-    def prop_a_addr(self, vertex: int) -> int:
-        """Address of the first per-vertex property array (4-byte elements)."""
-        return _PROP_A_BASE + 4 * vertex
-
-    def prop_b_addr(self, vertex: int) -> int:
-        """Address of the second per-vertex property array (4-byte elements)."""
-        return _PROP_B_BASE + 4 * vertex
-
-    def prop_c_addr(self, vertex: int) -> int:
-        """Address of the third per-vertex property array (8-byte elements)."""
-        return _PROP_C_BASE + 8 * vertex
-
-    def queue_addr(self, index: int) -> int:
-        """Address of the frontier/queue slot ``index`` (4-byte elements)."""
-        return _QUEUE_BASE + 4 * index
+    def build_trace(self, metadata: dict | None = None) -> Trace:
+        """Assemble the columnar trace (memory records + compute interleave)."""
+        pc, vaddr, kind = interleave_columns(
+            np.asarray(self._pcs, dtype=ADDR_DTYPE),
+            np.asarray(self._vaddrs, dtype=ADDR_DTYPE),
+            np.asarray(self._kinds, dtype=KIND_DTYPE),
+            self._compute_pc,
+            self.compute_per_access,
+        )
+        return Trace.from_columns(self.name, pc, vaddr, kind, metadata or {})
 
 
 # ----------------------------------------------------------------------
 # Kernels
+#
+# Address arithmetic is inlined (base + element_size * index) and the CSR
+# arrays are walked through their cached list views -- both are per-access
+# hot-path costs in a trace-emission run.
 # ----------------------------------------------------------------------
-def _bfs(emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator) -> None:
+def _bfs(emitter: TraceEmitter, graph: CSRGraph, rng: np.random.Generator) -> None:
     """Breadth-first search with an explicit frontier (push style)."""
-    graph = wl.graph
-    parent = np.full(graph.num_vertices, -1, dtype=np.int64)
+    row_ptr = graph.row_ptr_list()
+    col_idx = graph.col_idx_list()
+    num_vertices = graph.num_vertices
+    load, store = emitter.load, emitter.store
     pc = _CODE_BASE
     while not emitter.exhausted:
-        source = int(rng.integers(0, graph.num_vertices))
-        parent[:] = -1
+        source = int(rng.integers(0, num_vertices))
+        parent = [-1] * num_vertices
         parent[source] = source
         frontier = [source]
         queue_index = 0
@@ -125,85 +125,91 @@ def _bfs(emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator) -> 
             for vertex in frontier:
                 if emitter.exhausted:
                     break
-                emitter.load(pc + 0x00, wl.queue_addr(queue_index))
+                load(pc + 0x00, _QUEUE_BASE + 4 * queue_index)
                 queue_index += 1
-                emitter.load(pc + 0x10, wl.row_ptr_addr(vertex))
-                emitter.load(pc + 0x14, wl.row_ptr_addr(vertex + 1))
-                start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
-                for edge in range(start, end):
+                load(pc + 0x10, _ROW_PTR_BASE + 8 * vertex)
+                load(pc + 0x14, _ROW_PTR_BASE + 8 * (vertex + 1))
+                for edge in range(row_ptr[vertex], row_ptr[vertex + 1]):
                     if emitter.exhausted:
                         break
-                    emitter.load(pc + 0x20, wl.col_idx_addr(edge))
-                    neighbor = int(graph.col_idx[edge])
-                    emitter.load(pc + 0x30, wl.prop_a_addr(neighbor))
+                    load(pc + 0x20, _COL_IDX_BASE + 4 * edge)
+                    neighbor = col_idx[edge]
+                    load(pc + 0x30, _PROP_A_BASE + 4 * neighbor)
                     if parent[neighbor] == -1:
                         parent[neighbor] = vertex
-                        emitter.store(pc + 0x40, wl.prop_a_addr(neighbor))
-                        emitter.store(pc + 0x50, wl.queue_addr(queue_index + len(next_frontier)))
+                        store(pc + 0x40, _PROP_A_BASE + 4 * neighbor)
+                        store(pc + 0x50, _QUEUE_BASE + 4 * (queue_index + len(next_frontier)))
                         next_frontier.append(neighbor)
             frontier = next_frontier
 
 
-def _pagerank(emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator) -> None:
+def _pagerank(emitter: TraceEmitter, graph: CSRGraph, rng: np.random.Generator) -> None:
     """Pull-style PageRank iterations."""
-    graph = wl.graph
+    row_ptr = graph.row_ptr_list()
+    col_idx = graph.col_idx_list()
+    num_vertices = graph.num_vertices
+    load, store = emitter.load, emitter.store
     pc = _CODE_BASE + 0x1000
     vertex = 0
     while not emitter.exhausted:
-        emitter.load(pc + 0x00, wl.row_ptr_addr(vertex))
-        emitter.load(pc + 0x04, wl.row_ptr_addr(vertex + 1))
-        start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
-        for edge in range(start, end):
+        load(pc + 0x00, _ROW_PTR_BASE + 8 * vertex)
+        load(pc + 0x04, _ROW_PTR_BASE + 8 * (vertex + 1))
+        for edge in range(row_ptr[vertex], row_ptr[vertex + 1]):
             if emitter.exhausted:
                 break
-            emitter.load(pc + 0x10, wl.col_idx_addr(edge))
-            neighbor = int(graph.col_idx[edge])
+            load(pc + 0x10, _COL_IDX_BASE + 4 * edge)
+            neighbor = col_idx[edge]
             # Pull the neighbour's current rank (random access).
-            emitter.load(pc + 0x20, wl.prop_a_addr(neighbor))
+            load(pc + 0x20, _PROP_A_BASE + 4 * neighbor)
             # And its out-degree for normalisation.
-            emitter.load(pc + 0x24, wl.row_ptr_addr(neighbor))
-        emitter.store(pc + 0x30, wl.prop_b_addr(vertex))
-        vertex = (vertex + 1) % graph.num_vertices
+            load(pc + 0x24, _ROW_PTR_BASE + 8 * neighbor)
+        store(pc + 0x30, _PROP_B_BASE + 4 * vertex)
+        vertex = (vertex + 1) % num_vertices
 
 
 def _connected_components(
-    emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator
+    emitter: TraceEmitter, graph: CSRGraph, rng: np.random.Generator
 ) -> None:
     """Shiloach-Vishkin style hook-and-compress over the edge list."""
-    graph = wl.graph
-    comp = np.arange(graph.num_vertices, dtype=np.int64)
+    row_ptr = graph.row_ptr_list()
+    col_idx = graph.col_idx_list()
+    num_vertices = graph.num_vertices
+    load, store = emitter.load, emitter.store
+    comp = list(range(num_vertices))
     pc = _CODE_BASE + 0x2000
     while not emitter.exhausted:
         vertex = 0
-        while vertex < graph.num_vertices and not emitter.exhausted:
-            emitter.load(pc + 0x00, wl.row_ptr_addr(vertex))
-            emitter.load(pc + 0x04, wl.row_ptr_addr(vertex + 1))
-            start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
-            for edge in range(start, end):
+        while vertex < num_vertices and not emitter.exhausted:
+            load(pc + 0x00, _ROW_PTR_BASE + 8 * vertex)
+            load(pc + 0x04, _ROW_PTR_BASE + 8 * (vertex + 1))
+            for edge in range(row_ptr[vertex], row_ptr[vertex + 1]):
                 if emitter.exhausted:
                     break
-                emitter.load(pc + 0x10, wl.col_idx_addr(edge))
-                neighbor = int(graph.col_idx[edge])
-                emitter.load(pc + 0x20, wl.prop_a_addr(vertex))
-                emitter.load(pc + 0x24, wl.prop_a_addr(neighbor))
+                load(pc + 0x10, _COL_IDX_BASE + 4 * edge)
+                neighbor = col_idx[edge]
+                load(pc + 0x20, _PROP_A_BASE + 4 * vertex)
+                load(pc + 0x24, _PROP_A_BASE + 4 * neighbor)
                 if comp[neighbor] < comp[vertex]:
                     comp[vertex] = comp[neighbor]
-                    emitter.store(pc + 0x30, wl.prop_a_addr(vertex))
+                    store(pc + 0x30, _PROP_A_BASE + 4 * vertex)
                 elif comp[vertex] < comp[neighbor]:
                     comp[neighbor] = comp[vertex]
-                    emitter.store(pc + 0x34, wl.prop_a_addr(neighbor))
+                    store(pc + 0x34, _PROP_A_BASE + 4 * neighbor)
             vertex += 1
 
 
 def _betweenness_centrality(
-    emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator
+    emitter: TraceEmitter, graph: CSRGraph, rng: np.random.Generator
 ) -> None:
     """Brandes-style BC from sampled sources (forward BFS + backward pass)."""
-    graph = wl.graph
+    row_ptr = graph.row_ptr_list()
+    col_idx = graph.col_idx_list()
+    num_vertices = graph.num_vertices
+    load, store = emitter.load, emitter.store
     pc = _CODE_BASE + 0x3000
     while not emitter.exhausted:
-        source = int(rng.integers(0, graph.num_vertices))
-        depth = np.full(graph.num_vertices, -1, dtype=np.int64)
+        source = int(rng.integers(0, num_vertices))
+        depth = [-1] * num_vertices
         depth[source] = 0
         order: list[int] = []
         frontier = [source]
@@ -214,75 +220,79 @@ def _betweenness_centrality(
                 if emitter.exhausted:
                     break
                 order.append(vertex)
-                emitter.load(pc + 0x00, wl.row_ptr_addr(vertex))
-                emitter.load(pc + 0x04, wl.row_ptr_addr(vertex + 1))
-                start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
-                for edge in range(start, end):
+                load(pc + 0x00, _ROW_PTR_BASE + 8 * vertex)
+                load(pc + 0x04, _ROW_PTR_BASE + 8 * (vertex + 1))
+                for edge in range(row_ptr[vertex], row_ptr[vertex + 1]):
                     if emitter.exhausted:
                         break
-                    emitter.load(pc + 0x10, wl.col_idx_addr(edge))
-                    neighbor = int(graph.col_idx[edge])
-                    emitter.load(pc + 0x20, wl.prop_a_addr(neighbor))   # depth
-                    emitter.load(pc + 0x24, wl.prop_c_addr(neighbor))   # sigma
+                    load(pc + 0x10, _COL_IDX_BASE + 4 * edge)
+                    neighbor = col_idx[edge]
+                    load(pc + 0x20, _PROP_A_BASE + 4 * neighbor)   # depth
+                    load(pc + 0x24, _PROP_C_BASE + 8 * neighbor)   # sigma
                     if depth[neighbor] == -1:
                         depth[neighbor] = depth[vertex] + 1
-                        emitter.store(pc + 0x30, wl.prop_a_addr(neighbor))
-                        emitter.store(pc + 0x34, wl.prop_c_addr(neighbor))
+                        store(pc + 0x30, _PROP_A_BASE + 4 * neighbor)
+                        store(pc + 0x34, _PROP_C_BASE + 8 * neighbor)
                         next_frontier.append(neighbor)
             frontier = next_frontier
         # Backward accumulation.
         for vertex in reversed(order):
             if emitter.exhausted:
                 break
-            emitter.load(pc + 0x40, wl.row_ptr_addr(vertex))
-            start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
+            load(pc + 0x40, _ROW_PTR_BASE + 8 * vertex)
+            start, end = row_ptr[vertex], row_ptr[vertex + 1]
             for edge in range(start, min(end, start + 8)):
                 if emitter.exhausted:
                     break
-                emitter.load(pc + 0x50, wl.col_idx_addr(edge))
-                neighbor = int(graph.col_idx[edge])
-                emitter.load(pc + 0x60, wl.prop_b_addr(neighbor))       # delta
-            emitter.store(pc + 0x70, wl.prop_b_addr(vertex))
+                load(pc + 0x50, _COL_IDX_BASE + 4 * edge)
+                neighbor = col_idx[edge]
+                load(pc + 0x60, _PROP_B_BASE + 4 * neighbor)       # delta
+            store(pc + 0x70, _PROP_B_BASE + 4 * vertex)
 
 
 def _triangle_count(
-    emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator
+    emitter: TraceEmitter, graph: CSRGraph, rng: np.random.Generator
 ) -> None:
     """Triangle counting by neighbour-list intersection."""
-    graph = wl.graph
+    row_ptr = graph.row_ptr_list()
+    col_idx = graph.col_idx_list()
+    num_vertices = graph.num_vertices
+    load = emitter.load
     pc = _CODE_BASE + 0x4000
     vertex = 0
     while not emitter.exhausted:
-        emitter.load(pc + 0x00, wl.row_ptr_addr(vertex))
-        emitter.load(pc + 0x04, wl.row_ptr_addr(vertex + 1))
-        start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
-        for edge in range(start, end):
+        load(pc + 0x00, _ROW_PTR_BASE + 8 * vertex)
+        load(pc + 0x04, _ROW_PTR_BASE + 8 * (vertex + 1))
+        for edge in range(row_ptr[vertex], row_ptr[vertex + 1]):
             if emitter.exhausted:
                 break
-            emitter.load(pc + 0x10, wl.col_idx_addr(edge))
-            neighbor = int(graph.col_idx[edge])
+            load(pc + 0x10, _COL_IDX_BASE + 4 * edge)
+            neighbor = col_idx[edge]
             if neighbor <= vertex:
                 continue
-            emitter.load(pc + 0x20, wl.row_ptr_addr(neighbor))
-            emitter.load(pc + 0x24, wl.row_ptr_addr(neighbor + 1))
-            n_start = int(graph.row_ptr[neighbor])
-            n_end = int(graph.row_ptr[neighbor + 1])
+            load(pc + 0x20, _ROW_PTR_BASE + 8 * neighbor)
+            load(pc + 0x24, _ROW_PTR_BASE + 8 * (neighbor + 1))
+            n_start = row_ptr[neighbor]
+            n_end = row_ptr[neighbor + 1]
             # Stream both adjacency lists for the intersection.
             for other_edge in range(n_start, min(n_end, n_start + 16)):
                 if emitter.exhausted:
                     break
-                emitter.load(pc + 0x30, wl.col_idx_addr(other_edge))
-        vertex = (vertex + 1) % graph.num_vertices
+                load(pc + 0x30, _COL_IDX_BASE + 4 * other_edge)
+        vertex = (vertex + 1) % num_vertices
 
 
-def _sssp(emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator) -> None:
+def _sssp(emitter: TraceEmitter, graph: CSRGraph, rng: np.random.Generator) -> None:
     """Delta-stepping-style SSSP (bucketed Bellman-Ford relaxations)."""
-    graph = wl.graph
+    row_ptr = graph.row_ptr_list()
+    col_idx = graph.col_idx_list()
+    num_vertices = graph.num_vertices
+    load, store = emitter.load, emitter.store
     pc = _CODE_BASE + 0x5000
-    infinity = np.iinfo(np.int64).max
+    infinity = int(np.iinfo(np.int64).max)
     while not emitter.exhausted:
-        source = int(rng.integers(0, graph.num_vertices))
-        dist = np.full(graph.num_vertices, infinity, dtype=np.int64)
+        source = int(rng.integers(0, num_vertices))
+        dist = [infinity] * num_vertices
         dist[source] = 0
         bucket = [source]
         while bucket and not emitter.exhausted:
@@ -290,20 +300,19 @@ def _sssp(emitter: TraceEmitter, wl: GraphWorkload, rng: np.random.Generator) ->
             for vertex in bucket:
                 if emitter.exhausted:
                     break
-                emitter.load(pc + 0x00, wl.queue_addr(len(next_bucket)))
-                emitter.load(pc + 0x10, wl.row_ptr_addr(vertex))
-                emitter.load(pc + 0x14, wl.row_ptr_addr(vertex + 1))
-                start, end = int(graph.row_ptr[vertex]), int(graph.row_ptr[vertex + 1])
-                for edge in range(start, end):
+                load(pc + 0x00, _QUEUE_BASE + 4 * len(next_bucket))
+                load(pc + 0x10, _ROW_PTR_BASE + 8 * vertex)
+                load(pc + 0x14, _ROW_PTR_BASE + 8 * (vertex + 1))
+                for edge in range(row_ptr[vertex], row_ptr[vertex + 1]):
                     if emitter.exhausted:
                         break
-                    emitter.load(pc + 0x20, wl.col_idx_addr(edge))
-                    neighbor = int(graph.col_idx[edge])
+                    load(pc + 0x20, _COL_IDX_BASE + 4 * edge)
+                    neighbor = col_idx[edge]
                     weight = (vertex ^ neighbor) % 16 + 1
-                    emitter.load(pc + 0x30, wl.prop_c_addr(neighbor))
+                    load(pc + 0x30, _PROP_C_BASE + 8 * neighbor)
                     if dist[vertex] + weight < dist[neighbor]:
                         dist[neighbor] = dist[vertex] + weight
-                        emitter.store(pc + 0x40, wl.prop_c_addr(neighbor))
+                        store(pc + 0x40, _PROP_C_BASE + 8 * neighbor)
                         next_bucket.append(neighbor)
             bucket = next_bucket
 
@@ -351,10 +360,9 @@ def gap_trace(
     kernel_fn, _ = GAP_KERNELS[normalized]
     name = f"{normalized}.{csr.name}"
     emitter = TraceEmitter(name, max_memory_accesses, compute_per_access)
-    workload = GraphWorkload(graph=csr)
     rng = np.random.default_rng(seed)
-    kernel_fn(emitter, workload, rng)
-    emitter.trace.metadata.update(
+    kernel_fn(emitter, csr, rng)
+    return emitter.build_trace(
         {
             "suite": "gap",
             "kernel": normalized,
@@ -363,4 +371,3 @@ def gap_trace(
             "edges": csr.num_edges,
         }
     )
-    return emitter.trace

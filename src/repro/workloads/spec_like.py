@@ -10,7 +10,10 @@ large working sets (mcf/omnetpp-like), mixed regular/irregular behaviour
 
 Each entry lists the pattern, the working-set size and the memory intensity;
 the mapping from these parameters to the elementary generators lives in
-:mod:`repro.traces.synthetic`.
+:mod:`repro.traces.synthetic`.  The generators are vectorized and columnar:
+a workload trace is assembled as whole ``pc``/``vaddr``/``kind`` columns
+(millions of records in a few milliseconds), bit-identical to the
+record-at-a-time reference implementations.
 """
 
 from __future__ import annotations
