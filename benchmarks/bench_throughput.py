@@ -17,7 +17,11 @@ Three metrics per scenario:
 * ``cold_point_seconds`` -- campaign-point wall time on a cold *result*
   cache (steady-state trace build + simulate; the per-process graph build
   is amortized across the campaign and reported via
-  ``first_build_seconds``).
+  ``first_build_seconds``);
+* ``store_load`` (per workload) -- trace-store load throughput in
+  records/sec: memory-mapping a stored trace back (header parse + mmap +
+  touching every column element), i.e. what a campaign worker pays instead
+  of ``construction`` when the persistent trace store is warm.
 
 Usage::
 
@@ -92,10 +96,37 @@ def _geomean(values) -> float:
     return math.exp(sum(math.log(value) for value in values) / len(values))
 
 
+def _measure_store_load(trace, repeats: int) -> dict:
+    """Time memory-mapping ``trace`` back from a throwaway trace store."""
+    import tempfile
+
+    from repro.traces.store import TraceStore
+
+    with tempfile.TemporaryDirectory(prefix="repro_bench_store") as tmp:
+        store = TraceStore(tmp)
+        store.put("bench", trace)
+        best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            loaded = store.get("bench")
+            pc, vaddr, kind = loaded.columns()
+            # Touch every element so the page cache is actually read --
+            # otherwise an mmap open is O(1) and the number meaningless.
+            checksum = int(pc.sum()) ^ int(vaddr.sum()) ^ int(kind.sum())
+            best = min(best, time.perf_counter() - start)
+        assert checksum is not None
+    return {
+        "seconds": round(best, 4),
+        "records": len(trace),
+        "records_per_sec": round(len(trace) / best, 1),
+    }
+
+
 def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0.25) -> dict:
     """Run every scenario ``repeats`` times and report the best throughput."""
     traces = {}
     construction = {}
+    store_load = {}
     results = {}
     from repro.workloads.graphs import clear_graph_memo
 
@@ -117,6 +148,7 @@ def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0
                 "records": len(trace),
                 "records_per_sec": round(len(trace) / best, 1),
             }
+            store_load[workload] = _measure_store_load(trace, repeats)
         trace = traces[workload]
         best = math.inf
         for _ in range(repeats):
@@ -136,11 +168,15 @@ def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0
         "repeats": repeats,
         "scenarios": results,
         "construction": construction,
+        "store_load": store_load,
         "geomean_accesses_per_sec": round(
             _geomean(entry["accesses_per_sec"] for entry in results.values()), 1
         ),
         "construction_geomean_records_per_sec": round(
             _geomean(entry["records_per_sec"] for entry in construction.values()), 1
+        ),
+        "store_load_geomean_records_per_sec": round(
+            _geomean(entry["records_per_sec"] for entry in store_load.values()), 1
         ),
     }
 
@@ -194,6 +230,24 @@ def main(argv=None) -> int:
     print(
         f"  {'geomean':<24} "
         f"{report['construction_geomean_records_per_sec']:>10,.0f} rec/s"
+    )
+
+    print(f"trace store load (mmap + full column read, best of {args.repeats}):")
+    baseline_store = (baseline or {}).get("store_load", {})
+    for name, entry in report["store_load"].items():
+        line = f"  {name:<24} {entry['records_per_sec']:>10,.0f} rec/s"
+        build_entry = report["construction"].get(name)
+        if build_entry and entry["seconds"]:
+            line += (f"  ({build_entry['seconds'] / entry['seconds']:.2f}x "
+                     f"vs rebuild)")
+        baseline_entry = baseline_store.get(name)
+        if baseline_entry and baseline_entry.get("records_per_sec"):
+            line += (f"  ({entry['records_per_sec'] / baseline_entry['records_per_sec']:.2f}x"
+                     f" vs baseline)")
+        print(line)
+    print(
+        f"  {'geomean':<24} "
+        f"{report['store_load_geomean_records_per_sec']:>10,.0f} rec/s"
     )
 
     construction_ratios = [

@@ -20,6 +20,18 @@ Examples::
 
     # Bound the result cache size (also: REPRO_CACHE_MAX_MB=64 on writes)
     python -m repro.cli cache gc --max-mb 64
+    python -m repro.cli cache gc --max-mb 64 --dry-run
+
+    # Prebuild workload traces into the memory-mapped trace store, import
+    # an external ChampSim-style trace, inspect and prune the store
+    python -m repro.cli trace build --workload bfs.urand --accesses 12000
+    python -m repro.cli trace import traces/astar.trace.gz --name astar
+    python -m repro.cli trace ls
+    python -m repro.cli trace info imported.astar
+    python -m repro.cli trace rm imported.astar
+
+    # Run the campaign over the imported traces too
+    python -m repro.cli campaign --include-imported
 
     # List available workloads and schemes
     python -m repro.cli list
@@ -79,6 +91,14 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("\nSPEC-like workloads:")
     for name, spec in sorted(SPEC_LIKE_WORKLOADS.items()):
         print(f"  spec.{name:<18} {spec.description}")
+    from repro.traces.store import TraceStore
+
+    imported = TraceStore.default().imported_workloads()
+    if imported:
+        print("\nImported traces (trace store):")
+        for name, entry in imported.items():
+            print(f"  {name:<24} {entry.get('memory_accesses', '?')} accesses "
+                  f"from {entry.get('source', '?')}")
     print("\nFigures:")
     for name in sorted(FIGURES):
         print(f"  {name}")
@@ -106,19 +126,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_trace_store(args: argparse.Namespace):
+    """Trace store selected by ``--trace-dir`` / ``--no-trace-store``."""
+    from repro.traces.store import TraceStore
+
+    if getattr(args, "no_trace_store", False):
+        return None
+    trace_dir = getattr(args, "trace_dir", None)
+    return TraceStore(trace_dir) if trace_dir else TraceStore.default()
+
+
 def _build_campaign_cache(args: argparse.Namespace) -> CampaignCache:
     from repro.sim.engine import CampaignEngine
     from repro.sim.result_cache import ResultCache
 
+    trace_store = _resolve_trace_store(args)
+    imported: tuple[str, ...] = ()
+    if getattr(args, "include_imported", False):
+        if trace_store is None:
+            raise SystemExit("--include-imported requires the trace store "
+                             "(drop --no-trace-store)")
+        imported = tuple(trace_store.imported_workloads())
+        if not imported:
+            print(f"note: no imported traces in {trace_store.directory} "
+                  f"(use 'repro trace import')")
     config = ExperimentConfig(
         memory_accesses=args.accesses,
         l1d_prefetchers=tuple(args.prefetchers),
+        imported_workloads=imported,
     )
     if args.no_cache:
         result_cache = None
     else:
         result_cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
-    engine = CampaignEngine(result_cache=result_cache, jobs=args.jobs)
+    engine = CampaignEngine(
+        result_cache=result_cache, jobs=args.jobs, trace_store=trace_store
+    )
     return CampaignCache(config, engine=engine)
 
 
@@ -190,6 +233,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_bytes(count: int) -> str:
+    """Human-readable byte count (exact below 1 KiB)."""
+    if count < 1024:
+        return f"{count} B"
+    if count < 1024 * 1024:
+        return f"{count / 1024:.1f} KiB"
+    return f"{count / (1024 * 1024):.1f} MiB"
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.sim.result_cache import ResultCache
 
@@ -197,30 +249,130 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "merge":
         total_copied = 0
         total_skipped = 0
+        total_bytes = 0
         for source in args.sources:
             try:
-                copied, skipped = cache.merge_from(source)
+                copied, skipped, bytes_copied = cache.merge_from(source)
             except FileNotFoundError as error:
                 print(error)
                 return 1
-            print(f"  {source}: {copied} copied, {skipped} already present")
+            print(f"  {source}: {copied} copied "
+                  f"({_format_bytes(bytes_copied)}), {skipped} already present")
             total_copied += copied
             total_skipped += skipped
+            total_bytes += bytes_copied
         print(
-            f"merged {total_copied} entries into {cache.directory} "
-            f"({total_skipped} duplicates skipped, "
+            f"merged {total_copied} entries ({_format_bytes(total_bytes)}) "
+            f"into {cache.directory} ({total_skipped} duplicates skipped, "
             f"{len(cache.entries())} entries total)"
         )
         return 0
     # argparse's required subparser guarantees merge/gc are the only commands.
     max_bytes = int(args.max_mb * 1024 * 1024)
     before = cache.size_bytes()
-    removed, freed = cache.gc(max_bytes)
+    removed, freed = cache.gc(max_bytes, dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
     print(
-        f"cache gc: {cache.directory} {before / 1024:.0f} KiB -> "
-        f"{(before - freed) / 1024:.0f} KiB "
-        f"({removed} entries evicted, cap {args.max_mb:g} MB)"
+        f"cache gc{' (dry run)' if args.dry_run else ''}: {cache.directory} "
+        f"{_format_bytes(before)} -> {_format_bytes(before - freed)} "
+        f"({removed} entries {verb}, {_format_bytes(freed)} reclaimed, "
+        f"cap {args.max_mb:g} MB)"
     )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.traces.store import TraceStore, TraceStoreError
+
+    store = TraceStore(args.dir) if args.dir else TraceStore.default()
+
+    if args.trace_command == "build":
+        from repro.sim.engine import build_workload_trace
+
+        trace = build_workload_trace(
+            args.workload, args.accesses, args.gap_scale, trace_store=store
+        )
+        from repro.traces.store import workload_key
+
+        key = workload_key(args.workload, args.accesses, args.gap_scale)
+        print(f"stored {args.workload} ({len(trace)} records, "
+              f"{_format_bytes(store.entry_size_bytes(key))}) "
+              f"under {key[:12]} in {store.directory}")
+        return 0
+
+    if args.trace_command == "import":
+        from repro.traces.ingest import TraceParseError, import_champsim_trace
+
+        try:
+            workload, key, trace = import_champsim_trace(
+                args.path,
+                store=store,
+                name=args.name,
+                compute_per_access=args.compute_per_access,
+                max_records=args.max_records,
+            )
+        except (OSError, TraceParseError) as error:
+            print(f"import failed: {error}")
+            return 1
+        print(f"imported {args.path} as {workload} "
+              f"({trace.num_memory_accesses} memory accesses, "
+              f"{len(trace)} records, "
+              f"{_format_bytes(store.entry_size_bytes(key))}) "
+              f"under {key[:12]} in {store.directory}")
+        print(f"run it with: repro campaign --include-imported")
+        return 0
+
+    if args.trace_command == "ls":
+        keys = store.keys()
+        imported = {
+            entry["key"]: workload
+            for workload, entry in store.imported_workloads().items()
+        }
+        print(f"{len(keys)} traces in {store.directory} "
+              f"({_format_bytes(store.size_bytes())})")
+        for key in keys:
+            try:
+                meta = store.info(key)
+            except TraceStoreError as error:
+                print(f"  {key[:12]}  <unreadable: {error}>")
+                continue
+            label = imported.get(key) or meta.get("workload") or meta.get("name")
+            print(f"  {key[:12]}  {label:<28} {meta['records']:>9} records  "
+                  f"{_format_bytes(meta['size_bytes']):>10}")
+        return 0
+
+    if args.trace_command == "info":
+        key = store.resolve(args.name)
+        if key is None:
+            print(f"no trace {args.name!r} in {store.directory}")
+            return 1
+        try:
+            meta = store.info(key)
+        except TraceStoreError as error:
+            print(error)
+            return 1
+        for field in ("key", "name", "workload", "records", "memory_accesses",
+                      "format_version", "endianness", "size_bytes",
+                      "imported_from"):
+            if field in meta:
+                print(f"  {field:<16} {meta[field]}")
+        metadata = meta.get("metadata") or {}
+        if metadata:
+            print(f"  {'metadata':<16} "
+                  + ", ".join(f"{k}={v}" for k, v in sorted(metadata.items())))
+        return 0
+
+    # argparse's required subparser guarantees rm is the only other command.
+    key = store.resolve(args.name)
+    if key is None:
+        print(f"no trace {args.name!r} in {store.directory}")
+        return 1
+    freed = store.entry_size_bytes(key)
+    store.remove(key)
+    removed_names = store.unregister_key(key)
+    print(f"removed {args.name} ({key[:12]}, {_format_bytes(freed)} freed"
+          + (f", unregistered {', '.join(removed_names)}" if removed_names else "")
+          + ")")
     return 0
 
 
@@ -289,6 +441,15 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="simulate only shard i of n (deterministic "
                                       "partition of the --list enumeration); "
                                       "combine shard caches with 'repro cache merge'")
+    campaign_parser.add_argument("--trace-dir", default=None,
+                                 help="trace store directory (default: "
+                                      "$REPRO_TRACE_DIR or .repro_traces)")
+    campaign_parser.add_argument("--no-trace-store", action="store_true",
+                                 help="regenerate traces per process instead of "
+                                      "memory-mapping the shared trace store")
+    campaign_parser.add_argument("--include-imported", action="store_true",
+                                 help="also simulate every trace imported into "
+                                      "the store ('repro trace import')")
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     cache_parser = subparsers.add_parser(
@@ -310,7 +471,48 @@ def build_parser() -> argparse.ArgumentParser:
                            help="target cache size in MB "
                                 "(also enforceable on writes via "
                                 "$REPRO_CACHE_MAX_MB)")
+    gc_parser.add_argument("--dry-run", action="store_true",
+                           help="report what would be evicted without deleting")
     cache_parser.set_defaults(func=_cmd_cache)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="manage the persistent memory-mapped trace store"
+    )
+    trace_parser.add_argument("--dir", default=None,
+                              help="trace store directory to operate on "
+                                   "(default: $REPRO_TRACE_DIR or .repro_traces)")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_build = trace_sub.add_parser(
+        "build", help="build a workload trace and persist it in the store"
+    )
+    trace_build.add_argument("--workload", required=True,
+                             help="workload name (e.g. bfs.urand, spec.mcf_like)")
+    trace_build.add_argument("--accesses", type=int, default=12_000,
+                             help="memory-access budget of the stored trace")
+    trace_build.add_argument("--gap-scale", default="medium",
+                             choices=["tiny", "small", "medium"],
+                             help="input-graph scale for GAP workloads")
+    trace_import = trace_sub.add_parser(
+        "import",
+        help="import a ChampSim-style memory trace (text or .gz) into the store",
+    )
+    trace_import.add_argument("path", help="trace file to import")
+    trace_import.add_argument("--name", default=None,
+                              help="workload name (default: derived from the "
+                                   "file name; registered as imported.<name>)")
+    trace_import.add_argument("--compute-per-access", type=int, default=0,
+                              help="NON_MEM records interleaved after each "
+                                   "imported access (default 0)")
+    trace_import.add_argument("--max-records", type=int, default=None,
+                              help="read at most this many memory records")
+    trace_sub.add_parser("ls", help="list stored traces")
+    trace_info = trace_sub.add_parser(
+        "info", help="print the header of one stored trace"
+    )
+    trace_info.add_argument("name", help="store key or imported workload name")
+    trace_rm = trace_sub.add_parser("rm", help="delete one stored trace")
+    trace_rm.add_argument("name", help="store key or imported workload name")
+    trace_parser.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -48,10 +48,16 @@ COMPARISON_SCHEMES = ("ppf", "hermes", "hermes_ppf", "tlp")
 
 @dataclass(frozen=True)
 class ExperimentConfig:
-    """Scaling knobs shared by all experiments."""
+    """Scaling knobs shared by all experiments.
+
+    ``imported_workloads`` names traces ingested into the trace store
+    (``imported.*``); they join the single-core campaign cross product next
+    to the generated suites.
+    """
 
     gap_workloads: tuple[str, ...] = DEFAULT_GAP_WORKLOADS
     spec_workloads: tuple[str, ...] = DEFAULT_SPEC_WORKLOADS
+    imported_workloads: tuple[str, ...] = ()
     memory_accesses: int = 12_000
     multicore_memory_accesses: int = 6_000
     warmup_fraction: float = 0.25
@@ -66,11 +72,17 @@ class ExperimentConfig:
             return self.gap_workloads
         if suite == "spec":
             return self.spec_workloads
-        return self.gap_workloads + self.spec_workloads
+        if suite == "imported":
+            return self.imported_workloads
+        return self.gap_workloads + self.spec_workloads + self.imported_workloads
 
     def suite_of(self, workload: str) -> str:
-        """Return "gap" or "spec" for a workload name."""
-        return "spec" if workload.startswith("spec.") else "gap"
+        """Return "gap", "spec" or "imported" for a workload name."""
+        if workload.startswith("spec."):
+            return "spec"
+        if workload.startswith("imported."):
+            return "imported"
+        return "gap"
 
 
 def default_experiment_config() -> ExperimentConfig:
@@ -123,12 +135,14 @@ class CampaignCache:
         engine: Optional[CampaignEngine] = None,
         jobs: Optional[int] = None,
         use_result_cache: bool = True,
+        trace_store=None,
     ) -> None:
         self.config = config if config is not None else default_experiment_config()
         if engine is None:
             engine = CampaignEngine(
                 result_cache=ResultCache() if use_result_cache else None,
                 jobs=jobs if jobs is not None else 1,
+                trace_store=trace_store,
             )
         self.engine = engine
         self._single_core: dict[tuple, SingleCoreResult] = {}
@@ -169,6 +183,7 @@ class CampaignCache:
             warmup_fraction=self.config.warmup_fraction,
             gap_scale=self.config.gap_scale,
             system=system,
+            trace_store=self.engine.trace_store,
         )
 
     def single_core(
@@ -236,6 +251,7 @@ class CampaignCache:
             warmup_fraction=self.config.warmup_fraction,
             gap_scale=self.config.gap_scale,
             per_core_bandwidth_gbps=per_core_bandwidth_gbps,
+            trace_store=self.engine.trace_store,
         )
 
     def multi_core(

@@ -35,6 +35,8 @@ from repro.sim.result_cache import ResultCache
 from repro.sim.results import SingleCoreResult
 from repro.sim.scenarios import build_scenario
 from repro.sim.single_core import run_single_core
+from repro.traces.ingest import IMPORTED_PREFIX
+from repro.traces.store import TraceStore, workload_key
 from repro.traces.trace import Trace
 from repro.workloads.gap import gap_trace
 from repro.workloads.spec_like import spec_like_trace
@@ -42,6 +44,22 @@ from repro.workloads.spec_like import spec_like_trace
 #: Bumped whenever simulator behaviour changes in a way that invalidates
 #: previously cached results.
 CACHE_SCHEMA_VERSION = 1
+
+#: Number of times a workload generator actually ran in this process
+#: (trace-store and memo hits excluded).  The trace-store regression tests
+#: use this to prove that a warm store performs zero generator work.
+_generator_invocations = 0
+
+
+def generator_invocations() -> int:
+    """Generator runs in this process since the last reset."""
+    return _generator_invocations
+
+
+def reset_generator_invocations() -> None:
+    """Reset the generator-invocation counter (tests, benchmarks)."""
+    global _generator_invocations
+    _generator_invocations = 0
 
 
 # ----------------------------------------------------------------------
@@ -68,6 +86,14 @@ class CampaignPoint:
     gap_scale: str
     system_json: str
     mix_name: Optional[str] = None
+    #: Store content keys of the ``imported.*`` workloads among
+    #: ``workloads`` (parallel tuple, "" for generated workloads) -- an
+    #: imported trace's *content*, unlike a generated workload's, is not
+    #: determined by its name, so it must participate in the cache key or
+    #: re-importing a different file under the same name would serve stale
+    #: results.  None (no imported workloads) is omitted from the key
+    #: payload so every pre-existing cache key is unchanged.
+    trace_keys: Optional[tuple[str, ...]] = None
 
     @property
     def label(self) -> str:
@@ -78,9 +104,34 @@ class CampaignPoint:
     def key(self) -> str:
         """Content-hash cache key of this point."""
         payload = asdict(self)
+        if payload.get("trace_keys") is None:
+            payload.pop("trace_keys", None)
         payload["schema"] = CACHE_SCHEMA_VERSION
         canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def imported_trace_keys(
+    workloads: Sequence[str], trace_store: Optional[TraceStore] = None
+) -> Optional[tuple[str, ...]]:
+    """``CampaignPoint.trace_keys`` for a workload tuple.
+
+    Returns None when no workload is imported (keeping generated-only cache
+    keys identical to the pre-store format); otherwise a tuple parallel to
+    ``workloads`` holding each imported workload's store content key ("" for
+    generated workloads, and for imported workloads missing from the store
+    -- those fail later with a clear error when their trace is loaded).
+    """
+    if not any(workload.startswith(IMPORTED_PREFIX) for workload in workloads):
+        return None
+    store = trace_store if trace_store is not None else TraceStore.default()
+    registry = store.imported_workloads()
+    return tuple(
+        registry.get(workload, {}).get("key", "")
+        if workload.startswith(IMPORTED_PREFIX)
+        else ""
+        for workload in workloads
+    )
 
 
 def single_core_point(
@@ -91,6 +142,7 @@ def single_core_point(
     warmup_fraction: float,
     gap_scale: str = "medium",
     system: Optional[SystemConfig] = None,
+    trace_store: Optional[TraceStore] = None,
 ) -> CampaignPoint:
     """Describe one single-core simulation as a :class:`CampaignPoint`."""
     resolved = system if system is not None else cascade_lake_single_core()
@@ -103,6 +155,7 @@ def single_core_point(
         warmup_fraction=warmup_fraction,
         gap_scale=gap_scale,
         system_json=json.dumps(system_config_to_dict(resolved), sort_keys=True),
+        trace_keys=imported_trace_keys((workload,), trace_store),
     )
 
 
@@ -155,6 +208,7 @@ def multi_core_point(
     warmup_fraction: float,
     gap_scale: str = "medium",
     per_core_bandwidth_gbps: float = 3.2,
+    trace_store: Optional[TraceStore] = None,
 ) -> CampaignPoint:
     """Describe one multi-core mix simulation as a :class:`CampaignPoint`."""
     system = cascade_lake_multi_core(num_cores=len(workloads))
@@ -169,16 +223,19 @@ def multi_core_point(
         gap_scale=gap_scale,
         system_json=json.dumps(system_config_to_dict(system), sort_keys=True),
         mix_name=mix_name,
+        trace_keys=imported_trace_keys(workloads, trace_store),
     )
 
 
 # ----------------------------------------------------------------------
 # Point execution (runs in worker processes as well as in-process)
 # ----------------------------------------------------------------------
-def build_workload_trace(
-    workload: str, memory_accesses: int, gap_scale: str = "medium"
+def _generate_workload_trace(
+    workload: str, memory_accesses: int, gap_scale: str
 ) -> Trace:
-    """Build the trace of a named workload (``spec.*`` or ``<kernel>.<graph>``)."""
+    """Run the generator of a named workload (the slow path)."""
+    global _generator_invocations
+    _generator_invocations += 1
     if workload.startswith("spec."):
         return spec_like_trace(
             workload[len("spec."):], num_memory_accesses=memory_accesses
@@ -192,24 +249,67 @@ def build_workload_trace(
     )
 
 
+def build_workload_trace(
+    workload: str,
+    memory_accesses: int,
+    gap_scale: str = "medium",
+    trace_store: Optional[TraceStore] = None,
+) -> Trace:
+    """Build the trace of a named workload.
+
+    ``spec.*`` and ``<kernel>.<graph>`` workloads run their generators; with
+    a ``trace_store`` the generator only runs on a store miss and the trace
+    is served memory-mapped afterwards.  ``imported.*`` workloads exist
+    *only* in a store (they were ingested from external trace files) and are
+    truncated to the requested memory-access budget.
+    """
+    if workload.startswith(IMPORTED_PREFIX):
+        store = trace_store if trace_store is not None else TraceStore.default()
+        trace = store.load_imported(workload)
+        if trace is None:
+            raise KeyError(
+                f"imported workload {workload!r} is not in the trace store at "
+                f"{store.directory}; ingest it with 'repro trace import'"
+            )
+        return trace.truncated_to_memory_accesses(memory_accesses)
+    if trace_store is not None:
+        key = workload_key(workload, memory_accesses, gap_scale)
+        return trace_store.get_or_build(
+            key,
+            lambda: _generate_workload_trace(workload, memory_accesses, gap_scale),
+            extra={
+                "workload": workload,
+                "budget": memory_accesses,
+                "gap_scale": gap_scale,
+            },
+        )
+    return _generate_workload_trace(workload, memory_accesses, gap_scale)
+
+
 def execute_point(
-    point: CampaignPoint, traces: Optional[dict[tuple[str, int, str], Trace]] = None
+    point: CampaignPoint,
+    traces: Optional[dict[tuple[str, int, str], Trace]] = None,
+    trace_store: Optional[TraceStore] = None,
 ) -> SingleCoreResult | MultiCoreResult:
     """Run the simulation described by ``point``.
 
     ``traces`` is an optional (workload, budget, gap_scale) -> Trace memo
     used by the in-process execution path; worker processes rebuild traces
-    from the workload name, which is deterministic, so both paths produce
-    identical results.
+    from the workload name (or map them from the shared ``trace_store``),
+    which is deterministic, so both paths produce identical results.
     """
     def trace_for(workload: str) -> Trace:
         if traces is None:
-            return build_workload_trace(workload, point.memory_accesses, point.gap_scale)
+            return build_workload_trace(
+                workload, point.memory_accesses, point.gap_scale,
+                trace_store=trace_store,
+            )
         key = (workload, point.memory_accesses, point.gap_scale)
         cached = traces.get(key)
         if cached is None:
             cached = traces[key] = build_workload_trace(
-                workload, point.memory_accesses, point.gap_scale
+                workload, point.memory_accesses, point.gap_scale,
+                trace_store=trace_store,
             )
         return cached
 
@@ -233,11 +333,25 @@ def execute_point(
     raise ValueError(f"unknown campaign point kind {point.kind!r}")
 
 
+#: Worker-process trace store, installed by the pool initializer so every
+#: point executed in this worker maps shared prebuilt traces instead of
+#: regenerating them.
+_worker_trace_store: Optional[TraceStore] = None
+
+
+def _init_pool_worker(trace_store_dir: Optional[str]) -> None:
+    """Pool initializer: point the worker at the engine's trace store."""
+    global _worker_trace_store
+    _worker_trace_store = (
+        TraceStore(trace_store_dir) if trace_store_dir is not None else None
+    )
+
+
 def _execute_for_pool(point: CampaignPoint) -> tuple[str, dict]:
     """Worker-side entry point: returns (key, serialized result)."""
     from repro.sim.result_cache import result_to_dict
 
-    result = execute_point(point)
+    result = execute_point(point, trace_store=_worker_trace_store)
     return point.key(), result_to_dict(result)
 
 
@@ -250,6 +364,9 @@ class CampaignEngine:
     Attributes:
         result_cache: the on-disk cache consulted before simulating (None
             disables persistence).
+        trace_store: the persistent memory-mapped trace store shared with
+            worker processes (None regenerates traces per process, the
+            pre-store behaviour).
         jobs: default worker count for :meth:`run` (``os.cpu_count()`` when
             None; 1 forces in-process serial execution).
         simulations_run: number of points actually simulated by this engine
@@ -261,8 +378,10 @@ class CampaignEngine:
         self,
         result_cache: Optional[ResultCache] = None,
         jobs: Optional[int] = None,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         self.result_cache = result_cache
+        self.trace_store = trace_store
         self.jobs = jobs
         self.simulations_run = 0
         self.cache_hits = 0
@@ -274,13 +393,16 @@ class CampaignEngine:
         """Build (or reuse) a workload trace via the engine's in-process memo.
 
         The same memo backs in-process point execution, so a trace built
-        here is never regenerated when the point simulating it runs.
+        here is never regenerated when the point simulating it runs.  With a
+        trace store attached, a memo miss maps the stored trace (building
+        and persisting it first when the store misses too).
         """
         key = (workload, memory_accesses, gap_scale)
         cached = self._traces.get(key)
         if cached is None:
             cached = self._traces[key] = build_workload_trace(
-                workload, memory_accesses, gap_scale
+                workload, memory_accesses, gap_scale,
+                trace_store=self.trace_store,
             )
         return cached
 
@@ -302,7 +424,9 @@ class CampaignEngine:
             if cached is not None:
                 self.cache_hits += 1
                 return cached
-        result = execute_point(point, traces=self._traces)
+        result = execute_point(
+            point, traces=self._traces, trace_store=self.trace_store
+        )
         self.simulations_run += 1
         if self.result_cache is not None:
             self.result_cache.put(key, result, point=asdict(point))
@@ -343,7 +467,9 @@ class CampaignEngine:
         if missing:
             if effective_jobs <= 1 or len(missing) <= 1:
                 for key, point in missing:
-                    result = execute_point(point, traces=self._traces)
+                    result = execute_point(
+                        point, traces=self._traces, trace_store=self.trace_store
+                    )
                     self.simulations_run += 1
                     if self.result_cache is not None:
                         self.result_cache.put(key, result, point=asdict(point))
@@ -352,7 +478,16 @@ class CampaignEngine:
                 from repro.sim.result_cache import result_from_dict
 
                 workers = min(effective_jobs, len(missing))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
+                store_dir = (
+                    str(self.trace_store.directory)
+                    if self.trace_store is not None
+                    else None
+                )
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_pool_worker,
+                    initargs=(store_dir,),
+                ) as pool:
                     by_point = dict(missing)
                     for key, payload in pool.map(
                         _execute_for_pool, (point for _, point in missing)

@@ -223,12 +223,13 @@ class ResultCache:
         if self._approx_size > cap:
             self.gc(cap)
 
-    def gc(self, max_bytes: int) -> tuple[int, int]:
+    def gc(self, max_bytes: int, dry_run: bool = False) -> tuple[int, int]:
         """Evict oldest entries until the cache fits in ``max_bytes``.
 
         Age is the file modification time (merge preserves source entry
-        content but not mtimes, so post-merge age is merge order).  Returns
-        ``(entries_removed, bytes_freed)``.
+        content but not mtimes, so post-merge age is merge order).  With
+        ``dry_run`` nothing is deleted; the return value reports what a real
+        sweep would do.  Returns ``(entries_removed, bytes_freed)``.
         """
         if not self.directory.is_dir():
             return (0, 0)
@@ -247,40 +248,43 @@ class ResultCache:
         for _, size, path in stamped:
             if total - freed <= max_bytes:
                 break
-            try:
-                path.unlink()
-            except OSError:
-                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
             removed += 1
             freed += size
-        self._approx_size = total - freed
+        if not dry_run:
+            self._approx_size = total - freed
         return (removed, freed)
 
-    def merge_from(self, source: Path | str) -> tuple[int, int]:
+    def merge_from(self, source: Path | str) -> tuple[int, int, int]:
         """Copy entries from another cache directory into this one.
 
         Entries whose key already exists here are skipped (keys are content
         hashes of everything that determines the result, so an existing
-        entry is the same result).  Returns ``(copied, skipped)``.
+        entry is the same result).  Returns
+        ``(copied, skipped, bytes_copied)``.
         """
         source_dir = Path(source)
         if not source_dir.is_dir():
             raise FileNotFoundError(f"cache directory {source_dir} does not exist")
         copied = 0
         skipped = 0
+        bytes_copied = 0
         self.directory.mkdir(parents=True, exist_ok=True)
         for entry in sorted(source_dir.glob("*.json")):
             destination = self.directory / entry.name
             if destination.exists():
                 skipped += 1
                 continue
+            payload = entry.read_bytes()
             tmp_path = destination.with_suffix(".tmp")
-            tmp_path.write_bytes(entry.read_bytes())
+            tmp_path.write_bytes(payload)
             tmp_path.replace(destination)
             if self._approx_size is not None:
-                try:
-                    self._approx_size += destination.stat().st_size
-                except OSError:
-                    self._approx_size = None
+                self._approx_size += len(payload)
             copied += 1
-        return (copied, skipped)
+            bytes_copied += len(payload)
+        return (copied, skipped, bytes_copied)

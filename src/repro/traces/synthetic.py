@@ -28,9 +28,13 @@ Exactness rests on two properties of ``numpy.random.Generator``:
   construction, just slower).
 
 ``mixed_trace`` is the one generator whose *draw count* per record is data
-dependent (the bounded draw only happens on the random branch), which makes
-raw-stream positions sequential; it keeps a scalar draw loop but still
-assembles columns and compute-interleave vectorically.
+dependent (the bounded draw only happens on the random branch), so the raw
+position of every draw depends on all earlier branch outcomes.  It is
+replayed with a pointer-doubling prefix scan over the raw stream: the
+per-record decode state is tiny -- (raw position, parity of the bounded-draw
+count) -- so a vectorized transition table over every possible position can
+be squared ``log2(n)`` times to recover all n record states without a
+sequential loop (see :func:`mixed_trace`).
 """
 
 from __future__ import annotations
@@ -587,49 +591,109 @@ def mixed_trace(
     """Mixture of streaming and random accesses (gcc/xalancbmk-like).
 
     The bounded draw only happens on the random branch, so the raw-stream
-    position of every subsequent draw depends on earlier branch outcomes;
-    the draws stay scalar (bit-identical to the reference by construction)
-    while record assembly and compute interleaving are columnar.
+    position of every draw depends on all earlier branch outcomes.  The
+    scalar reference consumes, per record: one branch double, then (on the
+    random branch only) one uint32 of the buffered uint32 sub-stream -- a
+    fresh uint64 carrier word on every *even* bounded draw -- then one store
+    double when ``store_fraction > 0``.  The only decode state that carries
+    between records is therefore (raw position, parity of the bounded-draw
+    count), which is replayed with a pointer-doubling prefix scan:
+
+    1. draw an upper bound of raw words and precompute, for *every* raw
+       position, whether a branch double read there takes the random branch;
+    2. build the one-record transition table over all ``2 * positions``
+       states and square it ``log2(n)`` times, materializing the state of
+       every record in ``O(n log n)`` vectorized gathers (no Python loop);
+    3. decode addresses/kinds from the per-record states as whole columns.
+
+    A Lemire rejection in any bounded draw would consume an extra carrier
+    word the scan does not model, so any detected rejection falls back to
+    the reference implementation (bit-identical by construction).
     """
     if not 0.0 <= random_fraction <= 1.0:
         raise ValueError("random_fraction must be in [0, 1]")
-    rng = np.random.default_rng(config.seed)
     n = config.num_memory_accesses
+    num_blocks = config.working_set_bytes // BLOCK_SIZE
+    if num_blocks >= 1 << 32 or num_blocks < 2:
+        # Bounds of 1 skip the RNG draw inside numpy and bounds >= 2**32 use
+        # the 64-bit generation path; neither fits the uint32 replay.
+        return _mixed_reference(config, random_fraction, name)
+    rng = np.random.default_rng(config.seed)
     stream_pc = CODE_BASE + 0x500
     random_pc = CODE_BASE + 0x540
     compute_pc = CODE_BASE + 0x5000
-    num_blocks = config.working_set_bytes // BLOCK_SIZE
-    working_set = config.working_set_bytes
-    store_fraction = config.store_fraction
+    has_stores = 1 if config.store_fraction > 0 else 0
 
-    pcs: list[int] = []
-    vaddrs: list[int] = []
-    kinds: list[int] = []
-    pc_append, va_append, kind_append = pcs.append, vaddrs.append, kinds.append
-    random_draw = rng.random
-    integer_draw = rng.integers
-    address = 0
-    for _ in range(n):
-        if random_draw() < random_fraction:
-            pc_append(random_pc)
-            va_append(DATA_BASE + int(integer_draw(0, num_blocks)) * BLOCK_SIZE)
-        else:
-            pc_append(stream_pc)
-            va_append(DATA_BASE + address)
-            address += BLOCK_SIZE
-            if address >= working_set:
-                address = 0
-        if store_fraction > 0 and random_draw() < store_fraction:
-            kind_append(KIND_STORE)
-        else:
-            kind_append(KIND_LOAD)
+    # Upper bound on raw words consumed: every record takes 1 + has_stores
+    # words plus one carrier per started pair of bounded draws.
+    total = n * (1 + has_stores) + (n + 1) // 2
+    raw = _raw_uint64(rng, total)
+    branch = np.zeros(total + 4, dtype=bool)  # padded for the clamped states
+    branch[:total] = _doubles_from_raw(raw) < random_fraction
 
+    # One-record transition over states ``2 * position + parity``: from even
+    # parity a random branch consumes a fresh carrier and flips to odd; from
+    # odd parity the buffered uint32 half is consumed and parity returns to
+    # even.  Streaming records leave parity untouched.
+    positions = np.arange(total + 4, dtype=np.int64)
+    ceiling = total + 3
+    from_even = np.minimum(positions + 1 + has_stores + branch, ceiling)
+    from_odd = np.minimum(positions + 1 + has_stores, ceiling)
+    transition = np.empty(2 * (total + 4), dtype=np.int64)
+    transition[0::2] = 2 * from_even + branch
+    transition[1::2] = 2 * from_odd + ~branch
+
+    # Pointer doubling: states[2**k : 2**(k+1)] = T^(2**k)(states[: 2**k]).
+    states = np.empty(n, dtype=np.int64)
+    states[0] = 0
+    filled = 1
+    jump = transition
+    while filled < n:
+        take = min(filled, n - filled)
+        states[filled:filled + take] = jump[states[:take]]
+        filled += take
+        if filled < n:
+            jump = jump[jump]
+
+    record_pos = states >> 1
+    odd = (states & 1).astype(bool)
+    is_random = branch[record_pos]
+
+    # Bounded draws: draw j reads the low half of its pair's carrier word
+    # when j is even, the buffered high half when j is odd.
+    random_records = np.flatnonzero(is_random)
+    draw = np.arange(len(random_records))
+    carrier_pos = record_pos[random_records[(draw // 2) * 2]] + 1
+    u32 = _split_carriers(raw[carrier_pos], draw % 2)
+    offsets, exact = _lemire32_from_raw(
+        u32, np.full(len(random_records), num_blocks, dtype=np.uint64)
+    )
+    if not exact:
+        return _mixed_reference(config, random_fraction, name)
+
+    store_draws = None
+    if has_stores:
+        store_pos = record_pos + 1 + (is_random & ~odd)
+        store_draws = _doubles_from_raw(raw[store_pos])
+
+    index = np.arange(n, dtype=np.int64)
+    prior_random = np.zeros(n, dtype=np.int64)
+    np.cumsum(is_random[:-1], out=prior_random[1:])
+    period = -(-config.working_set_bytes // BLOCK_SIZE)  # ceil division
+    vaddr = np.empty(n, dtype=ADDR_DTYPE)
+    stream_mask = ~is_random
+    vaddr[stream_mask] = (
+        DATA_BASE
+        + ((index - prior_random)[stream_mask] % period) * BLOCK_SIZE
+    )
+    vaddr[is_random] = DATA_BASE + offsets * BLOCK_SIZE
+    pc = np.where(is_random, random_pc, stream_pc).astype(ADDR_DTYPE)
     return _assemble(
         name,
         {"pattern": "mixed", "random_fraction": random_fraction},
-        np.asarray(pcs, dtype=ADDR_DTYPE),
-        np.asarray(vaddrs, dtype=ADDR_DTYPE),
-        np.asarray(kinds, dtype=KIND_DTYPE),
+        pc,
+        vaddr,
+        _store_kinds(store_draws, config.store_fraction, n),
         compute_pc,
         config.compute_per_access,
     )

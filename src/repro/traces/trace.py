@@ -179,6 +179,30 @@ class Trace:
             dict(self.metadata),
         )
 
+    def truncated_to_memory_accesses(self, max_memory_accesses: int) -> "Trace":
+        """Zero-copy view limited to the first ``max_memory_accesses``
+        load/store records (plus the non-memory records interleaved among
+        them).
+
+        This is how a stored trace with a fixed record count is adapted to a
+        campaign point's memory-access budget, mirroring the generators'
+        ``num_memory_accesses`` semantics.  A trace with fewer memory
+        accesses than requested is returned whole.
+        """
+        if max_memory_accesses < 0:
+            raise ValueError(
+                f"max_memory_accesses must be non-negative, got {max_memory_accesses}"
+            )
+        pc, vaddr, kind = self.columns()
+        memory_positions = np.flatnonzero(kind != KIND_NON_MEM)
+        if len(memory_positions) <= max_memory_accesses:
+            return self.truncated(len(pc))
+        # Cut right after the budget-th memory record, keeping the compute
+        # records that follow earlier memory records but not the tail that
+        # trails the final counted access in generated traces.
+        cut = int(memory_positions[max_memory_accesses - 1]) + 1 if max_memory_accesses else 0
+        return self.truncated(cut)
+
     def split(self, fraction: float) -> tuple["Trace", "Trace"]:
         """Split into zero-copy (first, second) views at ``fraction``.
 

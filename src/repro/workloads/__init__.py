@@ -5,6 +5,7 @@ from repro.workloads.catalog import (
     WorkloadSpec,
     default_catalog,
     make_multicore_mixes,
+    register_imported_workloads,
 )
 from repro.workloads.gap import GAP_KERNELS, TraceEmitter, gap_trace
 from repro.workloads.graphs import CSRGraph, generate_graph, GRAPH_GENERATORS
@@ -15,6 +16,7 @@ __all__ = [
     "WorkloadSpec",
     "default_catalog",
     "make_multicore_mixes",
+    "register_imported_workloads",
     "GAP_KERNELS",
     "TraceEmitter",
     "gap_trace",

@@ -15,8 +15,10 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
+from repro.traces.ingest import IMPORTED_SUITE
+from repro.traces.store import TraceStore, workload_key
 from repro.traces.trace import Trace
 from repro.workloads.gap import GAP_KERNELS, gap_trace
 from repro.workloads.spec_like import SPEC_LIKE_WORKLOADS, spec_like_trace
@@ -31,15 +33,25 @@ DEFAULT_GAP_KERNELS = tuple(GAP_KERNELS)
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """A named workload and the factory that builds its trace."""
+    """A named workload and the factory that builds its trace.
+
+    ``gap_scale`` records the input-graph scale baked into a GAP factory so
+    the workload's trace-store key distinguishes scales; non-GAP workloads
+    ignore it.
+    """
 
     name: str
     suite: str
     factory: Callable[[int], Trace]
+    gap_scale: str = "medium"
 
     def build(self, num_memory_accesses: int = 40_000) -> Trace:
         """Build the trace with the requested memory-access budget."""
         return self.factory(num_memory_accesses)
+
+    def store_key(self, num_memory_accesses: int) -> str:
+        """Trace-store key of this workload at one budget."""
+        return workload_key(self.name, num_memory_accesses, self.gap_scale)
 
 
 @dataclass
@@ -71,9 +83,28 @@ class WorkloadCatalog:
                 f"unknown workload {name!r}; known: {sorted(self.workloads)}"
             ) from exc
 
-    def build(self, name: str, num_memory_accesses: int = 40_000) -> Trace:
-        """Build the trace of a named workload."""
-        return self.get(name).build(num_memory_accesses)
+    def build(
+        self,
+        name: str,
+        num_memory_accesses: int = 40_000,
+        store: Optional[TraceStore] = None,
+    ) -> Trace:
+        """Build the trace of a named workload.
+
+        With a ``store``, the factory only runs on a store miss; hits (and
+        the trace persisted by a miss) come back memory-mapped, so repeated
+        builds across processes share one on-disk copy.  Imported workloads
+        already live in their store and bypass the fast path.
+        """
+        spec = self.get(name)
+        if store is None or spec.suite == IMPORTED_SUITE:
+            return spec.build(num_memory_accesses)
+        return store.get_or_build(
+            spec.store_key(num_memory_accesses),
+            lambda: spec.build(num_memory_accesses),
+            extra={"workload": name, "budget": num_memory_accesses,
+                   "gap_scale": spec.gap_scale},
+        )
 
     def suites(self) -> list[str]:
         """Names of the suites present in the catalog."""
@@ -88,8 +119,13 @@ def default_catalog(
     gap_graphs: tuple[str, ...] = DEFAULT_GAP_GRAPHS,
     gap_scale: str = "small",
     spec_workloads: tuple[str, ...] | None = None,
+    trace_store: Optional[TraceStore] = None,
 ) -> WorkloadCatalog:
-    """Build the default catalog (GAP kernel x graph + SPEC-like set)."""
+    """Build the default catalog (GAP kernel x graph + SPEC-like set).
+
+    With a ``trace_store``, every trace imported into the store is also
+    registered, as the ``imported`` suite.
+    """
     catalog = WorkloadCatalog()
     for kernel, graph in itertools.product(gap_kernels, gap_graphs):
         name = f"{kernel}.{graph}"
@@ -102,7 +138,11 @@ def default_catalog(
                 max_memory_accesses=budget,
             )
 
-        catalog.add(WorkloadSpec(name=name, suite="gap", factory=factory))
+        catalog.add(
+            WorkloadSpec(
+                name=name, suite="gap", factory=factory, gap_scale=gap_scale
+            )
+        )
 
     names = spec_workloads if spec_workloads is not None else tuple(SPEC_LIKE_WORKLOADS)
     for spec_name in names:
@@ -113,7 +153,42 @@ def default_catalog(
         catalog.add(
             WorkloadSpec(name=f"spec.{spec_name}", suite="spec", factory=spec_factory)
         )
+    if trace_store is not None:
+        register_imported_workloads(catalog, trace_store)
     return catalog
+
+
+def register_imported_workloads(
+    catalog: WorkloadCatalog, store: TraceStore
+) -> list[str]:
+    """Register every imported trace of ``store`` as a catalog workload.
+
+    Imported workloads build by memory-mapping their stored trace and
+    truncating it to the requested memory-access budget (a budget larger
+    than the stored trace yields the whole trace).  Returns the names
+    added; names already present in the catalog are skipped.
+    """
+    added: list[str] = []
+    for workload in store.imported_workloads():
+        if workload in catalog.workloads:
+            continue
+
+        def imported_factory(budget: int, workload=workload) -> Trace:
+            trace = store.load_imported(workload)
+            if trace is None:
+                raise KeyError(
+                    f"imported workload {workload!r} disappeared from the "
+                    f"trace store at {store.directory}"
+                )
+            return trace.truncated_to_memory_accesses(budget)
+
+        catalog.add(
+            WorkloadSpec(
+                name=workload, suite=IMPORTED_SUITE, factory=imported_factory
+            )
+        )
+        added.append(workload)
+    return added
 
 
 def make_multicore_mixes(

@@ -26,6 +26,7 @@ per-element numpy access, and the conversion is one C-level ``tolist()``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -171,11 +172,13 @@ GRAPH_GENERATORS = {
 #: (name, scale, seed) -> CSRGraph memo.  Graph generation is deterministic
 #: and graphs are immutable once built (the kernels only read them), so one
 #: process-wide copy serves every campaign point that shares an input graph
-#: -- a large share of cold campaign-point wall time otherwise.  The limit
-#: is deliberately small: each memoized graph also pins its cached list
-#: views (tens of MB of boxed ints for a medium graph), and a campaign
-#: touches only a handful of distinct graphs.
-_GRAPH_MEMO: dict[tuple[str, str, int], CSRGraph] = {}
+#: -- a large share of cold campaign-point wall time otherwise.  The memo is
+#: a small LRU: each memoized graph also pins its cached list views (tens of
+#: MB of boxed ints for a medium graph), and a long sharded run sweeping
+#: many graph scales must not grow memory without bound, so the least
+#: recently used graph is evicted once the cap is reached (a campaign
+#: interleaves points over only a handful of distinct graphs at a time).
+_GRAPH_MEMO: OrderedDict[tuple[str, str, int], CSRGraph] = OrderedDict()
 _GRAPH_MEMO_LIMIT = 6
 
 
@@ -202,6 +205,7 @@ def generate_graph(name: str, scale: str = "small", seed: int = 3) -> CSRGraph:
     memo_key = (normalized, scale, seed)
     cached = _GRAPH_MEMO.get(memo_key)
     if cached is not None:
+        _GRAPH_MEMO.move_to_end(memo_key)
         return cached
     num_vertices = sizes[scale]
     if normalized == "road":
@@ -211,7 +215,7 @@ def generate_graph(name: str, scale: str = "small", seed: int = 3) -> CSRGraph:
         generator = GRAPH_GENERATORS[normalized]
         graph = generator(num_vertices=num_vertices, seed=seed)
     graph.name = f"{normalized}_{scale}"
-    if len(_GRAPH_MEMO) >= _GRAPH_MEMO_LIMIT:
-        _GRAPH_MEMO.clear()
+    while len(_GRAPH_MEMO) >= _GRAPH_MEMO_LIMIT:
+        _GRAPH_MEMO.popitem(last=False)
     _GRAPH_MEMO[memo_key] = graph
     return graph

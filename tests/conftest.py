@@ -5,26 +5,32 @@ from __future__ import annotations
 import pytest
 
 from repro.sim.result_cache import CACHE_DIR_ENV
+from repro.traces.store import TRACE_DIR_ENV
 
 
 @pytest.fixture(scope="session", autouse=True)
 def _isolated_result_cache(tmp_path_factory):
-    """Point the persistent result cache at a per-session temp directory.
+    """Point the persistent result cache and trace store at per-session
+    temp directories.
 
-    Keeps the test suite hermetic: runs never read results persisted by a
-    previous run (which would mask simulator changes) and never leave a
-    ``.repro_cache`` directory in the repository.
+    Keeps the test suite hermetic: runs never read results or traces
+    persisted by a previous run (which would mask simulator/generator
+    changes) and never leave ``.repro_cache`` / ``.repro_traces``
+    directories in the repository.
     """
     import os
 
-    directory = tmp_path_factory.mktemp("repro_result_cache")
-    previous = os.environ.get(CACHE_DIR_ENV)
-    os.environ[CACHE_DIR_ENV] = str(directory)
+    previous = {}
+    for env_var, label in ((CACHE_DIR_ENV, "repro_result_cache"),
+                           (TRACE_DIR_ENV, "repro_trace_store")):
+        previous[env_var] = os.environ.get(env_var)
+        os.environ[env_var] = str(tmp_path_factory.mktemp(label))
     yield
-    if previous is None:
-        os.environ.pop(CACHE_DIR_ENV, None)
-    else:
-        os.environ[CACHE_DIR_ENV] = previous
+    for env_var, value in previous.items():
+        if value is None:
+            os.environ.pop(env_var, None)
+        else:
+            os.environ[env_var] = value
 
 from repro.common.config import cascade_lake_single_core
 from repro.traces.synthetic import (

@@ -81,6 +81,26 @@ GENERATOR_CASES = [
      dict(num_memory_accesses=2000, working_set_bytes=3 << 20,
           compute_per_access=4, store_fraction=0.1, seed=17),
      dict(random_fraction=0.12)),
+    # The pointer-doubling raw-stream replay must track the data-dependent
+    # draw positions across the whole branch-probability range, with and
+    # without the trailing store draw, including non-block-aligned working
+    # sets and the degenerate all-stream/all-random fractions.
+    ("mixed", mixed_trace,
+     dict(num_memory_accesses=2001, working_set_bytes=(1 << 20) + 96,
+          compute_per_access=0, seed=5),
+     dict(random_fraction=0.5)),
+    ("mixed", mixed_trace,
+     dict(num_memory_accesses=1999, working_set_bytes=2 << 20,
+          compute_per_access=2, store_fraction=0.25, seed=29),
+     dict(random_fraction=0.85)),
+    ("mixed", mixed_trace,
+     dict(num_memory_accesses=500, working_set_bytes=1 << 20,
+          compute_per_access=1, store_fraction=0.5, seed=11),
+     dict(random_fraction=0.0)),
+    ("mixed", mixed_trace,
+     dict(num_memory_accesses=500, working_set_bytes=1 << 20,
+          compute_per_access=1, seed=11),
+     dict(random_fraction=1.0)),
 ]
 
 
@@ -300,8 +320,8 @@ def test_merge_skips_existing_entries(tmp_path):
     source.put("k1", _dummy_result("a"))
     destination = ResultCache(tmp_path / "dst")
     destination.put("k1", _dummy_result("b"))
-    copied, skipped = destination.merge_from(tmp_path / "src")
-    assert (copied, skipped) == (0, 1)
+    copied, skipped, bytes_copied = destination.merge_from(tmp_path / "src")
+    assert (copied, skipped, bytes_copied) == (0, 1, 0)
     assert destination.get("k1").workload == "b"
     with pytest.raises(FileNotFoundError):
         destination.merge_from(tmp_path / "missing")

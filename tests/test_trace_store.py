@@ -1,0 +1,667 @@
+"""Trace store subsystem tests.
+
+Pins the tentpole guarantees of the persistent memory-mapped trace store:
+
+* a saved trace memory-maps back with zero-copy columns and simulating it
+  yields bit-identical metrics to the in-memory build;
+* headers are versioned and endianness-tagged, and incompatible entries are
+  rejected instead of mis-decoded;
+* ChampSim-style text traces (plain and gzipped) import into the store and
+  become first-class ``imported.*`` catalog workloads runnable through the
+  campaign engine;
+* the catalog/engine ``store=`` fast path serves store hits without running
+  a generator (asserted via the generator-invocation counter);
+* the ``repro trace`` CLI subcommands work end to end;
+* the per-process graph memo is a bounded LRU and the result-cache GC
+  supports dry runs.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import CampaignCache, ExperimentConfig
+from repro.sim.engine import (
+    CampaignEngine,
+    build_workload_trace,
+    generator_invocations,
+    reset_generator_invocations,
+)
+from repro.sim.result_cache import ResultCache
+from repro.sim.scenarios import build_scenario
+from repro.sim.single_core import run_single_core
+from repro.traces.ingest import (
+    TraceParseError,
+    import_champsim_trace,
+    parse_champsim_lines,
+    read_champsim_trace,
+)
+from repro.traces.store import (
+    TRACE_FORMAT_VERSION,
+    TraceStore,
+    TraceStoreError,
+    load_trace,
+    read_meta,
+    save_trace,
+    workload_key,
+)
+from repro.traces.trace import KIND_LOAD, KIND_NON_MEM, KIND_STORE, Trace
+from repro.workloads.catalog import default_catalog, register_imported_workloads
+from repro.workloads.spec_like import spec_like_trace
+
+from pathlib import Path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CHAMPSIM_FIXTURE = FIXTURES / "champsim_small.trace"
+CHAMPSIM_FIXTURE_GZ = FIXTURES / "champsim_small.trace.gz"
+
+
+def _is_memory_mapped(array) -> bool:
+    """True when ``array`` is (a zero-copy view of) a ``numpy.memmap``."""
+    while isinstance(array, np.ndarray):
+        if isinstance(array, np.memmap):
+            return True
+        array = array.base
+    return False
+
+
+# ----------------------------------------------------------------------
+# Round trip: save -> mmap -> identical columns and metrics
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_columns_survive_round_trip(self, tmp_path):
+        trace = spec_like_trace("mcf_like", num_memory_accesses=800)
+        save_trace(trace, tmp_path / "entry")
+        loaded = load_trace(tmp_path / "entry")
+        for original, mapped in zip(trace.columns(), loaded.columns()):
+            assert np.array_equal(original, mapped)
+        assert loaded.name == trace.name
+        assert loaded.metadata["pattern"] == "pointer_chase"
+
+    def test_loaded_columns_are_memory_mapped(self, tmp_path):
+        trace = spec_like_trace("lbm_like", num_memory_accesses=400)
+        save_trace(trace, tmp_path / "entry")
+        loaded = load_trace(tmp_path / "entry")
+        for column in loaded.columns():
+            assert _is_memory_mapped(column)
+        # Views stay zero-copy on top of the maps.
+        warmup, measured = loaded.split(0.25)
+        assert np.shares_memory(measured.columns()[0], loaded.columns()[0])
+        assert np.shares_memory(warmup.columns()[0], loaded.columns()[0])
+
+    def test_simulating_stored_trace_is_bit_identical(self, tmp_path):
+        trace = build_workload_trace("bfs.urand", 2000, "tiny")
+        save_trace(trace, tmp_path / "entry")
+        stored = load_trace(tmp_path / "entry")
+        in_memory = run_single_core(
+            trace, build_scenario("tlp", l1d_prefetcher="ipcp"),
+            warmup_fraction=0.25,
+        )
+        mapped = run_single_core(
+            stored, build_scenario("tlp", l1d_prefetcher="ipcp"),
+            warmup_fraction=0.25,
+        )
+        assert dataclasses.asdict(in_memory) == dataclasses.asdict(mapped)
+
+    def test_store_get_put_contains_remove(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        trace = spec_like_trace("sphinx_like", num_memory_accesses=300)
+        key = workload_key("spec.sphinx_like", 300)
+        assert store.get(key) is None
+        store.put(key, trace)
+        assert key in store
+        assert store.keys() == [key]
+        assert store.entry_size_bytes(key) > 0
+        loaded = store.get(key)
+        assert np.array_equal(loaded.columns()[1], trace.columns()[1])
+        assert store.remove(key)
+        assert store.get(key) is None
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        empty = Trace("empty")
+        save_trace(empty, tmp_path / "entry")
+        loaded = load_trace(tmp_path / "entry")
+        assert len(loaded) == 0
+
+    def test_losing_the_replace_race_is_success(self, tmp_path, monkeypatch):
+        """A concurrent writer renaming an identical entry into place
+        between save_trace's rmtree and os.replace must not crash the
+        loser (content-hash keys make the entries byte-identical)."""
+        import shutil
+
+        from repro.traces import store as store_module
+
+        trace = spec_like_trace("lbm_like", num_memory_accesses=100)
+        entry = tmp_path / "entry"
+        save_trace(trace, entry)
+
+        # Skip only the destination rmtree, so the existing entry survives
+        # and os.replace hits a non-empty directory -- the race window made
+        # permanent; the loser's temp-dir cleanup still runs.
+        real_rmtree = shutil.rmtree
+
+        def selective_rmtree(path, *args, **kwargs):
+            if Path(path) == entry:
+                return
+            return real_rmtree(path, *args, **kwargs)
+
+        monkeypatch.setattr(store_module.shutil, "rmtree", selective_rmtree)
+        save_trace(trace, entry)  # must not raise
+        monkeypatch.undo()
+        loaded = load_trace(entry)
+        assert np.array_equal(loaded.columns()[1], trace.columns()[1])
+        # The loser's temp directory was cleaned up.
+        assert [p.name for p in tmp_path.iterdir()] == ["entry"]
+
+
+# ----------------------------------------------------------------------
+# Header validation: version / endianness / truncation
+# ----------------------------------------------------------------------
+class TestHeaderValidation:
+    def _entry(self, tmp_path):
+        trace = spec_like_trace("lbm_like", num_memory_accesses=100)
+        entry = tmp_path / "entry"
+        save_trace(trace, entry)
+        return entry
+
+    def _rewrite_meta(self, entry, **overrides):
+        meta_path = entry / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta.update(overrides)
+        meta_path.write_text(json.dumps(meta))
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        entry = self._entry(tmp_path)
+        self._rewrite_meta(entry, format_version=TRACE_FORMAT_VERSION + 1)
+        with pytest.raises(TraceStoreError, match="format version"):
+            load_trace(entry)
+
+    def test_big_endian_entry_rejected(self, tmp_path):
+        entry = self._entry(tmp_path)
+        self._rewrite_meta(entry, endianness="big")
+        with pytest.raises(TraceStoreError, match="endian"):
+            read_meta(entry)
+
+    def test_foreign_column_dtype_rejected(self, tmp_path):
+        entry = self._entry(tmp_path)
+        meta = json.loads((entry / "meta.json").read_text())
+        meta["columns"]["pc"]["dtype"] = ">i8"
+        (entry / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(TraceStoreError, match="dtype"):
+            load_trace(entry)
+
+    def test_truncated_column_rejected(self, tmp_path):
+        entry = self._entry(tmp_path)
+        payload = (entry / "vaddr.bin").read_bytes()
+        (entry / "vaddr.bin").write_bytes(payload[:-8])
+        with pytest.raises(TraceStoreError, match="bytes"):
+            load_trace(entry)
+
+    def test_store_treats_bad_entries_as_misses(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        trace = spec_like_trace("lbm_like", num_memory_accesses=100)
+        store.put("k1", trace)
+        self._rewrite_meta(store.path("k1"), format_version=99)
+        assert store.get("k1") is None
+        assert store.misses == 1
+
+
+# ----------------------------------------------------------------------
+# Memory-access-budget truncation (imported traces)
+# ----------------------------------------------------------------------
+class TestMemoryTruncation:
+    def test_truncates_after_budget_th_memory_access(self):
+        trace = spec_like_trace("gcc_like", num_memory_accesses=200)
+        view = trace.truncated_to_memory_accesses(50)
+        assert view.num_memory_accesses == 50
+        _, _, kind = view.columns()
+        memory_positions = np.flatnonzero(kind != KIND_NON_MEM)
+        # The view ends right at the 50th memory record: no trailing compute.
+        assert memory_positions[-1] == len(kind) - 1
+        assert np.shares_memory(view.columns()[0], trace.columns()[0])
+
+    def test_budget_larger_than_trace_returns_whole_trace(self):
+        trace = spec_like_trace("gcc_like", num_memory_accesses=60)
+        view = trace.truncated_to_memory_accesses(10_000)
+        assert len(view) == len(trace)
+
+    def test_zero_budget_and_negative(self):
+        trace = spec_like_trace("gcc_like", num_memory_accesses=60)
+        assert len(trace.truncated_to_memory_accesses(0)) == 0
+        with pytest.raises(ValueError):
+            trace.truncated_to_memory_accesses(-1)
+
+
+# ----------------------------------------------------------------------
+# ChampSim-style ingestion
+# ----------------------------------------------------------------------
+class TestChampsimIngestion:
+    def test_parse_kinds_comments_and_bases(self):
+        records = list(parse_champsim_lines([
+            "# comment",
+            "",
+            "0x400000 0x7f0000000000 R",
+            "4194308 139637976727616 STORE",
+            "0x400008 0x7f0000000080   # trailing comment, kind defaults to load",
+        ]))
+        assert records == [
+            (0x400000, 0x7F0000000000, KIND_LOAD),
+            (4194308, 139637976727616, KIND_STORE),
+            (0x400008, 0x7F0000000080, KIND_LOAD),
+        ]
+
+    @pytest.mark.parametrize("bad_line", [
+        "0x400000",                      # too few fields
+        "0x400000 0x1 0x2 0x3",          # too many fields
+        "xyz 0x1 R",                     # bad integer
+        "0x400000 0x1 Q",                # unknown kind
+    ])
+    def test_parse_errors(self, bad_line):
+        with pytest.raises(TraceParseError):
+            list(parse_champsim_lines([bad_line]))
+
+    def test_fixture_imports_plain_and_gzip_identically(self, tmp_path):
+        plain = read_champsim_trace(CHAMPSIM_FIXTURE)
+        gzipped = read_champsim_trace(CHAMPSIM_FIXTURE_GZ)
+        for a, b in zip(plain.columns(), gzipped.columns()):
+            assert np.array_equal(a, b)
+        assert plain.num_memory_accesses == 240
+        assert plain.num_stores > 0
+
+    def test_compute_per_access_interleaves_non_mem(self):
+        trace = read_champsim_trace(CHAMPSIM_FIXTURE, compute_per_access=2)
+        assert len(trace) == 3 * trace.num_memory_accesses
+        assert trace.metadata["compute_per_access"] == 2
+
+    def test_import_registers_catalog_workload(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        workload, key, trace = import_champsim_trace(
+            CHAMPSIM_FIXTURE, store=store, name="fixture"
+        )
+        assert workload == "imported.fixture"
+        assert store.imported_workloads() == {
+            "imported.fixture": {
+                "key": key,
+                "source": str(CHAMPSIM_FIXTURE),
+                "records": 240,
+                "memory_accesses": 240,
+                "compute_per_access": 0,
+            }
+        }
+        # The served trace is the memory-mapped stored copy.
+        assert _is_memory_mapped(trace.columns()[0])
+        assert store.resolve("imported.fixture") == key
+
+    def test_imported_workload_runs_through_engine(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        import_champsim_trace(CHAMPSIM_FIXTURE_GZ, store=store, name="fixture",
+                              compute_per_access=2)
+        trace = build_workload_trace(
+            "imported.fixture", 100, trace_store=store
+        )
+        assert trace.num_memory_accesses == 100
+        result = run_single_core(
+            trace, build_scenario("hermes", l1d_prefetcher="ipcp"),
+            warmup_fraction=0.25,
+        )
+        assert result.instructions > 0
+
+    def test_missing_imported_workload_raises(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        with pytest.raises(KeyError, match="repro trace import"):
+            build_workload_trace("imported.nope", 100, trace_store=store)
+
+    def test_max_records_yields_distinct_store_entries(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        _, full_key, full = import_champsim_trace(
+            CHAMPSIM_FIXTURE, store=store, name="full"
+        )
+        _, head_key, head = import_champsim_trace(
+            CHAMPSIM_FIXTURE, store=store, name="head", max_records=50
+        )
+        assert full_key != head_key
+        assert full.num_memory_accesses == 240
+        assert head.num_memory_accesses == 50
+        # Both imports coexist in the store and registry.
+        assert store.load_imported("imported.full").num_memory_accesses == 240
+        assert store.load_imported("imported.head").num_memory_accesses == 50
+
+    def test_reimporting_different_content_changes_point_cache_key(self, tmp_path):
+        """Result-cache keys of imported-workload points follow the trace
+        content, so re-importing a different file under the same name can
+        never serve stale cached results."""
+        from repro.sim.engine import single_core_point
+
+        store = TraceStore(tmp_path / "store")
+        source = tmp_path / "app.trace"
+        source.write_text("0x400000 0x1000 R\n0x400004 0x2000 W\n")
+        import_champsim_trace(source, store=store, name="app")
+
+        def point():
+            return single_core_point(
+                "imported.app", "tlp", "ipcp", memory_accesses=100,
+                warmup_fraction=0.25, trace_store=store,
+            )
+
+        first_key = point().key()
+        assert point().key() == first_key  # deterministic
+        # Same name, different trace content.
+        source.write_text("0x400000 0x9000 R\n0x400004 0xa000 R\n")
+        import_champsim_trace(source, store=store, name="app")
+        assert point().key() != first_key
+
+    def test_generated_point_cache_keys_unchanged_by_trace_keys_field(self):
+        """Generated-only points omit trace_keys from the key payload, so
+        every pre-store result cache stays valid (schema not bumped)."""
+        import hashlib
+        import json as json_module
+
+        from repro.sim.engine import CACHE_SCHEMA_VERSION, single_core_point
+
+        point = single_core_point(
+            "bfs.urand", "tlp", "ipcp", memory_accesses=100,
+            warmup_fraction=0.25, gap_scale="tiny",
+        )
+        assert point.trace_keys is None
+        legacy_payload = {
+            "kind": point.kind,
+            "workloads": list(point.workloads),
+            "scheme": point.scheme,
+            "l1d_prefetcher": point.l1d_prefetcher,
+            "memory_accesses": point.memory_accesses,
+            "warmup_fraction": point.warmup_fraction,
+            "gap_scale": point.gap_scale,
+            "system_json": point.system_json,
+            "mix_name": None,
+            "schema": CACHE_SCHEMA_VERSION,
+        }
+        legacy_key = hashlib.sha256(
+            json_module.dumps(legacy_payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:32]
+        assert point.key() == legacy_key
+
+    def test_imported_workload_through_campaign_cache(self, tmp_path):
+        """An imported trace is a first-class workload for the figure
+        harness machinery (CampaignCache.single_core)."""
+        store = TraceStore(tmp_path / "store")
+        import_champsim_trace(CHAMPSIM_FIXTURE, store=store, name="fixture",
+                              compute_per_access=2)
+        config = ExperimentConfig(
+            gap_workloads=(),
+            spec_workloads=(),
+            imported_workloads=("imported.fixture",),
+            memory_accesses=200,
+            l1d_prefetchers=("ipcp",),
+        )
+        engine = CampaignEngine(
+            result_cache=ResultCache(tmp_path / "rc"), jobs=1, trace_store=store
+        )
+        cache = CampaignCache(config, engine=engine)
+        assert cache.config.suite_of("imported.fixture") == "imported"
+        baseline = cache.single_core("imported.fixture", "baseline")
+        tlp = cache.single_core("imported.fixture", "tlp")
+        assert baseline.instructions == tlp.instructions > 0
+
+
+# ----------------------------------------------------------------------
+# Catalog / engine store fast path
+# ----------------------------------------------------------------------
+class TestStoreFastPath:
+    def test_catalog_build_hits_store_second_time(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        catalog = default_catalog(gap_scale="tiny")
+        first = catalog.build("spec.mcf_like", 500, store=store)
+        # The miss built and persisted the trace, then served the stored
+        # copy (one miss, one hit).
+        assert store.misses == 1
+        hits_after_build = store.hits
+        second = catalog.build("spec.mcf_like", 500, store=store)
+        assert store.misses == 1
+        assert store.hits == hits_after_build + 1
+        assert _is_memory_mapped(second.columns()[0])
+        for a, b in zip(first.columns(), second.columns()):
+            assert np.array_equal(a, b)
+        plain = catalog.build("spec.mcf_like", 500)
+        assert np.array_equal(plain.columns()[1], second.columns()[1])
+
+    def test_catalog_registers_imported_suite(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        import_champsim_trace(CHAMPSIM_FIXTURE, store=store, name="fixture")
+        catalog = default_catalog(gap_scale="tiny", trace_store=store)
+        assert "imported.fixture" in catalog.names("imported")
+        trace = catalog.build("imported.fixture", 64, store=store)
+        assert trace.num_memory_accesses == 64
+        assert catalog.get("imported.fixture").suite == "imported"
+        assert "imported" in catalog.suites()
+
+    def test_workload_key_distinguishes_scale_but_not_for_spec(self):
+        assert workload_key("bfs.urand", 1000, "tiny") != workload_key(
+            "bfs.urand", 1000, "medium"
+        )
+        assert workload_key("spec.mcf_like", 1000, "tiny") == workload_key(
+            "spec.mcf_like", 1000, "medium"
+        )
+        assert workload_key("bfs.urand", 1000, "tiny") != workload_key(
+            "bfs.urand", 2000, "tiny"
+        )
+
+    def test_generator_runs_once_across_engines(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        reset_generator_invocations()
+        first = build_workload_trace("bfs.urand", 600, "tiny", trace_store=store)
+        assert generator_invocations() == 1
+        second = build_workload_trace("bfs.urand", 600, "tiny", trace_store=store)
+        assert generator_invocations() == 1  # store hit: no generator work
+        assert _is_memory_mapped(second.columns()[0])
+        for a, b in zip(first.columns(), second.columns()):
+            assert np.array_equal(a, b)
+
+    def test_warm_store_campaign_skips_generators_entirely(self, tmp_path):
+        """Cold-result-cache campaign points over a warm trace store do no
+        generator work at all (the acceptance criterion)."""
+        store = TraceStore(tmp_path / "store")
+        config = ExperimentConfig(
+            gap_workloads=("bfs.urand",),
+            spec_workloads=("spec.mcf_like",),
+            memory_accesses=500,
+            multicore_memory_accesses=400,
+            l1d_prefetchers=("ipcp",),
+            gap_scale="tiny",
+        )
+
+        def run_campaign(result_dir):
+            engine = CampaignEngine(
+                result_cache=ResultCache(tmp_path / result_dir),
+                jobs=1,
+                trace_store=store,
+            )
+            cache = CampaignCache(config, engine=engine)
+            cache.run_campaign(schemes=("tlp",), include_multicore=True)
+            return engine
+
+        reset_generator_invocations()
+        first = run_campaign("rc1")
+        assert first.simulations_run > 0
+        assert generator_invocations() > 0
+
+        reset_generator_invocations()
+        second = run_campaign("rc2")  # fresh result cache: all points simulate
+        assert second.simulations_run == first.simulations_run
+        assert generator_invocations() == 0
+
+    def test_store_and_storeless_campaigns_agree(self, tmp_path):
+        config = ExperimentConfig(
+            gap_workloads=("bfs.urand",),
+            spec_workloads=("spec.omnetpp_like",),
+            memory_accesses=400,
+            l1d_prefetchers=("ipcp",),
+            gap_scale="tiny",
+        )
+        with_store = CampaignCache(config, engine=CampaignEngine(
+            result_cache=None, jobs=1, trace_store=TraceStore(tmp_path / "ts")
+        ))
+        without_store = CampaignCache(config, engine=CampaignEngine(
+            result_cache=None, jobs=1
+        ))
+        for workload in config.workloads():
+            for scheme in ("baseline", "tlp"):
+                a = with_store.single_core(workload, scheme)
+                b = without_store.single_core(workload, scheme)
+                assert dataclasses.asdict(a) == dataclasses.asdict(b), (
+                    workload, scheme
+                )
+
+
+# ----------------------------------------------------------------------
+# CLI smoke
+# ----------------------------------------------------------------------
+class TestTraceCli:
+    def test_build_ls_info_rm(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = str(tmp_path / "store")
+        assert main(["trace", "--dir", store_dir, "build",
+                     "--workload", "spec.lbm_like", "--accesses", "300"]) == 0
+        assert "stored spec.lbm_like" in capsys.readouterr().out
+
+        assert main(["trace", "--dir", store_dir, "ls"]) == 0
+        output = capsys.readouterr().out
+        assert "1 traces" in output and "spec.lbm_like" in output
+
+        key = workload_key("spec.lbm_like", 300)
+        assert main(["trace", "--dir", store_dir, "info", key]) == 0
+        output = capsys.readouterr().out
+        assert "format_version" in output and "little" in output
+
+        assert main(["trace", "--dir", store_dir, "rm", key]) == 0
+        assert main(["trace", "--dir", store_dir, "ls"]) == 0
+        assert "0 traces" in capsys.readouterr().out
+
+    def test_import_and_info_by_name(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store_dir = str(tmp_path / "store")
+        assert main(["trace", "--dir", store_dir, "import",
+                     str(CHAMPSIM_FIXTURE_GZ), "--name", "fixture"]) == 0
+        assert "imported.fixture" in capsys.readouterr().out
+        assert main(["trace", "--dir", store_dir, "info",
+                     "imported.fixture"]) == 0
+        assert "memory_accesses" in capsys.readouterr().out
+        assert main(["trace", "--dir", store_dir, "rm",
+                     "imported.fixture"]) == 0
+        assert "unregistered imported.fixture" in capsys.readouterr().out
+
+    def test_import_missing_file_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "--dir", str(tmp_path / "s"), "import",
+                     str(tmp_path / "nope.trace")]) == 1
+        assert "import failed" in capsys.readouterr().out
+
+    def test_info_unknown_name_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "--dir", str(tmp_path / "s"), "info", "nope"]) == 1
+
+    def test_campaign_include_imported_smoke(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+        from repro.traces.store import TRACE_DIR_ENV
+        from repro.sim.result_cache import CACHE_DIR_ENV
+
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path / "store"))
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "rc"))
+        assert main(["trace", "import", str(CHAMPSIM_FIXTURE),
+                     "--name", "fixture", "--compute-per-access", "2"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--include-imported", "--accesses", "200",
+                     "--schemes", "tlp", "--prefetchers", "ipcp",
+                     "--jobs", "1", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "imported.fixture/tlp/ipcp" in output
+
+
+# ----------------------------------------------------------------------
+# Graph memo LRU bound
+# ----------------------------------------------------------------------
+class TestGraphMemoLru:
+    def test_memo_is_bounded_and_evicts_least_recently_used(self):
+        from repro.workloads import graphs
+
+        graphs.clear_graph_memo()
+        limit = graphs._GRAPH_MEMO_LIMIT
+        for seed in range(limit):
+            graphs.generate_graph("urand", scale="tiny", seed=seed)
+        assert len(graphs._GRAPH_MEMO) == limit
+        # Touch seed 0 so it becomes most recently used, then overflow.
+        keep = graphs.generate_graph("urand", scale="tiny", seed=0)
+        graphs.generate_graph("road", scale="tiny", seed=99)
+        assert len(graphs._GRAPH_MEMO) == limit
+        assert ("urand", "tiny", 0) in graphs._GRAPH_MEMO
+        assert ("urand", "tiny", 1) not in graphs._GRAPH_MEMO  # LRU victim
+        assert graphs.generate_graph("urand", scale="tiny", seed=0) is keep
+        graphs.clear_graph_memo()
+
+
+# ----------------------------------------------------------------------
+# Result-cache GC dry run
+# ----------------------------------------------------------------------
+def _dummy_result(workload: str):
+    from repro.sim.results import SingleCoreResult
+
+    return SingleCoreResult(
+        workload=workload,
+        scenario="baseline",
+        instructions=1000,
+        cycles=100.0,
+        ipc=10.0,
+        average_load_latency=1.0,
+        dram_transactions=0,
+        dram_transactions_by_source={},
+        mpki_by_level={},
+        l1d_prefetches_issued=0,
+        l1d_prefetches_filtered=0,
+        l1d_prefetch_accuracy=0.0,
+        useful_l1d_prefetches=0,
+        useless_l1d_prefetches=0,
+        accurate_prefetch_source={},
+        inaccurate_prefetch_source={},
+        offchip_prediction_location={},
+        speculative_requests=0,
+        delayed_predictions_saved=0,
+        served_by={},
+    )
+
+
+def test_result_cache_gc_dry_run_reports_without_deleting(tmp_path):
+    import os
+    import time
+
+    cache = ResultCache(tmp_path / "cache")
+    for index in range(6):
+        key = f"k{index}"
+        cache.put(key, _dummy_result(key))
+        stamp = time.time() - 1000 + index
+        os.utime(cache.directory / f"{key}.json", (stamp, stamp))
+    entry_size = (cache.directory / "k0.json").stat().st_size
+    removed, freed = cache.gc(3 * entry_size, dry_run=True)
+    assert (removed, freed) == (3, 3 * entry_size)
+    # Nothing was actually deleted.
+    assert len(cache.entries()) == 6
+    # A real sweep then evicts exactly what the dry run predicted.
+    assert cache.gc(3 * entry_size) == (removed, freed)
+    assert cache.entries() == ["k3", "k4", "k5"]
+
+
+def test_merge_reports_bytes_copied(tmp_path):
+    source = ResultCache(tmp_path / "src")
+    source.put("k1", _dummy_result("a"))
+    source.put("k2", _dummy_result("b"))
+    expected = sum(
+        (tmp_path / "src" / f"{key}.json").stat().st_size for key in ("k1", "k2")
+    )
+    destination = ResultCache(tmp_path / "dst")
+    copied, skipped, bytes_copied = destination.merge_from(tmp_path / "src")
+    assert (copied, skipped) == (2, 0)
+    assert bytes_copied == expected
