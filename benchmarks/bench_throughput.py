@@ -21,7 +21,13 @@ Three metrics per scenario:
 * ``store_load`` (per workload) -- trace-store load throughput in
   records/sec: memory-mapping a stored trace back (header parse + mmap +
   touching every column element), i.e. what a campaign worker pays instead
-  of ``construction`` when the persistent trace store is warm.
+  of ``construction`` when the persistent trace store is warm;
+* ``figure_campaign`` -- registry-driven figure execution (PR 4): the
+  Figure 10/11/12 sweep spec compiled to one point batch and pushed
+  through ``CampaignEngine.run`` serially and with ``--jobs 2``, on a cold
+  in-process cache with the persistent caches off.  Serial points/sec is
+  the figure-layer regression signal; the parallel ratio shows what the
+  one-fan-out-per-figure refactor buys (``repro figure all --jobs N``).
 
 Usage::
 
@@ -122,6 +128,52 @@ def _measure_store_load(trace, repeats: int) -> dict:
     }
 
 
+def measure_figure_campaign(parallel_jobs: int = 2) -> dict:
+    """Time one registry figure executed as a single engine batch.
+
+    Runs the Figure 10/11/12 experiment spec (the densest single-core
+    sweep: every workload x every comparison scheme) at the quick
+    configuration on a fresh in-process cache each time, with the
+    persistent result cache off and a prewarmed throwaway trace store (the
+    `repro figure` default: workers mmap traces instead of regenerating
+    input graphs per process), so serial and parallel runs simulate the
+    identical cold point set.
+    """
+    import tempfile
+
+    from repro.experiments.common import CampaignCache, quick_experiment_config
+    from repro.experiments.spec import get_experiment, run_experiment
+    from repro.traces.store import TraceStore
+
+    spec = get_experiment("fig10")
+    series: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro_bench_figure") as tmp:
+        store = TraceStore(tmp)
+        runs = (("warmup", 1), ("serial", 1), (f"jobs{parallel_jobs}", parallel_jobs))
+        for label, jobs in runs:
+            cache = CampaignCache(
+                quick_experiment_config(),
+                use_result_cache=False,
+                trace_store=store,
+            )
+            start = time.perf_counter()
+            run_experiment(spec, cache=cache, jobs=jobs)
+            seconds = time.perf_counter() - start
+            if label == "warmup":  # fills the trace store, not measured
+                continue
+            points = cache.engine.simulations_run
+            series[label] = {
+                "seconds": round(seconds, 4),
+                "points": points,
+                "points_per_sec": round(points / seconds, 2),
+            }
+    report = {"experiment": spec.name, **series}
+    report["parallel_speedup"] = round(
+        series["serial"]["seconds"] / series[f"jobs{parallel_jobs}"]["seconds"], 2
+    )
+    return report
+
+
 def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0.25) -> dict:
     """Run every scenario ``repeats`` times and report the best throughput."""
     traces = {}
@@ -169,6 +221,7 @@ def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0
         "scenarios": results,
         "construction": construction,
         "store_load": store_load,
+        "figure_campaign": measure_figure_campaign(),
         "geomean_accesses_per_sec": round(
             _geomean(entry["accesses_per_sec"] for entry in results.values()), 1
         ),
@@ -249,6 +302,22 @@ def main(argv=None) -> int:
         f"  {'geomean':<24} "
         f"{report['store_load_geomean_records_per_sec']:>10,.0f} rec/s"
     )
+
+    figure = report["figure_campaign"]
+    print(f"figure campaign ({figure['experiment']} spec, quick config, "
+          f"cold in-process cache):")
+    baseline_figure = (baseline or {}).get("figure_campaign", {})
+    for label, entry in figure.items():
+        if not isinstance(entry, dict):
+            continue
+        line = (f"  {label:<24} {entry['points_per_sec']:>10,.1f} pts/s "
+                f"({entry['points']} points in {entry['seconds']:.2f}s)")
+        baseline_entry = baseline_figure.get(label)
+        if baseline_entry and baseline_entry.get("points_per_sec"):
+            line += (f"  ({entry['points_per_sec'] / baseline_entry['points_per_sec']:.2f}x"
+                     f" vs baseline)")
+        print(line)
+    print(f"  {'parallel speedup':<24} {figure['parallel_speedup']:>10.2f}x")
 
     construction_ratios = [
         report["construction"][name]["records_per_sec"] / entry["records_per_sec"]

@@ -5,9 +5,16 @@ Examples::
     # Compare schemes on one workload
     python -m repro.cli run --workload bfs.urand --schemes baseline hermes tlp
 
-    # Regenerate one figure of the paper
+    # Regenerate figures through the experiment registry (one parallel
+    # engine batch per figure)
     python -m repro.cli figure fig01
-    python -m repro.cli figure fig10
+    python -m repro.cli figure all --jobs 8
+    python -m repro.cli figure fig10 --quick --jobs 4
+
+    # Run a user-defined sweep without writing a module
+    python -m repro.cli sweep --workloads bfs.urand spec.mcf_like \
+        --schemes baseline hermes tlp --jobs 4
+    python -m repro.cli sweep --spec-json my_sweep.json --list
 
     # Simulate the full campaign in parallel with a persistent result cache
     python -m repro.cli campaign --jobs 8
@@ -18,9 +25,10 @@ Examples::
     python -m repro.cli campaign --shard 1/2 --cache-dir shard1
     python -m repro.cli cache merge shard0 shard1
 
-    # Bound the result cache size (also: REPRO_CACHE_MAX_MB=64 on writes)
+    # Bound the result cache / trace store size
     python -m repro.cli cache gc --max-mb 64
     python -m repro.cli cache gc --max-mb 64 --dry-run
+    python -m repro.cli trace gc --max-mb 256 --dry-run
 
     # Prebuild workload traces into the memory-mapped trace store, import
     # an external ChampSim-style trace, inspect and prune the store
@@ -40,45 +48,45 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import time
 from typing import Sequence
 
 from repro.experiments import CampaignCache
-from repro.experiments import (
-    fig01_mpki,
-    fig02_hermes_dram_sc,
-    fig04_offchip_breakdown,
-    fig05_06_prefetch_location,
-    fig10_12_singlecore,
-    fig13_14_multicore,
-    fig15_ablation,
-    fig16_bandwidth,
-    fig17_storage_budget,
-    table02_storage,
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_rows,
+    geomean_speedup_percent,
+    quick_experiment_config,
 )
-from repro.experiments.common import ExperimentConfig, geomean_speedup_percent
 from repro.sim.scenarios import SCHEMES, build_scenario
 from repro.sim.single_core import run_single_core
 from repro.stats.metrics import percent_change, speedup_percent
 from repro.workloads.spec_like import SPEC_LIKE_WORKLOADS
 
-#: Figure name -> (module, needs campaign cache).
+#: L1D prefetcher names accepted by every --prefetchers flag (must match
+#: repro.prefetchers.make_l1d_prefetcher).
+PREFETCHER_CHOICES = ("ipcp", "berti", "next_line", "stride", "none")
+
+#: CLI figure id -> registered experiment name.  Figures that are views of
+#: one shared campaign (10/11/12, 3/13/14, 5/6) alias the same spec.
 FIGURES = {
-    "fig01": fig01_mpki,
-    "fig02": fig02_hermes_dram_sc,
-    "fig04": fig04_offchip_breakdown,
-    "fig05": fig05_06_prefetch_location,
-    "fig06": fig05_06_prefetch_location,
-    "fig10": fig10_12_singlecore,
-    "fig11": fig10_12_singlecore,
-    "fig12": fig10_12_singlecore,
-    "fig03": fig13_14_multicore,
-    "fig13": fig13_14_multicore,
-    "fig14": fig13_14_multicore,
-    "fig15": fig15_ablation,
-    "fig16": fig16_bandwidth,
-    "fig17": fig17_storage_budget,
-    "table02": table02_storage,
+    "fig01": "fig01",
+    "fig02": "fig02",
+    "fig03": "fig13",
+    "fig04": "fig04",
+    "fig05": "fig05",
+    "fig06": "fig05",
+    "fig10": "fig10",
+    "fig11": "fig10",
+    "fig12": "fig10",
+    "fig13": "fig13",
+    "fig14": "fig13",
+    "fig15": "fig15",
+    "fig16": "fig16",
+    "fig17": "fig17",
+    "table02": "table02",
 }
 
 
@@ -136,25 +144,27 @@ def _resolve_trace_store(args: argparse.Namespace):
     return TraceStore(trace_dir) if trace_dir else TraceStore.default()
 
 
-def _build_campaign_cache(args: argparse.Namespace) -> CampaignCache:
+def _imported_workloads(args: argparse.Namespace, trace_store) -> tuple[str, ...]:
+    """The ``imported.*`` workloads joining the sweep (``--include-imported``)."""
+    if not getattr(args, "include_imported", False):
+        return ()
+    if trace_store is None:
+        raise SystemExit("--include-imported requires the trace store "
+                         "(drop --no-trace-store)")
+    imported = tuple(trace_store.imported_workloads())
+    if not imported:
+        print(f"note: no imported traces in {trace_store.directory} "
+              f"(use 'repro trace import')")
+    return imported
+
+
+def _cache_from_config(
+    args: argparse.Namespace, config: ExperimentConfig, trace_store
+) -> CampaignCache:
+    """Build the campaign cache described by the shared engine flags."""
     from repro.sim.engine import CampaignEngine
     from repro.sim.result_cache import ResultCache
 
-    trace_store = _resolve_trace_store(args)
-    imported: tuple[str, ...] = ()
-    if getattr(args, "include_imported", False):
-        if trace_store is None:
-            raise SystemExit("--include-imported requires the trace store "
-                             "(drop --no-trace-store)")
-        imported = tuple(trace_store.imported_workloads())
-        if not imported:
-            print(f"note: no imported traces in {trace_store.directory} "
-                  f"(use 'repro trace import')")
-    config = ExperimentConfig(
-        memory_accesses=args.accesses,
-        l1d_prefetchers=tuple(args.prefetchers),
-        imported_workloads=imported,
-    )
     if args.no_cache:
         result_cache = None
     else:
@@ -163,6 +173,55 @@ def _build_campaign_cache(args: argparse.Namespace) -> CampaignCache:
         result_cache=result_cache, jobs=args.jobs, trace_store=trace_store
     )
     return CampaignCache(config, engine=engine)
+
+
+def _build_campaign_cache(args: argparse.Namespace) -> CampaignCache:
+    trace_store = _resolve_trace_store(args)
+    config = ExperimentConfig(
+        memory_accesses=args.accesses,
+        l1d_prefetchers=tuple(args.prefetchers),
+        imported_workloads=_imported_workloads(args, trace_store),
+    )
+    return _cache_from_config(args, config, trace_store)
+
+
+def _experiment_config_from_args(
+    args: argparse.Namespace, trace_store
+) -> ExperimentConfig:
+    """Experiment configuration for ``repro figure`` / ``repro sweep``.
+
+    Starts from the full-scale defaults (or the quick test configuration
+    with ``--quick``) and applies the explicit axis overrides.
+    """
+    config = quick_experiment_config() if args.quick else ExperimentConfig()
+    overrides: dict = {}
+    if args.accesses is not None:
+        overrides["memory_accesses"] = args.accesses
+    if args.multicore_accesses is not None:
+        overrides["multicore_memory_accesses"] = args.multicore_accesses
+    if args.prefetchers:
+        overrides["l1d_prefetchers"] = tuple(args.prefetchers)
+    imported = _imported_workloads(args, trace_store)
+    if imported:
+        overrides["imported_workloads"] = imported
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def _print_point_status(label: str, rows) -> None:
+    """Print compiled points and their result-cache status (``--list``)."""
+    cached_count = sum(1 for _, _, cached in rows if cached)
+    print(f"{len(rows)} {label} points "
+          f"({cached_count} cached, {len(rows) - cached_count} to simulate)")
+    for point, key, cached in rows:
+        status = "cached" if cached else "missing"
+        print(f"  [{status:>7}] {key[:12]}  {point.kind:<11} {point.label}")
+
+
+def _run_summary(label: str, elapsed: float, engine, jobs, note: str = "") -> str:
+    """The shared simulated/cache-hits/jobs run-summary line."""
+    return (f"{label} in {elapsed:.1f}s "
+            f"({engine.simulations_run} simulated, {engine.cache_hits} cache hits, "
+            f"jobs={engine.resolve_jobs(jobs)}{note})")
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -182,13 +241,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         points = shard_points(points, *shard)
 
     if args.list:
-        rows = cache.engine.status(points)
-        cached_count = sum(1 for _, _, cached in rows if cached)
-        print(f"{len(rows)} campaign points "
-              f"({cached_count} cached, {len(rows) - cached_count} to simulate)")
-        for point, key, cached in rows:
-            status = "cached" if cached else "missing"
-            print(f"  [{status:>7}] {key[:12]}  {point.kind:<11} {point.label}")
+        _print_point_status("campaign", cache.engine.status(points))
         return 0
 
     start = time.perf_counter()
@@ -199,13 +252,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     else:
         cache.run_campaign(schemes, include_multicore=args.multicore, jobs=args.jobs)
     elapsed = time.perf_counter() - start
-    engine = cache.engine
     shard_note = f", shard {shard[0]}/{shard[1]}" if shard is not None else ""
-    print(
-        f"campaign: {len(points)} points in {elapsed:.1f}s "
-        f"({engine.simulations_run} simulated, {engine.cache_hits} cache hits, "
-        f"jobs={engine.resolve_jobs(args.jobs)}{shard_note})"
-    )
+    print(_run_summary(f"campaign: {len(points)} points", elapsed,
+                       cache.engine, args.jobs, shard_note))
     if shard is not None:
         return 0
 
@@ -322,6 +371,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"run it with: repro campaign --include-imported")
         return 0
 
+    if args.trace_command == "gc":
+        max_bytes = int(args.max_mb * 1024 * 1024)
+        before = store.size_bytes()
+        removed, freed = store.gc(max_bytes, dry_run=args.dry_run)
+        verb = "would evict" if args.dry_run else "evicted"
+        print(
+            f"trace gc{' (dry run)' if args.dry_run else ''}: {store.directory} "
+            f"{_format_bytes(before)} -> {_format_bytes(before - freed)} "
+            f"({removed} traces {verb}, {_format_bytes(freed)} reclaimed, "
+            f"cap {args.max_mb:g} MB)"
+        )
+        return 0
+
     if args.trace_command == "ls":
         keys = store.keys()
         imported = {
@@ -377,11 +439,186 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    module = FIGURES.get(args.name)
-    if module is None:
-        print(f"unknown figure {args.name!r}; choose from {sorted(FIGURES)}")
+    from repro.experiments.spec import (
+        get_experiment,
+        registered_experiments,
+        run_experiment,
+    )
+
+    if args.name == "all":
+        names = list(registered_experiments())
+    else:
+        canonical = FIGURES.get(args.name)
+        if canonical is None:
+            print(f"unknown figure {args.name!r}; choose from "
+                  f"{sorted(FIGURES)} or 'all'")
+            return 1
+        names = [canonical]
+
+    trace_store = _resolve_trace_store(args)
+    config = _experiment_config_from_args(args, trace_store)
+    cache = _cache_from_config(args, config, trace_store)
+    start = time.perf_counter()
+    for index, name in enumerate(names):
+        spec = get_experiment(name)
+        if args.prefetchers:
+            # Some figures pin their prefetcher axis (the paper fixes IPCP
+            # for the motivation/multi-core figures); say so instead of
+            # silently sweeping something other than what was asked.
+            swept = spec.build_sweep(cache.config).swept_l1d_prefetchers(
+                cache.config
+            )
+            ignored = [p for p in args.prefetchers if p not in swept]
+            # swept is empty for experiments that simulate nothing
+            # (table02 is pure arithmetic) -- nothing to warn about.
+            if swept and ignored:
+                print(f"note: {name} pins its L1D prefetcher sweep to "
+                      f"{sorted(swept)}; --prefetchers {' '.join(ignored)} "
+                      f"has no effect on it")
+        result = run_experiment(spec, cache=cache, jobs=args.jobs)
+        if index:
+            print()
+        print(spec.title)
+        print(spec.format_table(result))
+    elapsed = time.perf_counter() - start
+    print("\n" + _run_summary(f"figures: {len(names)}", elapsed,
+                              cache.engine, args.jobs))
+    return 0
+
+
+def _sweep_spec_from_args(args: argparse.Namespace):
+    """Build the user-defined sweep from ``--spec-json`` or the axis flags."""
+    from repro.experiments.spec import (
+        MultiCoreSweep,
+        SingleCoreSweep,
+        SweepSpec,
+        sweep_spec_from_dict,
+    )
+
+    if args.spec_json:
+        with open(args.spec_json, "r", encoding="utf-8") as fh:
+            return sweep_spec_from_dict(json.load(fh))
+    single = SingleCoreSweep(
+        workloads=tuple(args.workloads) if args.workloads else None,
+        schemes=tuple(args.schemes),
+        l1d_prefetchers=tuple(args.prefetchers) if args.prefetchers else None,
+    )
+    multi: tuple[MultiCoreSweep, ...] = ()
+    # --suites / --bandwidths only shape the multi-core block; passing
+    # either implies it rather than being silently ignored.
+    if args.multicore or args.suites is not None or args.bandwidths is not None:
+        multi = (
+            MultiCoreSweep(
+                suites=tuple(args.suites) if args.suites else ("gap", "spec"),
+                schemes=tuple(args.schemes),
+                l1d_prefetchers=tuple(args.prefetchers) if args.prefetchers else None,
+                per_core_bandwidths=(
+                    tuple(args.bandwidths) if args.bandwidths else (3.2,)
+                ),
+            ),
+        )
+    return SweepSpec(single_core=(single,), multi_core=multi)
+
+
+def _unknown_workloads(points, trace_store) -> list[str]:
+    """Swept workload names no generator or imported trace can satisfy.
+
+    Checked up front so a typo is one clean CLI error, not a generator
+    traceback from deep inside a worker process.
+    """
+    from repro.workloads.gap import GAP_KERNELS
+    from repro.workloads.graphs import GRAPH_GENERATORS
+
+    imported = (
+        set(trace_store.imported_workloads()) if trace_store is not None else set()
+    )
+    unknown = []
+    for workload in sorted({w for point in points for w in point.workloads}):
+        if workload.startswith("spec."):
+            known = workload[len("spec."):] in SPEC_LIKE_WORKLOADS
+        elif workload.startswith("imported."):
+            known = workload in imported
+        else:
+            kernel, _, graph = workload.partition(".")
+            known = kernel in GAP_KERNELS and graph in GRAPH_GENERATORS
+        if not known:
+            unknown.append(workload)
+    return unknown
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        spec = _sweep_spec_from_args(args)
+    except (OSError, ValueError) as error:
+        print(f"invalid sweep spec: {error}")
+        return 2
+    trace_store = _resolve_trace_store(args)
+    config = _experiment_config_from_args(args, trace_store)
+    # A multi-core block drawing mixes from the imported suite needs the
+    # imported workloads in the config even without --include-imported;
+    # an empty imported suite would otherwise compile to zero mixes
+    # silently.
+    wants_imported = any(
+        block.mixes is None and "imported" in block.suites
+        for block in spec.multi_core
+    )
+    if wants_imported and not config.imported_workloads:
+        if trace_store is None:
+            print("sweeping the imported suite requires the trace store "
+                  "(drop --no-trace-store)")
+            return 2
+        imported = tuple(trace_store.imported_workloads())
+        if not imported:
+            print(f"no imported traces in {trace_store.directory} "
+                  f"(use 'repro trace import')")
+            return 2
+        config = dataclasses.replace(config, imported_workloads=imported)
+    cache = _cache_from_config(args, config, trace_store)
+    points = spec.compile(config, trace_store=trace_store)
+    if not points:
+        print("the sweep compiled to zero points")
         return 1
-    module.main()
+    unknown = _unknown_workloads(points, trace_store)
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)} "
+              f"(generated names: 'repro list'; imported traces: "
+              f"'repro trace ls')")
+        return 2
+
+    if args.list:
+        _print_point_status("sweep", cache.engine.status(points))
+        return 0
+
+    start = time.perf_counter()
+    results = cache.run_points(points, jobs=args.jobs)
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for point in points:
+        result = results[point.key()]
+        ipc = result.ipc if point.kind == "single_core" else sum(result.ipcs)
+        row = [point.label, point.kind, ipc, result.dram_transactions]
+        if point.scheme != "baseline":
+            baseline_key = dataclasses.replace(point, scheme="baseline").key()
+            baseline = results.get(baseline_key)
+            baseline_ipc = (
+                None
+                if baseline is None
+                else baseline.ipc
+                if point.kind == "single_core"
+                else sum(baseline.ipcs)
+            )
+            row.append(
+                f"{speedup_percent(ipc, baseline_ipc):+.2f}"
+                if baseline_ipc
+                else "-"
+            )
+        else:
+            row.append("-")
+        rows.append(row)
+    print(format_rows(["point", "kind", "ipc", "dram tx", "speedup (%)"], rows))
+    print("\n" + _run_summary(f"sweep: {len(points)} points", elapsed,
+                              cache.engine, args.jobs))
     return 0
 
 
@@ -401,14 +638,88 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--schemes", nargs="+", default=["baseline", "hermes", "tlp"],
                             choices=list(SCHEMES))
     run_parser.add_argument("--prefetcher", default="ipcp",
-                            choices=["ipcp", "berti", "next_line", "stride", "none"])
+                            choices=PREFETCHER_CHOICES)
     run_parser.add_argument("--accesses", type=int, default=10_000,
                             help="memory accesses to simulate")
     run_parser.set_defaults(func=_cmd_run)
 
-    figure_parser = subparsers.add_parser("figure", help="regenerate one paper figure")
-    figure_parser.add_argument("name", help="figure id, e.g. fig01, fig10, table02")
+    def add_engine_flags(sub_parser: argparse.ArgumentParser) -> None:
+        """Engine/caching flags shared by figure and sweep execution."""
+        sub_parser.add_argument("--jobs", type=int, default=None,
+                                help="parallel worker processes "
+                                     "(default: os.cpu_count())")
+        sub_parser.add_argument("--no-cache", action="store_true",
+                                help="disable the persistent result cache")
+        sub_parser.add_argument("--cache-dir", default=None,
+                                help="result cache directory "
+                                     "(default: $REPRO_CACHE_DIR or .repro_cache)")
+        sub_parser.add_argument("--trace-dir", default=None,
+                                help="trace store directory (default: "
+                                     "$REPRO_TRACE_DIR or .repro_traces)")
+        sub_parser.add_argument("--no-trace-store", action="store_true",
+                                help="regenerate traces per process instead of "
+                                     "memory-mapping the shared trace store")
+        sub_parser.add_argument("--include-imported", action="store_true",
+                                help="also sweep every trace imported into the "
+                                     "store ('repro trace import')")
+        sub_parser.add_argument("--quick", action="store_true",
+                                help="use the small test configuration instead "
+                                     "of the full-scale defaults")
+        sub_parser.add_argument("--accesses", type=int, default=None,
+                                help="memory accesses per single-core point "
+                                     "(default: the configuration's budget)")
+        sub_parser.add_argument("--multicore-accesses", type=int, default=None,
+                                help="memory accesses per core of a multi-core "
+                                     "point (default: the configuration's budget)")
+
+    figure_parser = subparsers.add_parser(
+        "figure",
+        help="regenerate paper figures through the experiment registry",
+    )
+    figure_parser.add_argument(
+        "name", help="figure id (e.g. fig01, fig10, table02) or 'all'")
+    figure_parser.add_argument("--prefetchers", nargs="+", default=None,
+                               choices=PREFETCHER_CHOICES,
+                               help="L1D prefetchers to sweep "
+                                    "(default: the configuration's sweep)")
+    add_engine_flags(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a user-defined workload x scheme sweep without a module",
+    )
+    sweep_parser.add_argument("--workloads", nargs="+", default=None,
+                              help="workload names (e.g. bfs.urand spec.mcf_like "
+                                   "imported.astar; default: every configured "
+                                   "workload)")
+    sweep_parser.add_argument("--schemes", nargs="+", default=["baseline", "tlp"],
+                              choices=list(SCHEMES),
+                              help="schemes to sweep (include 'baseline' to get "
+                                   "speedup columns)")
+    sweep_parser.add_argument("--prefetchers", nargs="+", default=None,
+                              choices=PREFETCHER_CHOICES,
+                              help="L1D prefetchers to sweep "
+                                   "(default: the configuration's sweep)")
+    sweep_parser.add_argument("--multicore", action="store_true",
+                              help="also sweep the multi-core mixes")
+    sweep_parser.add_argument("--suites", nargs="+", default=None,
+                              choices=["gap", "spec", "imported"],
+                              help="suites the multi-core mixes draw from "
+                                   "(default: gap spec; implies --multicore)")
+    sweep_parser.add_argument("--bandwidths", nargs="+", type=float, default=None,
+                              help="per-core DRAM bandwidths (GB/s) of the "
+                                   "multi-core points (default: 3.2; implies "
+                                   "--multicore)")
+    sweep_parser.add_argument("--spec-json", default=None,
+                              help="JSON sweep spec file (overrides the axis "
+                                   "flags; see README 'Figure registry and "
+                                   "sweeps')")
+    sweep_parser.add_argument("--list", action="store_true",
+                              help="print the compiled points and their cache "
+                                   "status without simulating")
+    add_engine_flags(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     campaign_parser = subparsers.add_parser(
         "campaign",
@@ -420,7 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="schemes to simulate (the baseline is always included)")
     campaign_parser.add_argument(
         "--prefetchers", nargs="+", default=["ipcp", "berti"],
-        choices=["ipcp", "berti", "next_line", "stride", "none"],
+        choices=PREFETCHER_CHOICES,
         help="L1D prefetchers to sweep")
     campaign_parser.add_argument("--accesses", type=int, default=12_000,
                                  help="memory accesses per single-core point")
@@ -494,7 +805,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="input-graph scale for GAP workloads")
     trace_import = trace_sub.add_parser(
         "import",
-        help="import a ChampSim-style memory trace (text or .gz) into the store",
+        help="import a ChampSim-style memory trace (text, .gz or .xz) into "
+             "the store",
     )
     trace_import.add_argument("path", help="trace file to import")
     trace_import.add_argument("--name", default=None,
@@ -505,6 +817,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "imported access (default 0)")
     trace_import.add_argument("--max-records", type=int, default=None,
                               help="read at most this many memory records")
+    trace_gc = trace_sub.add_parser(
+        "gc", help="evict the oldest stored traces until the store fits a size cap"
+    )
+    trace_gc.add_argument("--max-mb", type=float, required=True,
+                          help="target store size in MB")
+    trace_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be evicted without deleting")
     trace_sub.add_parser("ls", help="list stored traces")
     trace_info = trace_sub.add_parser(
         "info", help="print the header of one stored trace"

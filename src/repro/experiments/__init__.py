@@ -1,16 +1,21 @@
 """Experiment harnesses reproducing every figure/table of the paper.
 
-Each ``figNN_*`` module exposes:
+Each ``figNN_*`` module declares its experiment as a spec (see
+:mod:`repro.experiments.spec`):
 
-* ``run(config=None)`` -- run the experiment and return a result object
-  (dataclass or dict of rows/series);
-* ``format_table(result)`` -- render the result as the text table printed by
-  the benchmark harness;
-* ``main()`` -- run and print.
+* ``sweep(config, **params)`` -- the declarative axes, compiled to a flat
+  campaign-point batch;
+* ``reduce(config, results, **params)`` -- a pure fold of the executed
+  batch into the figure's result object;
+* ``run(config=None, cache=None, **params)`` -- thin wrapper executing the
+  spec (unchanged public entry point);
+* ``format_table(result)`` / ``main()`` -- rendering.
 
-The single-core figures (1, 2, 4, 5, 6, 10, 11, 12, 17) and the multi-core
-figures (3, 13, 14, 15, 16) share their underlying simulation campaigns via
-:class:`repro.experiments.common.CampaignCache`, so regenerating all figures
+Specs register under their figure name, so ``repro figure <name>|all``
+executes any figure through one parallel
+:meth:`~repro.sim.engine.CampaignEngine.run` fan-out, and the single-core
+and multi-core figures share their underlying simulations via
+:class:`repro.experiments.common.CampaignCache` -- regenerating all figures
 only simulates each (workload, scenario) pair once.
 """
 
@@ -19,9 +24,31 @@ from repro.experiments.common import (
     ExperimentConfig,
     default_experiment_config,
 )
+from repro.experiments.spec import (
+    ExperimentSpec,
+    MultiCoreSweep,
+    SingleCoreSweep,
+    SweepResults,
+    SweepSpec,
+    get_experiment,
+    registered_experiments,
+    run_experiment,
+    sweep_spec_from_dict,
+    sweep_spec_to_dict,
+)
 
 __all__ = [
     "CampaignCache",
     "ExperimentConfig",
+    "ExperimentSpec",
+    "MultiCoreSweep",
+    "SingleCoreSweep",
+    "SweepResults",
+    "SweepSpec",
     "default_experiment_config",
+    "get_experiment",
+    "registered_experiments",
+    "run_experiment",
+    "sweep_spec_from_dict",
+    "sweep_spec_to_dict",
 ]

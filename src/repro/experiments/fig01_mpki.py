@@ -11,6 +11,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.common import CampaignCache, ExperimentConfig, format_rows
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SingleCoreSweep,
+    SweepResults,
+    SweepSpec,
+    register,
+    run_experiment,
+)
 
 
 @dataclass
@@ -22,18 +30,27 @@ class Figure1Result:
     overall: dict[str, float] = field(default_factory=dict)
 
 
-def run(
-    config: Optional[ExperimentConfig] = None,
-    cache: Optional[CampaignCache] = None,
-) -> Figure1Result:
-    """Measure baseline (IPCP + SPP, no off-chip prediction) MPKIs."""
-    campaign = cache if cache is not None else CampaignCache(config)
+def sweep(config: ExperimentConfig) -> SweepSpec:
+    """Every workload once, baseline scheme, IPCP L1D prefetcher."""
+    return SweepSpec(
+        single_core=(
+            SingleCoreSweep(schemes=("baseline",), l1d_prefetchers=("ipcp",)),
+        )
+    )
+
+
+def reduce(config: ExperimentConfig, results: SweepResults) -> Figure1Result:
+    """Fold baseline (IPCP + SPP, no off-chip prediction) runs into MPKIs."""
     result = Figure1Result()
-    suite_accumulator: dict[str, list[dict[str, float]]] = {"spec": [], "gap": []}
-    for workload in campaign.config.workloads():
-        run_result = campaign.single_core(workload, "baseline", "ipcp")
+    suite_accumulator: dict[str, list[dict[str, float]]] = {
+        "spec": [],
+        "gap": [],
+        "imported": [],
+    }
+    for workload in config.workloads():
+        run_result = results.single_core(workload, "baseline", "ipcp")
         result.per_workload[workload] = dict(run_result.mpki_by_level)
-        suite_accumulator[campaign.config.suite_of(workload)].append(
+        suite_accumulator[config.suite_of(workload)].append(
             run_result.mpki_by_level
         )
     for suite, rows in suite_accumulator.items():
@@ -51,6 +68,14 @@ def run(
     return result
 
 
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+) -> Figure1Result:
+    """Measure baseline (IPCP + SPP, no off-chip prediction) MPKIs."""
+    return run_experiment(SPEC, cache=cache, config=config)
+
+
 def format_table(result: Figure1Result) -> str:
     """Render the figure as a text table (per suite + overall)."""
     rows = []
@@ -64,10 +89,22 @@ def format_table(result: Figure1Result) -> str:
     return format_rows(["workload", "L1D MPKI", "L2C MPKI", "LLC MPKI"], rows)
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="fig01",
+        title="Figure 1: cache MPKI (baseline, IPCP L1D prefetcher)",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="MPKI of L1D/L2C/LLC across SPEC and GAP workloads",
+    )
+)
+
+
 def main() -> Figure1Result:
     """Run and print Figure 1."""
     result = run()
-    print("Figure 1: cache MPKI (baseline, IPCP L1D prefetcher)")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

@@ -16,6 +16,14 @@ from repro.experiments.common import (
     average_percent_change,
     format_rows,
 )
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SingleCoreSweep,
+    SweepResults,
+    SweepSpec,
+    register,
+    run_experiment,
+)
 from repro.stats.metrics import percent_change
 
 
@@ -28,25 +36,32 @@ class Figure2Result:
     overall: float = 0.0
 
 
-def run(
-    config: Optional[ExperimentConfig] = None,
-    cache: Optional[CampaignCache] = None,
-    scheme: str = "hermes",
+def sweep(config: ExperimentConfig, scheme: str = "hermes") -> SweepSpec:
+    """Baseline and ``scheme`` on every workload, IPCP L1D prefetcher."""
+    return SweepSpec(
+        single_core=(
+            SingleCoreSweep(schemes=("baseline", scheme), l1d_prefetchers=("ipcp",)),
+        )
+    )
+
+
+def reduce(
+    config: ExperimentConfig, results: SweepResults, scheme: str = "hermes"
 ) -> Figure2Result:
     """Compare ``scheme`` against the baseline on DRAM transactions."""
-    campaign = cache if cache is not None else CampaignCache(config)
     result = Figure2Result()
     suites: dict[str, tuple[list[float], list[float]]] = {
         "spec": ([], []),
         "gap": ([], []),
+        "imported": ([], []),
     }
-    for workload in campaign.config.workloads():
-        baseline = campaign.single_core(workload, "baseline", "ipcp")
-        candidate = campaign.single_core(workload, scheme, "ipcp")
+    for workload in config.workloads():
+        baseline = results.single_core(workload, "baseline", "ipcp")
+        candidate = results.single_core(workload, scheme, "ipcp")
         result.per_workload[workload] = percent_change(
             candidate.dram_transactions, baseline.dram_transactions
         )
-        values, bases = suites[campaign.config.suite_of(workload)]
+        values, bases = suites[config.suite_of(workload)]
         values.append(candidate.dram_transactions)
         bases.append(baseline.dram_transactions)
     for suite, (values, bases) in suites.items():
@@ -58,6 +73,15 @@ def run(
     return result
 
 
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    scheme: str = "hermes",
+) -> Figure2Result:
+    """Compare ``scheme`` against the baseline on DRAM transactions."""
+    return run_experiment(SPEC, cache=cache, config=config, scheme=scheme)
+
+
 def format_table(result: Figure2Result) -> str:
     """Render the per-workload increases plus suite averages."""
     rows = [[name, value] for name, value in sorted(result.per_workload.items())]
@@ -67,10 +91,22 @@ def format_table(result: Figure2Result) -> str:
     return format_rows(["workload", "DRAM transaction increase (%)"], rows)
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="fig02",
+        title="Figure 2: DRAM transaction increase of Hermes (single-core, IPCP)",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="DRAM transaction increase of Hermes over the baseline",
+    )
+)
+
+
 def main() -> Figure2Result:
     """Run and print Figure 2."""
     result = run()
-    print("Figure 2: DRAM transaction increase of Hermes (single-core, IPCP)")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

@@ -12,6 +12,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.common import CampaignCache, ExperimentConfig, format_rows
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SingleCoreSweep,
+    SweepResults,
+    SweepSpec,
+    register,
+    run_experiment,
+)
 
 _LEVELS = ("L1D", "L2C", "LLC", "DRAM")
 
@@ -32,22 +40,29 @@ def _shares(counts: dict[str, int]) -> dict[str, float]:
     return {level: 100.0 * counts.get(level, 0) / total for level in _LEVELS}
 
 
-def run(
-    config: Optional[ExperimentConfig] = None,
-    cache: Optional[CampaignCache] = None,
-) -> Figure4Result:
-    """Run Hermes and break its off-chip predictions down by block location."""
-    campaign = cache if cache is not None else CampaignCache(config)
+def sweep(config: ExperimentConfig) -> SweepSpec:
+    """Hermes on every workload, IPCP L1D prefetcher."""
+    return SweepSpec(
+        single_core=(
+            SingleCoreSweep(schemes=("hermes",), l1d_prefetchers=("ipcp",)),
+        )
+    )
+
+
+def reduce(config: ExperimentConfig, results: SweepResults) -> Figure4Result:
+    """Break Hermes' off-chip predictions down by block location."""
     result = Figure4Result()
+    suite_names = ("spec", "gap") + (
+        ("imported",) if config.imported_workloads else ()
+    )
     suite_counts: dict[str, dict[str, int]] = {
-        "spec": {level: 0 for level in _LEVELS},
-        "gap": {level: 0 for level in _LEVELS},
+        suite: {level: 0 for level in _LEVELS} for suite in suite_names
     }
-    for workload in campaign.config.workloads():
-        hermes = campaign.single_core(workload, "hermes", "ipcp")
+    for workload in config.workloads():
+        hermes = results.single_core(workload, "hermes", "ipcp")
         counts = hermes.offchip_prediction_location
         result.per_workload[workload] = _shares(counts)
-        suite = campaign.config.suite_of(workload)
+        suite = config.suite_of(workload)
         for level in _LEVELS:
             suite_counts[suite][level] += counts.get(level, 0)
     for suite, counts in suite_counts.items():
@@ -58,6 +73,14 @@ def run(
     }
     result.overall = _shares(total_counts)
     return result
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+) -> Figure4Result:
+    """Run Hermes and break its off-chip predictions down by block location."""
+    return run_experiment(SPEC, cache=cache, config=config)
 
 
 def format_table(result: Figure4Result) -> str:
@@ -71,10 +94,22 @@ def format_table(result: Figure4Result) -> str:
     return format_rows(["workload"] + [f"{level} (%)" for level in _LEVELS], rows)
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="fig04",
+        title="Figure 4: block location upon a Hermes off-chip prediction",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="Where the block lives when Hermes predicts off-chip",
+    )
+)
+
+
 def main() -> Figure4Result:
     """Run and print Figure 4."""
     result = run()
-    print("Figure 4: block location upon a Hermes off-chip prediction")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

@@ -13,6 +13,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.common import CampaignCache, ExperimentConfig, format_rows
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SingleCoreSweep,
+    SweepResults,
+    SweepSpec,
+    register,
+    run_experiment,
+)
 
 _LEVELS = ("L2C", "LLC", "DRAM")
 
@@ -31,23 +39,26 @@ class PrefetchLocationResult:
     dram_inaccuracy_ratio: dict[str, float] = field(default_factory=dict)
 
 
-def run(
-    config: Optional[ExperimentConfig] = None,
-    cache: Optional[CampaignCache] = None,
+def sweep(config: ExperimentConfig) -> SweepSpec:
+    """Baseline scheme on every workload under every configured prefetcher."""
+    return SweepSpec(single_core=(SingleCoreSweep(schemes=("baseline",)),))
+
+
+def reduce(
+    config: ExperimentConfig, results: SweepResults
 ) -> PrefetchLocationResult:
     """Measure prefetch-serving locations in the baseline system."""
-    campaign = cache if cache is not None else CampaignCache(config)
     result = PrefetchLocationResult()
-    for prefetcher in campaign.config.l1d_prefetchers:
+    for prefetcher in config.l1d_prefetchers:
         result.inaccurate[prefetcher] = {}
         result.accurate[prefetcher] = {}
         totals_inaccurate = {level: 0.0 for level in _LEVELS}
         totals_accurate = {level: 0.0 for level in _LEVELS}
         dram_inaccurate = 0
         dram_total = 0
-        workloads = campaign.config.workloads()
+        workloads = config.workloads()
         for workload in workloads:
-            run_result = campaign.single_core(workload, "baseline", prefetcher)
+            run_result = results.single_core(workload, "baseline", prefetcher)
             inaccurate = {
                 level: run_result.inaccurate_prefetch_ppki(level) for level in _LEVELS
             }
@@ -76,6 +87,14 @@ def run(
     return result
 
 
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+) -> PrefetchLocationResult:
+    """Measure prefetch-serving locations in the baseline system."""
+    return run_experiment(SPEC, cache=cache, config=config)
+
+
 def format_table(result: PrefetchLocationResult) -> str:
     """Render the average accurate/inaccurate PPKI per level and prefetcher."""
     rows = []
@@ -97,10 +116,22 @@ def format_table(result: PrefetchLocationResult) -> str:
     return format_rows(["series"] + [f"{level} PPKI" for level in _LEVELS], rows)
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="fig05",
+        title="Figures 5/6: L1D prefetch serving location by accuracy",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="Accurate vs inaccurate L1D prefetches by serving level",
+    )
+)
+
+
 def main() -> PrefetchLocationResult:
     """Run and print Figures 5 and 6."""
     result = run()
-    print("Figures 5/6: L1D prefetch serving location by accuracy")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

@@ -22,6 +22,14 @@ from repro.experiments.common import (
     format_rows,
     geomean_speedup_percent,
 )
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SingleCoreSweep,
+    SweepResults,
+    SweepSpec,
+    register,
+    run_experiment,
+)
 from repro.stats.metrics import percent_change, speedup_percent
 
 
@@ -47,18 +55,26 @@ class SingleCoreCampaignResult:
     baseline_accuracy: dict[str, float] = field(default_factory=dict)
 
 
-def run(
-    config: Optional[ExperimentConfig] = None,
-    cache: Optional[CampaignCache] = None,
+def sweep(
+    config: ExperimentConfig, schemes: tuple[str, ...] = COMPARISON_SCHEMES
+) -> SweepSpec:
+    """The full cross product: workloads x (baseline + schemes) x prefetchers."""
+    return SweepSpec(
+        single_core=(SingleCoreSweep(schemes=("baseline",) + tuple(schemes)),)
+    )
+
+
+def reduce(
+    config: ExperimentConfig,
+    results: SweepResults,
     schemes: tuple[str, ...] = COMPARISON_SCHEMES,
 ) -> SingleCoreCampaignResult:
-    """Run the full single-core campaign."""
-    campaign = cache if cache is not None else CampaignCache(config)
+    """Fold the single-core campaign into the Figure 10/11/12 numbers."""
     result = SingleCoreCampaignResult()
-    workloads = campaign.config.workloads()
-    for prefetcher in campaign.config.l1d_prefetchers:
+    workloads = config.workloads()
+    for prefetcher in config.l1d_prefetchers:
         baseline_results = {
-            workload: campaign.single_core(workload, "baseline", prefetcher)
+            workload: results.single_core(workload, "baseline", prefetcher)
             for workload in workloads
         }
         result.speedups[prefetcher] = {}
@@ -72,7 +88,7 @@ def run(
         )
         for scheme in schemes:
             scheme_results = {
-                workload: campaign.single_core(workload, scheme, prefetcher)
+                workload: results.single_core(workload, scheme, prefetcher)
                 for workload in workloads
             }
             result.speedups[prefetcher][scheme] = {
@@ -93,9 +109,9 @@ def run(
                 [baseline_results[w].ipc for w in workloads],
             )
             by_suite = {}
-            for suite in ("spec", "gap"):
+            for suite in ("spec", "gap", "imported"):
                 suite_workloads = [
-                    w for w in workloads if campaign.config.suite_of(w) == suite
+                    w for w in workloads if config.suite_of(w) == suite
                 ]
                 if suite_workloads:
                     by_suite[suite] = geomean_speedup_percent(
@@ -120,6 +136,15 @@ def run(
                 ]
             )
     return result
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    schemes: tuple[str, ...] = COMPARISON_SCHEMES,
+) -> SingleCoreCampaignResult:
+    """Run the full single-core campaign."""
+    return run_experiment(SPEC, cache=cache, config=config, schemes=schemes)
 
 
 def _mean(values: list[float]) -> float:
@@ -153,10 +178,22 @@ def format_table(result: SingleCoreCampaignResult) -> str:
     )
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="fig10",
+        title="Figures 10/11/12: single-core evaluation",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="Single-core speedup, DRAM traffic and prefetch accuracy",
+    )
+)
+
+
 def main() -> SingleCoreCampaignResult:
     """Run and print the single-core campaign (Figures 10, 11, 12)."""
     result = run()
-    print("Figures 10/11/12: single-core evaluation")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

@@ -22,6 +22,15 @@ from repro.experiments.common import (
     average_percent_change,
     format_rows,
 )
+from repro.experiments.spec import (
+    ExperimentSpec,
+    MultiCoreSweep,
+    SweepResults,
+    SweepSpec,
+    multicore_mixes,
+    register,
+    run_experiment,
+)
 from repro.stats.metrics import geometric_mean, percent_change, weighted_speedup
 
 
@@ -39,21 +48,36 @@ class MultiCoreCampaignResult:
     average_dram_change: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
-def run(
-    config: Optional[ExperimentConfig] = None,
-    cache: Optional[CampaignCache] = None,
+def sweep(
+    config: ExperimentConfig,
+    schemes: tuple[str, ...] = COMPARISON_SCHEMES,
+    l1d_prefetchers: Optional[tuple[str, ...]] = None,
+    per_core_bandwidth_gbps: float = 3.2,
+) -> SweepSpec:
+    """Every mix under baseline + ``schemes``, plus the isolated baselines."""
+    return SweepSpec(
+        multi_core=(
+            MultiCoreSweep(
+                schemes=("baseline",) + tuple(schemes),
+                l1d_prefetchers=l1d_prefetchers,
+                per_core_bandwidths=(per_core_bandwidth_gbps,),
+            ),
+        )
+    )
+
+
+def reduce(
+    config: ExperimentConfig,
+    results: SweepResults,
     schemes: tuple[str, ...] = COMPARISON_SCHEMES,
     l1d_prefetchers: Optional[tuple[str, ...]] = None,
     per_core_bandwidth_gbps: float = 3.2,
 ) -> MultiCoreCampaignResult:
-    """Run the full multi-core campaign."""
-    campaign = cache if cache is not None else CampaignCache(config)
+    """Fold the multi-core campaign into the Figure 3/13/14 numbers."""
     prefetchers = (
-        l1d_prefetchers
-        if l1d_prefetchers is not None
-        else campaign.config.l1d_prefetchers
+        l1d_prefetchers if l1d_prefetchers is not None else config.l1d_prefetchers
     )
-    mixes = campaign.multicore_mixes("gap") + campaign.multicore_mixes("spec")
+    mixes = multicore_mixes(config, "gap") + multicore_mixes(config, "spec")
     result = MultiCoreCampaignResult()
     for prefetcher in prefetchers:
         result.speedups[prefetcher] = {scheme: {} for scheme in schemes}
@@ -67,20 +91,20 @@ def run(
             # denominators of the weighted speedup; the paper normalises each
             # scheme's weighted IPC to the baseline design's weighted IPC.
             isolated = [
-                campaign.single_core(
+                results.single_core(
                     workload,
                     "baseline",
                     prefetcher,
-                    memory_accesses=campaign.config.multicore_memory_accesses,
+                    memory_accesses=config.multicore_memory_accesses,
                 ).ipc
                 for workload in workloads
             ]
-            baseline_mix = campaign.multi_core(
+            baseline_mix = results.multi_core(
                 mix_name, workloads, "baseline", prefetcher, per_core_bandwidth_gbps
             )
             baseline_ws = weighted_speedup(baseline_mix.ipcs, isolated)
             for scheme in schemes:
-                scheme_mix = campaign.multi_core(
+                scheme_mix = results.multi_core(
                     mix_name, workloads, scheme, prefetcher, per_core_bandwidth_gbps
                 )
                 scheme_ws = weighted_speedup(scheme_mix.ipcs, isolated)
@@ -104,6 +128,24 @@ def run(
     return result
 
 
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    schemes: tuple[str, ...] = COMPARISON_SCHEMES,
+    l1d_prefetchers: Optional[tuple[str, ...]] = None,
+    per_core_bandwidth_gbps: float = 3.2,
+) -> MultiCoreCampaignResult:
+    """Run the full multi-core campaign."""
+    return run_experiment(
+        SPEC,
+        cache=cache,
+        config=config,
+        schemes=schemes,
+        l1d_prefetchers=l1d_prefetchers,
+        per_core_bandwidth_gbps=per_core_bandwidth_gbps,
+    )
+
+
 def format_table(result: MultiCoreCampaignResult) -> str:
     """Render geomean weighted speedups and DRAM changes per scheme."""
     rows = []
@@ -121,10 +163,22 @@ def format_table(result: MultiCoreCampaignResult) -> str:
     )
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="fig13",
+        title="Figures 3/13/14: multi-core evaluation (3.2 GB/s per core)",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="Multi-core weighted speedup and DRAM traffic",
+    )
+)
+
+
 def main() -> MultiCoreCampaignResult:
     """Run and print the multi-core campaign (Figures 3, 13, 14)."""
     result = run()
-    print("Figures 3/13/14: multi-core evaluation (3.2 GB/s per core)")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

@@ -12,6 +12,15 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.common import CampaignCache, ExperimentConfig, format_rows
+from repro.experiments.spec import (
+    ExperimentSpec,
+    MultiCoreSweep,
+    SweepResults,
+    SweepSpec,
+    multicore_mixes,
+    register,
+    run_experiment,
+)
 from repro.stats.metrics import geometric_mean, weighted_speedup
 
 #: The six designs in the order the paper plots them.
@@ -26,31 +35,40 @@ class Figure15Result:
     geomean: dict[str, float] = field(default_factory=dict)
 
 
-def run(
-    config: Optional[ExperimentConfig] = None,
-    cache: Optional[CampaignCache] = None,
-    l1d_prefetcher: str = "ipcp",
+def sweep(config: ExperimentConfig, l1d_prefetcher: str = "ipcp") -> SweepSpec:
+    """Every mix under the baseline plus the six ablation designs."""
+    return SweepSpec(
+        multi_core=(
+            MultiCoreSweep(
+                schemes=("baseline",) + ABLATION_ORDER,
+                l1d_prefetchers=(l1d_prefetcher,),
+            ),
+        )
+    )
+
+
+def reduce(
+    config: ExperimentConfig, results: SweepResults, l1d_prefetcher: str = "ipcp"
 ) -> Figure15Result:
-    """Run the ablation campaign on the multi-core mixes."""
-    campaign = cache if cache is not None else CampaignCache(config)
-    mixes = campaign.multicore_mixes("gap") + campaign.multicore_mixes("spec")
+    """Fold the ablation campaign into normalised weighted speedups."""
+    mixes = multicore_mixes(config, "gap") + multicore_mixes(config, "spec")
     result = Figure15Result()
     ratios: dict[str, list[float]] = {scheme: [] for scheme in ABLATION_ORDER}
     for mix_name, workloads in mixes:
         isolated = [
-            campaign.single_core(
+            results.single_core(
                 workload,
                 "baseline",
                 l1d_prefetcher,
-                memory_accesses=campaign.config.multicore_memory_accesses,
+                memory_accesses=config.multicore_memory_accesses,
             ).ipc
             for workload in workloads
         ]
-        baseline_mix = campaign.multi_core(mix_name, workloads, "baseline", l1d_prefetcher)
+        baseline_mix = results.multi_core(mix_name, workloads, "baseline", l1d_prefetcher)
         baseline_ws = weighted_speedup(baseline_mix.ipcs, isolated)
         result.per_mix[mix_name] = {}
         for scheme in ABLATION_ORDER:
-            scheme_mix = campaign.multi_core(mix_name, workloads, scheme, l1d_prefetcher)
+            scheme_mix = results.multi_core(mix_name, workloads, scheme, l1d_prefetcher)
             scheme_ws = weighted_speedup(scheme_mix.ipcs, isolated)
             normalised = scheme_ws / baseline_ws if baseline_ws > 0 else 1.0
             result.per_mix[mix_name][scheme] = 100.0 * (normalised - 1.0)
@@ -62,16 +80,39 @@ def run(
     return result
 
 
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    l1d_prefetcher: str = "ipcp",
+) -> Figure15Result:
+    """Run the ablation campaign on the multi-core mixes."""
+    return run_experiment(
+        SPEC, cache=cache, config=config, l1d_prefetcher=l1d_prefetcher
+    )
+
+
 def format_table(result: Figure15Result) -> str:
     """Render the geomean speedup of each ablation design."""
     rows = [[scheme, result.geomean.get(scheme, 0.0)] for scheme in ABLATION_ORDER]
     return format_rows(["design", "geomean weighted speedup (%)"], rows)
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="fig15",
+        title="Figure 15: contribution of each TLP component (multi-core, IPCP)",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="Ablation: FLP/SLP/TSP variants vs full TLP",
+    )
+)
+
+
 def main() -> Figure15Result:
     """Run and print Figure 15."""
     result = run()
-    print("Figure 15: contribution of each TLP component (multi-core, IPCP)")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

@@ -19,6 +19,15 @@ from repro.experiments.common import (
     average_percent_change,
     format_rows,
 )
+from repro.experiments.spec import (
+    ExperimentSpec,
+    MultiCoreSweep,
+    SweepResults,
+    SweepSpec,
+    multicore_mixes,
+    register,
+    run_experiment,
+)
 from repro.stats.metrics import geometric_mean, percent_change, weighted_speedup
 
 #: Per-core bandwidth points of the paper's sweep (GB/s).
@@ -35,16 +44,33 @@ class Figure16Result:
     dram_change: dict[float, dict[str, float]] = field(default_factory=dict)
 
 
-def run(
-    config: Optional[ExperimentConfig] = None,
-    cache: Optional[CampaignCache] = None,
+def sweep(
+    config: ExperimentConfig,
+    bandwidths: tuple[float, ...] = DEFAULT_BANDWIDTHS,
+    schemes: tuple[str, ...] = COMPARISON_SCHEMES,
+    l1d_prefetcher: str = "ipcp",
+) -> SweepSpec:
+    """Every mix x (baseline + schemes) x bandwidth point."""
+    return SweepSpec(
+        multi_core=(
+            MultiCoreSweep(
+                schemes=("baseline",) + tuple(schemes),
+                l1d_prefetchers=(l1d_prefetcher,),
+                per_core_bandwidths=tuple(bandwidths),
+            ),
+        )
+    )
+
+
+def reduce(
+    config: ExperimentConfig,
+    results: SweepResults,
     bandwidths: tuple[float, ...] = DEFAULT_BANDWIDTHS,
     schemes: tuple[str, ...] = COMPARISON_SCHEMES,
     l1d_prefetcher: str = "ipcp",
 ) -> Figure16Result:
-    """Run the bandwidth sweep on the multi-core mixes."""
-    campaign = cache if cache is not None else CampaignCache(config)
-    mixes = campaign.multicore_mixes("gap") + campaign.multicore_mixes("spec")
+    """Fold the bandwidth sweep into per-point speedups and DRAM changes."""
+    mixes = multicore_mixes(config, "gap") + multicore_mixes(config, "spec")
     result = Figure16Result()
     for bandwidth in bandwidths:
         ratios: dict[str, list[float]] = {scheme: [] for scheme in schemes}
@@ -53,20 +79,20 @@ def run(
         }
         for mix_name, workloads in mixes:
             isolated = [
-                campaign.single_core(
+                results.single_core(
                     workload,
                     "baseline",
                     l1d_prefetcher,
-                    memory_accesses=campaign.config.multicore_memory_accesses,
+                    memory_accesses=config.multicore_memory_accesses,
                 ).ipc
                 for workload in workloads
             ]
-            baseline_mix = campaign.multi_core(
+            baseline_mix = results.multi_core(
                 mix_name, workloads, "baseline", l1d_prefetcher, bandwidth
             )
             baseline_ws = weighted_speedup(baseline_mix.ipcs, isolated)
             for scheme in schemes:
-                scheme_mix = campaign.multi_core(
+                scheme_mix = results.multi_core(
                     mix_name, workloads, scheme, l1d_prefetcher, bandwidth
                 )
                 scheme_ws = weighted_speedup(scheme_mix.ipcs, isolated)
@@ -87,6 +113,24 @@ def run(
     return result
 
 
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    bandwidths: tuple[float, ...] = DEFAULT_BANDWIDTHS,
+    schemes: tuple[str, ...] = COMPARISON_SCHEMES,
+    l1d_prefetcher: str = "ipcp",
+) -> Figure16Result:
+    """Run the bandwidth sweep on the multi-core mixes."""
+    return run_experiment(
+        SPEC,
+        cache=cache,
+        config=config,
+        bandwidths=bandwidths,
+        schemes=schemes,
+        l1d_prefetcher=l1d_prefetcher,
+    )
+
+
 def format_table(result: Figure16Result) -> str:
     """Render the sweep as one row per (bandwidth, scheme)."""
     rows = []
@@ -105,10 +149,22 @@ def format_table(result: Figure16Result) -> str:
     )
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="fig16",
+        title="Figure 16: DRAM bandwidth sensitivity (multi-core, IPCP)",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="Weighted speedup and DRAM traffic across bandwidths",
+    )
+)
+
+
 def main() -> Figure16Result:
     """Run and print Figure 16."""
     result = run()
-    print("Figure 16: DRAM bandwidth sensitivity (multi-core, IPCP)")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

@@ -17,6 +17,14 @@ from repro.experiments.common import (
     format_rows,
     geomean_speedup_percent,
 )
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SingleCoreSweep,
+    SweepResults,
+    SweepSpec,
+    register,
+    run_experiment,
+)
 
 #: The designs compared in Figure 17.
 STORAGE_SCHEMES = ("prefetcher_7kb", "hermes_7kb", "tlp")
@@ -29,30 +37,47 @@ class Figure17Result:
     geomean_speedup: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
-def run(
-    config: Optional[ExperimentConfig] = None,
-    cache: Optional[CampaignCache] = None,
+def sweep(
+    config: ExperimentConfig, schemes: tuple[str, ...] = STORAGE_SCHEMES
+) -> SweepSpec:
+    """Baseline plus the +7KB designs on every workload and prefetcher."""
+    return SweepSpec(
+        single_core=(SingleCoreSweep(schemes=("baseline",) + tuple(schemes)),)
+    )
+
+
+def reduce(
+    config: ExperimentConfig,
+    results: SweepResults,
     schemes: tuple[str, ...] = STORAGE_SCHEMES,
 ) -> Figure17Result:
-    """Run the storage-budget comparison on the single-core workloads."""
-    campaign = cache if cache is not None else CampaignCache(config)
-    workloads = campaign.config.workloads()
+    """Fold the storage-budget comparison into geomean speedups."""
+    workloads = config.workloads()
     result = Figure17Result()
-    for prefetcher in campaign.config.l1d_prefetchers:
+    for prefetcher in config.l1d_prefetchers:
         baseline_ipcs = [
-            campaign.single_core(workload, "baseline", prefetcher).ipc
+            results.single_core(workload, "baseline", prefetcher).ipc
             for workload in workloads
         ]
         result.geomean_speedup[prefetcher] = {}
         for scheme in schemes:
             scheme_ipcs = [
-                campaign.single_core(workload, scheme, prefetcher).ipc
+                results.single_core(workload, scheme, prefetcher).ipc
                 for workload in workloads
             ]
             result.geomean_speedup[prefetcher][scheme] = geomean_speedup_percent(
                 scheme_ipcs, baseline_ipcs
             )
     return result
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    schemes: tuple[str, ...] = STORAGE_SCHEMES,
+) -> Figure17Result:
+    """Run the storage-budget comparison on the single-core workloads."""
+    return run_experiment(SPEC, cache=cache, config=config, schemes=schemes)
 
 
 def format_table(result: Figure17Result) -> str:
@@ -64,10 +89,22 @@ def format_table(result: Figure17Result) -> str:
     return format_rows(["design", "geomean speedup (%)"], rows)
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="fig17",
+        title="Figure 17: designs enhanced with TLP's 7KB storage budget",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="+7KB prefetcher/Hermes variants vs TLP",
+    )
+)
+
+
 def main() -> Figure17Result:
     """Run and print Figure 17."""
     result = run()
-    print("Figure 17: designs enhanced with TLP's 7KB storage budget")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

@@ -1,0 +1,584 @@
+"""Declarative experiment specs: sweeps compiled to campaign-point batches.
+
+The paper's evaluation is one big cross product (workloads x schemes x L1D
+prefetchers x system overrides x budgets); every figure is a *view* of some
+slice of it.  Historically each ``fig*`` harness hand-rolled nested loops
+and simulated one point at a time through
+:meth:`repro.experiments.common.CampaignCache.single_core`, so the parallel
+fan-out of :meth:`repro.sim.engine.CampaignEngine.run` never helped the
+figures.  This module splits every experiment into two declarative halves:
+
+* a :class:`SweepSpec` -- plain data describing the swept axes.  It
+  *compiles* to a flat ``list[CampaignPoint]`` which the engine executes as
+  one batch (``repro figure <name> --jobs N``);
+* a pure ``reduce(config, results) -> FigureResult`` function that folds the
+  executed batch (a :class:`SweepResults` lookup view) into the figure's
+  numbers without running anything.
+
+An :class:`ExperimentSpec` pairs the two and registers under a name; the
+registry drives ``repro figure <name>|all`` and the parity test suite.
+User-defined sweeps (``repro sweep``) build a :class:`SweepSpec` straight
+from CLI flags or JSON (:func:`sweep_spec_from_dict`) -- including
+``imported.*`` trace-store workloads -- without writing a module.
+
+Layering: this module sits on :mod:`repro.sim.engine` only;
+:mod:`repro.experiments.common` layers the in-process memo
+(:class:`~repro.experiments.common.CampaignCache`) on top and the figure
+modules plug their specs in from above.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Optional, Sequence
+
+from repro.common.config import (
+    SystemConfig,
+    system_config_from_dict,
+    system_config_to_dict,
+)
+from repro.sim.engine import (
+    CampaignPoint,
+    multi_core_point,
+    single_core_point,
+)
+from repro.sim.multi_core import MultiCoreResult
+from repro.sim.results import SingleCoreResult
+
+
+# ----------------------------------------------------------------------
+# Mix enumeration (shared by sweeps, CampaignCache and reducers)
+# ----------------------------------------------------------------------
+def multicore_mixes(config, suite: str) -> list[tuple[str, list[str]]]:
+    """Multi-core mixes of one suite (half homogeneous, half random).
+
+    Pure function of the experiment configuration, so sweep compilation and
+    reducers enumerate exactly the same mixes as
+    :meth:`~repro.experiments.common.CampaignCache.multicore_mixes`.
+    """
+    names = list(config.workloads(suite))
+    mixes: list[tuple[str, list[str]]] = []
+    if not names:
+        return mixes
+    for index in range(config.mixes_per_suite):
+        if index % 2 == 0:
+            workload = names[index % len(names)]
+            mixes.append((f"{suite}.homog.{workload}", [workload] * config.cores))
+        else:
+            selection = [
+                names[(index + offset) % len(names)] for offset in range(config.cores)
+            ]
+            mixes.append((f"{suite}.heter.{index}", selection))
+    return mixes
+
+
+# ----------------------------------------------------------------------
+# Sweep axes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SingleCoreSweep:
+    """One single-core cross-product block of a sweep.
+
+    ``None`` axes inherit from the :class:`~repro.experiments.common.
+    ExperimentConfig` the sweep is compiled against, so the same spec
+    adapts from the quick test configuration to the full campaign.
+    """
+
+    #: Workload names; None means every configured workload (all suites,
+    #: including ``imported.*`` traces named by the config).
+    workloads: Optional[tuple[str, ...]] = None
+    schemes: tuple[str, ...] = ("baseline",)
+    #: L1D prefetchers; None means the configured sweep.
+    l1d_prefetchers: Optional[tuple[str, ...]] = None
+    #: Memory-access budget per point; None means the configured budget.
+    memory_accesses: Optional[int] = None
+    #: System-config overrides; None entries use the default single-core
+    #: system (and keep the pre-spec cache keys).
+    systems: tuple[Optional[SystemConfig], ...] = (None,)
+
+
+@dataclass(frozen=True)
+class MultiCoreSweep:
+    """One multi-core cross-product block of a sweep.
+
+    Mixes come from the configured suites (the same enumeration as
+    :func:`multicore_mixes`) unless ``mixes`` names them explicitly.
+    ``isolated_baselines`` also compiles the single-core baseline run of
+    every mixed workload at the multi-core budget -- the denominators of
+    the weighted-speedup metric every multi-core figure reports.
+    """
+
+    suites: tuple[str, ...] = ("gap", "spec")
+    #: Explicit ``(mix name, workloads)`` pairs overriding ``suites``.
+    mixes: Optional[tuple[tuple[str, tuple[str, ...]], ...]] = None
+    schemes: tuple[str, ...] = ("baseline",)
+    l1d_prefetchers: Optional[tuple[str, ...]] = None
+    #: Memory-access budget per core; None means the configured
+    #: ``multicore_memory_accesses``.
+    memory_accesses: Optional[int] = None
+    per_core_bandwidths: tuple[float, ...] = (3.2,)
+    isolated_baselines: bool = True
+
+    def resolved_mixes(self, config) -> list[tuple[str, list[str]]]:
+        """The ``(mix name, workloads)`` pairs this block sweeps."""
+        if self.mixes is not None:
+            return [(name, list(workloads)) for name, workloads in self.mixes]
+        mixes: list[tuple[str, list[str]]] = []
+        for suite in self.suites:
+            mixes.extend(multicore_mixes(config, suite))
+        return mixes
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: axis blocks that compile to campaign points.
+
+    A spec may hold several blocks (e.g. a multi-core bandwidth sweep plus
+    the single-core isolated baselines it normalises against); compilation
+    concatenates them and deduplicates by cache key.
+    """
+
+    single_core: tuple[SingleCoreSweep, ...] = ()
+    multi_core: tuple[MultiCoreSweep, ...] = ()
+
+    def swept_l1d_prefetchers(self, config) -> set[str]:
+        """Every L1D prefetcher this sweep would simulate.
+
+        Derived from the axis blocks directly (``None`` inherits the
+        configured sweep) so callers probing the prefetcher axis -- e.g.
+        the CLI's pinned-prefetcher warning -- need not compile the points.
+        Empty for sweeps that simulate nothing.
+        """
+        swept: set[str] = set()
+        for block in self.single_core + self.multi_core:
+            swept.update(
+                block.l1d_prefetchers
+                if block.l1d_prefetchers is not None
+                else config.l1d_prefetchers
+            )
+        return swept
+
+    def compile(self, config, trace_store=None) -> list[CampaignPoint]:
+        """Flatten every axis block into a deduplicated point list.
+
+        The points are exactly the ones
+        :class:`~repro.experiments.common.CampaignCache` would build for
+        the same simulations (same cache keys), so spec-driven figures
+        share the persistent result cache with the legacy call paths.
+        """
+        points: list[CampaignPoint] = []
+        seen: set[str] = set()
+
+        def add(point: CampaignPoint) -> None:
+            key = point.key()
+            if key not in seen:
+                seen.add(key)
+                points.append(point)
+
+        for block in self.single_core:
+            workloads = (
+                block.workloads if block.workloads is not None else config.workloads()
+            )
+            prefetchers = (
+                block.l1d_prefetchers
+                if block.l1d_prefetchers is not None
+                else config.l1d_prefetchers
+            )
+            budget = (
+                block.memory_accesses
+                if block.memory_accesses is not None
+                else config.memory_accesses
+            )
+            for prefetcher in prefetchers:
+                for scheme in block.schemes:
+                    for system in block.systems:
+                        for workload in workloads:
+                            add(
+                                single_core_point(
+                                    workload,
+                                    scheme,
+                                    prefetcher,
+                                    memory_accesses=budget,
+                                    warmup_fraction=config.warmup_fraction,
+                                    gap_scale=config.gap_scale,
+                                    system=system,
+                                    trace_store=trace_store,
+                                )
+                            )
+
+        for block in self.multi_core:
+            mixes = block.resolved_mixes(config)
+            prefetchers = (
+                block.l1d_prefetchers
+                if block.l1d_prefetchers is not None
+                else config.l1d_prefetchers
+            )
+            budget = (
+                block.memory_accesses
+                if block.memory_accesses is not None
+                else config.multicore_memory_accesses
+            )
+            if block.isolated_baselines:
+                for prefetcher in prefetchers:
+                    for _, workloads in mixes:
+                        for workload in workloads:
+                            add(
+                                single_core_point(
+                                    workload,
+                                    "baseline",
+                                    prefetcher,
+                                    memory_accesses=budget,
+                                    warmup_fraction=config.warmup_fraction,
+                                    gap_scale=config.gap_scale,
+                                    trace_store=trace_store,
+                                )
+                            )
+            for prefetcher in prefetchers:
+                for bandwidth in block.per_core_bandwidths:
+                    for scheme in block.schemes:
+                        for mix_name, workloads in mixes:
+                            add(
+                                multi_core_point(
+                                    mix_name,
+                                    workloads,
+                                    scheme,
+                                    prefetcher,
+                                    memory_accesses=budget,
+                                    warmup_fraction=config.warmup_fraction,
+                                    gap_scale=config.gap_scale,
+                                    per_core_bandwidth_gbps=bandwidth,
+                                    trace_store=trace_store,
+                                )
+                            )
+        return points
+
+
+# ----------------------------------------------------------------------
+# JSON round trip (repro sweep --spec-json)
+# ----------------------------------------------------------------------
+def sweep_spec_to_dict(spec: SweepSpec) -> dict:
+    """Serialize a sweep spec to the JSON form ``repro sweep`` accepts."""
+
+    def block_dict(block) -> dict:
+        payload = {}
+        for spec_field in fields(block):
+            value = getattr(block, spec_field.name)
+            if value == spec_field.default:
+                continue
+            if spec_field.name == "systems":
+                value = [
+                    None if system is None else system_config_to_dict(system)
+                    for system in value
+                ]
+            elif isinstance(value, tuple):
+                value = _tuple_to_lists(value)
+            payload[spec_field.name] = value
+        return payload
+
+    return {
+        "single_core": [block_dict(block) for block in spec.single_core],
+        "multi_core": [block_dict(block) for block in spec.multi_core],
+    }
+
+
+def _tuple_to_lists(value):
+    if isinstance(value, tuple):
+        return [_tuple_to_lists(item) for item in value]
+    return value
+
+
+def _lists_to_tuples(value):
+    if isinstance(value, list):
+        return tuple(_lists_to_tuples(item) for item in value)
+    return value
+
+
+def sweep_spec_from_dict(payload: dict) -> SweepSpec:
+    """Parse the JSON form of a sweep spec (see ``repro sweep --spec-json``).
+
+    Unknown keys raise instead of being ignored, so a typo in an axis name
+    (``scheme`` for ``schemes``) fails loudly rather than silently sweeping
+    the defaults; so does a scalar where a list axis is expected
+    (``"workloads": "bfs.urand"`` would otherwise sweep one workload per
+    *character*).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"sweep spec must be a JSON object, got {type(payload).__name__}")
+    unknown = set(payload) - {"single_core", "multi_core"}
+    if unknown:
+        raise ValueError(f"unknown sweep spec sections: {sorted(unknown)}")
+
+    def parse_block(cls, block: dict):
+        if not isinstance(block, dict):
+            raise ValueError(f"sweep block must be a JSON object, got {block!r}")
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(block) - known
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} axes: {sorted(unknown)} "
+                f"(expected a subset of {sorted(known)})"
+            )
+        kwargs = {}
+        for name, value in block.items():
+            if name == "memory_accesses":
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(
+                        f"{cls.__name__} axis 'memory_accesses' must be an "
+                        f"integer, got {value!r}"
+                    )
+            elif name == "isolated_baselines":
+                if not isinstance(value, bool):
+                    raise ValueError(
+                        f"{cls.__name__} axis 'isolated_baselines' must be "
+                        f"a boolean, got {value!r}"
+                    )
+            elif not isinstance(value, list):
+                raise ValueError(
+                    f"{cls.__name__} axis {name!r} must be a JSON array, "
+                    f"got {value!r} (omit the key to use the default)"
+                )
+            elif name in ("workloads", "schemes", "l1d_prefetchers", "suites"):
+                for item in value:
+                    if not isinstance(item, str):
+                        raise ValueError(
+                            f"{cls.__name__} axis {name!r} entries must be "
+                            f"strings, got {item!r}"
+                        )
+            elif name == "per_core_bandwidths":
+                for item in value:
+                    if isinstance(item, bool) or not isinstance(item, (int, float)):
+                        raise ValueError(
+                            f"{cls.__name__} axis 'per_core_bandwidths' "
+                            f"entries must be numbers, got {item!r}"
+                        )
+            elif name == "mixes":
+                for mix in value:
+                    if (
+                        not isinstance(mix, list)
+                        or len(mix) != 2
+                        or not isinstance(mix[0], str)
+                        or not isinstance(mix[1], list)
+                        or not all(isinstance(w, str) for w in mix[1])
+                    ):
+                        raise ValueError(
+                            f"{cls.__name__} axis 'mixes' entries must be "
+                            f"[name, [workload, ...]] pairs, got {mix!r}"
+                        )
+            if name == "systems":
+                value = tuple(
+                    None if system is None else system_config_from_dict(system)
+                    for system in value
+                )
+            else:
+                value = _lists_to_tuples(value)
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    return SweepSpec(
+        single_core=tuple(
+            parse_block(SingleCoreSweep, block)
+            for block in payload.get("single_core", ())
+        ),
+        multi_core=tuple(
+            parse_block(MultiCoreSweep, block)
+            for block in payload.get("multi_core", ())
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Executed-sweep view handed to reducers
+# ----------------------------------------------------------------------
+class SweepResults:
+    """Pure lookup view over one executed sweep.
+
+    Wraps ``{point key: result}`` and resolves semantic lookups (workload/
+    scheme/prefetcher, or mix/scheme/bandwidth) by rebuilding the campaign
+    point with the exact helpers sweep compilation used -- same key, no
+    simulation.  A lookup outside the executed sweep raises ``KeyError``:
+    reducers consume batches, they never trigger simulations.
+    """
+
+    def __init__(
+        self,
+        config,
+        results: dict[str, SingleCoreResult | MultiCoreResult],
+        trace_store=None,
+    ) -> None:
+        self.config = config
+        self._results = dict(results)
+        self._trace_store = trace_store
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def _lookup(self, point: CampaignPoint) -> SingleCoreResult | MultiCoreResult:
+        key = point.key()
+        if key not in self._results:
+            raise KeyError(
+                f"point {point.label} ({point.kind}, {point.memory_accesses} "
+                f"accesses) was not part of the executed sweep"
+            )
+        return self._results[key]
+
+    def single_core(
+        self,
+        workload: str,
+        scheme: str,
+        l1d_prefetcher: str = "ipcp",
+        memory_accesses: Optional[int] = None,
+        system: Optional[SystemConfig] = None,
+    ) -> SingleCoreResult:
+        """Result of one single-core point of the sweep."""
+        budget = (
+            memory_accesses
+            if memory_accesses is not None
+            else self.config.memory_accesses
+        )
+        return self._lookup(
+            single_core_point(
+                workload,
+                scheme,
+                l1d_prefetcher,
+                memory_accesses=budget,
+                warmup_fraction=self.config.warmup_fraction,
+                gap_scale=self.config.gap_scale,
+                system=system,
+                trace_store=self._trace_store,
+            )
+        )
+
+    def multi_core(
+        self,
+        mix_name: str,
+        workloads: Sequence[str],
+        scheme: str,
+        l1d_prefetcher: str = "ipcp",
+        per_core_bandwidth_gbps: float = 3.2,
+        memory_accesses: Optional[int] = None,
+    ) -> MultiCoreResult:
+        """Result of one multi-core mix point of the sweep."""
+        budget = (
+            memory_accesses
+            if memory_accesses is not None
+            else self.config.multicore_memory_accesses
+        )
+        return self._lookup(
+            multi_core_point(
+                mix_name,
+                workloads,
+                scheme,
+                l1d_prefetcher,
+                memory_accesses=budget,
+                warmup_fraction=self.config.warmup_fraction,
+                gap_scale=self.config.gap_scale,
+                per_core_bandwidth_gbps=per_core_bandwidth_gbps,
+                trace_store=self._trace_store,
+            )
+        )
+
+    def mixes(self, suite: str) -> list[tuple[str, list[str]]]:
+        """Suite mixes, for reducers that iterate the mix axis."""
+        return multicore_mixes(self.config, suite)
+
+
+# ----------------------------------------------------------------------
+# Experiment registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named experiment: a sweep builder plus a pure reducer.
+
+    ``build_sweep(config, **params)`` returns the :class:`SweepSpec`;
+    ``reduce(config, results, **params)`` folds the executed
+    :class:`SweepResults` into the figure's result object.  Both receive
+    the same keyword parameters (a figure's knobs, e.g. Figure 16's
+    bandwidth points), so one spec covers the parameterized ``run()``
+    entry points too.
+    """
+
+    name: str
+    title: str
+    build_sweep: Callable[..., SweepSpec]
+    reduce: Callable[..., Any]
+    format_table: Callable[[Any], str]
+    description: str = ""
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+#: Modules that register figure specs on import (order = ``figure all``).
+_FIGURE_MODULES = (
+    "fig01_mpki",
+    "fig02_hermes_dram_sc",
+    "fig04_offchip_breakdown",
+    "fig05_06_prefetch_location",
+    "fig10_12_singlecore",
+    "fig13_14_multicore",
+    "fig15_ablation",
+    "fig16_bandwidth",
+    "fig17_storage_budget",
+    "table02_storage",
+)
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register ``spec`` under its name (figure modules call this on import)."""
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def ensure_registered() -> None:
+    """Import every figure module so the registry is fully populated."""
+    for module in _FIGURE_MODULES:
+        importlib.import_module(f"repro.experiments.{module}")
+
+
+def registered_experiments() -> dict[str, ExperimentSpec]:
+    """``{name: spec}`` of every registered experiment, in sweep order."""
+    ensure_registered()
+    return dict(_REGISTRY)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up one registered experiment by name."""
+    ensure_registered()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_experiment(
+    spec: ExperimentSpec | str,
+    cache=None,
+    config=None,
+    jobs: Optional[int] = None,
+    **params,
+):
+    """Execute one experiment spec end to end.
+
+    Compiles the sweep against the campaign's configuration, pushes the
+    whole point batch through the engine in one
+    :meth:`~repro.experiments.common.CampaignCache.run_points` fan-out
+    (``jobs`` workers), and reduces the results.  ``cache`` is any
+    :class:`~repro.experiments.common.CampaignCache`; one cache shared
+    across experiments deduplicates their overlapping points in-process.
+    """
+    from repro.experiments.common import CampaignCache
+
+    if isinstance(spec, str):
+        spec = get_experiment(spec)
+    campaign = cache if cache is not None else CampaignCache(config)
+    sweep = spec.build_sweep(campaign.config, **params)
+    points = sweep.compile(campaign.config, trace_store=campaign.engine.trace_store)
+    results = campaign.run_points(points, jobs=jobs)
+    view = SweepResults(
+        campaign.config, results, trace_store=campaign.engine.trace_store
+    )
+    return spec.reduce(campaign.config, view, **params)

@@ -3,7 +3,9 @@
 The paper's headline hardware-cost claim is that TLP needs ~7KB of storage
 per core.  The harness recomputes the breakdown from the implemented
 predictor configuration (weight tables, page buffers, Load Queue and L1D
-MSHR metadata) rather than hard-coding the paper's numbers.
+MSHR metadata) rather than hard-coding the paper's numbers.  Its sweep is
+empty -- the registry still carries it so ``repro figure all`` reproduces
+every table of the paper, not just the simulated ones.
 """
 
 from __future__ import annotations
@@ -12,13 +14,36 @@ from typing import Optional
 
 from repro.core.storage import StorageBreakdown, tlp_storage_breakdown
 from repro.core.tlp import TLPConfig, TwoLevelPerceptron
-from repro.experiments.common import format_rows
+from repro.experiments.common import ExperimentConfig, format_rows
+from repro.experiments.spec import (
+    ExperimentSpec,
+    SweepResults,
+    SweepSpec,
+    register,
+)
+
+
+def sweep(
+    config: ExperimentConfig, tlp_config: Optional[TLPConfig] = None
+) -> SweepSpec:
+    """Table II simulates nothing: the sweep is empty."""
+    return SweepSpec()
+
+
+def reduce(
+    config: ExperimentConfig,
+    results: SweepResults,
+    tlp_config: Optional[TLPConfig] = None,
+) -> StorageBreakdown:
+    """Compute the storage breakdown of a (default) TLP instance."""
+    tlp = TwoLevelPerceptron(tlp_config if tlp_config is not None else TLPConfig())
+    return tlp_storage_breakdown(tlp)
 
 
 def run(tlp_config: Optional[TLPConfig] = None) -> StorageBreakdown:
     """Compute the storage breakdown of a (default) TLP instance."""
-    tlp = TwoLevelPerceptron(tlp_config if tlp_config is not None else TLPConfig())
-    return tlp_storage_breakdown(tlp)
+    return reduce(ExperimentConfig(), SweepResults(ExperimentConfig(), {}),
+                  tlp_config=tlp_config)
 
 
 def format_table(result: StorageBreakdown) -> str:
@@ -27,10 +52,22 @@ def format_table(result: StorageBreakdown) -> str:
     return format_rows(["component", "KiB"], rows)
 
 
+SPEC = register(
+    ExperimentSpec(
+        name="table02",
+        title="Table II: TLP storage overhead",
+        build_sweep=sweep,
+        reduce=reduce,
+        format_table=format_table,
+        description="Storage breakdown of TLP's hardware state",
+    )
+)
+
+
 def main() -> StorageBreakdown:
     """Run and print Table II."""
     result = run()
-    print("Table II: TLP storage overhead")
+    print(SPEC.title)
     print(format_table(result))
     return result
 

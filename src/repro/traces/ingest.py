@@ -2,7 +2,8 @@
 
 The built-in workloads are synthetic; this module opens the door to traces
 of real applications.  It parses ChampSim-style *memory* traces -- one
-access per line, optionally gzip-compressed -- converts them to the columnar
+access per line, optionally gzip- (``.gz``) or xz-compressed (``.xz``,
+decoded via :mod:`lzma`) -- converts them to the columnar
 :class:`~repro.traces.trace.Trace` representation, persists them in a
 :class:`~repro.traces.store.TraceStore` and registers them in the store's
 imported-workload registry, where they become first-class catalog workloads
@@ -31,6 +32,7 @@ from __future__ import annotations
 import gzip
 import hashlib
 import io
+import lzma
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, TextIO
 
@@ -101,6 +103,8 @@ def parse_champsim_lines(lines: Iterable[str]) -> Iterator[tuple[int, int, int]]
 def _open_text(path: Path) -> TextIO:
     if path.suffix == ".gz":
         return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    if path.suffix == ".xz":
+        return io.TextIOWrapper(lzma.open(path, "rb"), encoding="utf-8")
     return path.open("r", encoding="utf-8")
 
 
@@ -112,7 +116,8 @@ def read_champsim_trace(
 ) -> Trace:
     """Parse a ChampSim-style memory trace file into a columnar trace.
 
-    ``.gz`` files are decompressed on the fly.  ``max_records`` bounds the
+    ``.gz`` and ``.xz`` files are decompressed on the fly.  ``max_records``
+    bounds the
     number of *memory* records read; ``compute_per_access`` interleaves that
     many NON_MEM records after each access (see the module docstring).
     """
@@ -157,7 +162,7 @@ def read_champsim_trace(
 
 def _default_name(path: Path) -> str:
     stem = path.name
-    for suffix in (".gz", ".trace", ".txt", ".champsim"):
+    for suffix in (".xz", ".gz", ".trace", ".txt", ".champsim"):
         if stem.endswith(suffix):
             stem = stem[: -len(suffix)]
     cleaned = "".join(ch if ch.isalnum() or ch in "-_" else "_" for ch in stem)

@@ -277,6 +277,8 @@ class TraceStore:
         self.hits = 0
         #: Lookups that found no (readable) entry.
         self.misses = 0
+        #: ((mtime_ns, size), parsed registry) memo for :meth:`_read_index`.
+        self._index_cache: Optional[tuple[tuple[int, int], dict]] = None
 
     @classmethod
     def default(cls) -> "TraceStore":
@@ -359,6 +361,42 @@ class TraceStore:
         """Total on-disk size of every entry."""
         return sum(self.entry_size_bytes(key) for key in self.keys())
 
+    def gc(self, max_bytes: int, dry_run: bool = False) -> tuple[int, int]:
+        """Evict the oldest stored traces until the store fits ``max_bytes``.
+
+        Age is the entry header's modification time (headers are written
+        once, atomically, when the entry lands).  Evicted entries are also
+        dropped from the imported-workload registry so it never dangles.
+        With ``dry_run`` nothing is deleted; the return value reports what
+        a real sweep would do.  Returns ``(entries_removed, bytes_freed)``
+        -- the mirror of :meth:`repro.sim.result_cache.ResultCache.gc`.
+        """
+        stamped = []
+        total = 0
+        for key in self.keys():
+            try:
+                mtime = (self.path(key) / _META_NAME).stat().st_mtime
+            except OSError:
+                continue
+            size = self.entry_size_bytes(key)
+            stamped.append((mtime, size, key))
+            total += size
+        stamped.sort()
+        removed = 0
+        freed = 0
+        for _, size, key in stamped:
+            if total - freed <= max_bytes:
+                break
+            if not dry_run:
+                try:
+                    shutil.rmtree(self.path(key))
+                except OSError:
+                    continue
+                self.unregister_key(key)
+            removed += 1
+            freed += size
+        return (removed, freed)
+
     # ------------------------------------------------------------------
     # Workload fast path
     # ------------------------------------------------------------------
@@ -390,12 +428,36 @@ class TraceStore:
         return self.directory / _INDEX_NAME
 
     def _read_index(self) -> dict:
+        # The registry is consulted on every campaign-point build over an
+        # imported workload (sweep compilation, reducer lookups); an
+        # mtime/size-validated memo turns the repeated open+parse into one
+        # stat.  Every writer funnels through _write_index's atomic
+        # replace, which bumps the mtime, so stale hits are impossible --
+        # including writes by other processes.
         try:
-            with self._index_path().open("r", encoding="utf-8") as fh:
-                index = json.load(fh)
-        except (OSError, ValueError):
+            stat = self._index_path().stat()
+            state = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            self._index_cache = None
             return {}
-        return index if isinstance(index, dict) else {}
+        cached = self._index_cache
+        if cached is not None and cached[0] == state:
+            index = cached[1]
+        else:
+            try:
+                with self._index_path().open("r", encoding="utf-8") as fh:
+                    index = json.load(fh)
+            except (OSError, ValueError):
+                return {}
+            if not isinstance(index, dict):
+                index = {}
+            self._index_cache = (state, index)
+        # Callers mutate the returned dict before writing it back; hand out
+        # a copy so the memo never sees half-applied mutations.
+        return {
+            workload: dict(entry) if isinstance(entry, dict) else entry
+            for workload, entry in index.items()
+        }
 
     def _write_index(self, index: dict) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,375 @@
+"""Declarative experiment-spec layer tests.
+
+The registry parity suite is the contract of the PR-5 refactor: every
+registered figure, executed through its declarative sweep spec and pure
+reducer, must be **bit-identical** to the committed pre-refactor outputs in
+``tests/fixtures/expected_figures_quick.json`` (generated from the original
+hand-rolled harness loops at the quick configuration; see
+``tests/fixtures/generate_expected_figures.py``).
+
+The rest pins the batch machinery: one engine fan-out per figure, the
+in-process memo deduplicating across specs, parallel (``jobs > 1``)
+execution matching serial, the sweep-spec JSON round trip, and the
+config-keyed global cache.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    fig01_mpki,
+    fig02_hermes_dram_sc,
+    fig04_offchip_breakdown,
+    fig05_06_prefetch_location,
+    fig10_12_singlecore,
+    fig13_14_multicore,
+    fig15_ablation,
+    fig16_bandwidth,
+    fig17_storage_budget,
+    table02_storage,
+)
+from repro.experiments.common import (
+    CampaignCache,
+    ExperimentConfig,
+    get_global_cache,
+    quick_experiment_config,
+)
+from repro.experiments.spec import (
+    MultiCoreSweep,
+    SingleCoreSweep,
+    SweepResults,
+    SweepSpec,
+    get_experiment,
+    multicore_mixes,
+    registered_experiments,
+    run_experiment,
+    sweep_spec_from_dict,
+    sweep_spec_to_dict,
+)
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "expected_figures_quick.json"
+
+#: Figure 16's pinned bandwidth points (must match the fixture generator).
+FIG16_BANDWIDTHS = (1.6, 6.4)
+
+
+def json_ready(result) -> dict:
+    """Result dataclass -> the canonical JSON payload the fixture stores."""
+    return json.loads(json.dumps(dataclasses.asdict(result), sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def expected() -> dict:
+    return json.loads(FIXTURE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    """One shared campaign cache so overlapping figure sweeps dedupe."""
+    return CampaignCache(quick_experiment_config(), use_result_cache=False)
+
+
+#: Figure name -> spec-driven run at the pinned parameters.
+PARITY_RUNS = {
+    "fig01": lambda cache: fig01_mpki.run(cache=cache),
+    "fig02": lambda cache: fig02_hermes_dram_sc.run(cache=cache),
+    "fig04": lambda cache: fig04_offchip_breakdown.run(cache=cache),
+    "fig05": lambda cache: fig05_06_prefetch_location.run(cache=cache),
+    "fig10": lambda cache: fig10_12_singlecore.run(cache=cache),
+    "fig13": lambda cache: fig13_14_multicore.run(cache=cache),
+    "fig15": lambda cache: fig15_ablation.run(cache=cache),
+    "fig16": lambda cache: fig16_bandwidth.run(
+        cache=cache, bandwidths=FIG16_BANDWIDTHS
+    ),
+    "fig17": lambda cache: fig17_storage_budget.run(cache=cache),
+    "table02": lambda cache: table02_storage.run(),
+}
+
+
+class TestRegistryParity:
+    """Spec-driven outputs == committed pre-refactor outputs, bitwise."""
+
+    @pytest.mark.parametrize("name", sorted(PARITY_RUNS))
+    def test_bit_identical_to_pre_refactor(self, name, campaign, expected):
+        result = PARITY_RUNS[name](campaign)
+        assert json_ready(result) == expected[name]
+
+    def test_fixture_covers_every_registered_experiment(self, expected):
+        assert set(registered_experiments()) == set(expected) == set(PARITY_RUNS)
+
+
+class TestRegistry:
+    def test_lookup_and_unknown_name(self):
+        spec = get_experiment("fig01")
+        assert spec.name == "fig01"
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_specs_carry_render_and_sweep(self):
+        for name, spec in registered_experiments().items():
+            assert callable(spec.build_sweep)
+            assert callable(spec.reduce)
+            assert callable(spec.format_table)
+            assert spec.title
+
+
+class TestSweepCompilation:
+    def test_axes_cross_product_and_config_defaults(self):
+        config = quick_experiment_config()
+        spec = SweepSpec(
+            single_core=(SingleCoreSweep(schemes=("baseline", "tlp")),)
+        )
+        points = spec.compile(config)
+        assert len(points) == (
+            len(config.workloads()) * 2 * len(config.l1d_prefetchers)
+        )
+        assert {point.memory_accesses for point in points} == {
+            config.memory_accesses
+        }
+
+    def test_compilation_deduplicates_by_key(self):
+        config = quick_experiment_config()
+        block = SingleCoreSweep(schemes=("baseline", "baseline", "tlp"))
+        points = SweepSpec(single_core=(block, block)).compile(config)
+        assert len(points) == len(config.workloads()) * 2
+
+    def test_multicore_block_includes_isolated_baselines(self):
+        config = quick_experiment_config()
+        points = SweepSpec(
+            multi_core=(MultiCoreSweep(schemes=("baseline", "tlp")),)
+        ).compile(config)
+        mixes = multicore_mixes(config, "gap") + multicore_mixes(config, "spec")
+        singles = [p for p in points if p.kind == "single_core"]
+        multis = [p for p in points if p.kind == "multi_core"]
+        assert len(multis) == len(mixes) * 2
+        # Isolated runs: every distinct mixed workload, baseline scheme, at
+        # the multi-core budget.
+        assert singles
+        assert {p.scheme for p in singles} == {"baseline"}
+        assert {p.memory_accesses for p in singles} == {
+            config.multicore_memory_accesses
+        }
+
+    def test_explicit_mixes_override_suites(self):
+        config = quick_experiment_config()
+        mix = ("custom", ("bfs.urand", "bfs.urand", "pr.urand", "pr.urand"))
+        points = SweepSpec(
+            multi_core=(
+                MultiCoreSweep(mixes=(mix,), isolated_baselines=False),
+            )
+        ).compile(config)
+        assert [p.mix_name for p in points] == ["custom"]
+        assert points[0].workloads == mix[1]
+
+    def test_compiled_points_match_campaign_cache_keys(self):
+        """Spec-compiled points share cache keys with the legacy call path."""
+        config = quick_experiment_config()
+        cache = CampaignCache(config, use_result_cache=False)
+        point = SweepSpec(
+            single_core=(
+                SingleCoreSweep(
+                    workloads=("bfs.urand",),
+                    schemes=("tlp",),
+                    l1d_prefetchers=("ipcp",),
+                ),
+            )
+        ).compile(config)[0]
+        legacy = cache._single_core_point(
+            "bfs.urand", "tlp", "ipcp", config.memory_accesses
+        )
+        assert point.key() == legacy.key()
+
+
+class TestBatchExecution:
+    def test_figure_runs_as_one_engine_batch(self, monkeypatch):
+        """A spec-driven figure issues exactly one ``CampaignEngine.run``."""
+        cache = CampaignCache(quick_experiment_config(), use_result_cache=False)
+        calls = []
+        original = cache.engine.run
+
+        def counting_run(points, jobs=None):
+            points = list(points)
+            calls.append(len(points))
+            return original(points, jobs=jobs)
+
+        monkeypatch.setattr(cache.engine, "run", counting_run)
+        fig01_mpki.run(cache=cache)
+        assert len(calls) == 1
+        assert calls[0] == len(cache.config.workloads())
+
+    def test_memo_dedupes_across_specs(self):
+        """A second figure over the same points simulates nothing new."""
+        cache = CampaignCache(quick_experiment_config(), use_result_cache=False)
+        fig01_mpki.run(cache=cache)
+        simulated = cache.engine.simulations_run
+        assert simulated > 0
+        # Figure 1's baseline points are a subset of Figure 2's sweep.
+        fig02_hermes_dram_sc.run(cache=cache)
+        assert (
+            cache.engine.simulations_run - simulated
+            == len(cache.config.workloads())  # only the hermes points
+        )
+
+    def test_parallel_jobs_bit_identical_to_serial(self, expected):
+        """The pool fan-out path produces the exact pre-refactor outputs."""
+        cache = CampaignCache(quick_experiment_config(), use_result_cache=False)
+        result = run_experiment(get_experiment("fig01"), cache=cache, jobs=2)
+        assert json_ready(result) == expected["fig01"]
+
+    def test_custom_budget_batch_does_not_poison_multi_core_memo(self):
+        """A batch at a non-config budget must not satisfy config-budget calls."""
+        config = quick_experiment_config()
+        cache = CampaignCache(config, use_result_cache=False)
+        mix_name, workloads = cache.multicore_mixes("gap")[0]
+        custom_budget = config.multicore_memory_accesses // 2
+        points = SweepSpec(
+            multi_core=(
+                MultiCoreSweep(
+                    mixes=((mix_name, tuple(workloads)),),
+                    schemes=("baseline",),
+                    l1d_prefetchers=("ipcp",),
+                    memory_accesses=custom_budget,
+                    isolated_baselines=False,
+                ),
+            )
+        ).compile(config)
+        batch = cache.run_points(points)
+        assert len(batch) == 1
+        # The legacy call simulates at the config budget: a fresh run, not
+        # the memoized half-budget result.
+        result = cache.multi_core(mix_name, workloads, "baseline", "ipcp")
+        (custom_result,) = batch.values()
+        assert sum(result.instructions) > sum(custom_result.instructions)
+
+    def test_run_points_returns_every_requested_key(self):
+        config = quick_experiment_config()
+        cache = CampaignCache(config, use_result_cache=False)
+        points = SweepSpec(
+            single_core=(
+                SingleCoreSweep(schemes=("baseline",), l1d_prefetchers=("ipcp",)),
+            )
+        ).compile(config)
+        results = cache.run_points(points)
+        assert set(results) == {point.key() for point in points}
+        # The semantic memo was populated: per-point calls are free now.
+        simulated = cache.engine.simulations_run
+        cache.single_core(config.workloads()[0], "baseline", "ipcp")
+        assert cache.engine.simulations_run == simulated
+
+
+class TestSweepResults:
+    def test_lookup_outside_sweep_raises(self):
+        config = quick_experiment_config()
+        results = SweepResults(config, {})
+        with pytest.raises(KeyError, match="not part of the executed sweep"):
+            results.single_core("bfs.urand", "baseline", "ipcp")
+
+    def test_lookup_finds_executed_point(self):
+        config = quick_experiment_config()
+        cache = CampaignCache(config, use_result_cache=False)
+        points = SweepSpec(
+            single_core=(
+                SingleCoreSweep(
+                    workloads=("bfs.urand",),
+                    schemes=("baseline",),
+                    l1d_prefetchers=("ipcp",),
+                ),
+            )
+        ).compile(config)
+        view = SweepResults(config, cache.run_points(points))
+        result = view.single_core("bfs.urand", "baseline", "ipcp")
+        assert result.ipc > 0
+
+
+class TestSweepSpecJson:
+    def test_round_trip(self):
+        spec = SweepSpec(
+            single_core=(
+                SingleCoreSweep(
+                    workloads=("bfs.urand", "imported.astar"),
+                    schemes=("baseline", "tlp"),
+                    memory_accesses=4_000,
+                ),
+            ),
+            multi_core=(
+                MultiCoreSweep(
+                    suites=("gap",),
+                    schemes=("baseline", "hermes"),
+                    per_core_bandwidths=(1.6, 3.2),
+                    mixes=(("custom", ("a", "b", "c", "d")),),
+                ),
+            ),
+        )
+        assert sweep_spec_from_dict(sweep_spec_to_dict(spec)) == spec
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown SingleCoreSweep axes"):
+            sweep_spec_from_dict({"single_core": [{"scheme": ["tlp"]}]})
+        with pytest.raises(ValueError, match="unknown sweep spec sections"):
+            sweep_spec_from_dict({"sweeps": []})
+
+    def test_scalar_for_list_axis_rejected(self):
+        # A bare string would otherwise sweep one workload per character.
+        with pytest.raises(ValueError, match="'workloads' must be a JSON array"):
+            sweep_spec_from_dict({"single_core": [{"workloads": "bfs.urand"}]})
+        with pytest.raises(ValueError, match="'schemes' must be a JSON array"):
+            sweep_spec_from_dict({"multi_core": [{"schemes": "tlp"}]})
+        # JSON null is rejected too: omit the key to inherit the default.
+        with pytest.raises(ValueError, match="'schemes' must be a JSON array"):
+            sweep_spec_from_dict({"single_core": [{"schemes": None}]})
+        # Per-point scalars stay scalars.
+        spec = sweep_spec_from_dict(
+            {"single_core": [{"memory_accesses": 4000}],
+             "multi_core": [{"isolated_baselines": False}]}
+        )
+        assert spec.single_core[0].memory_accesses == 4000
+        assert spec.multi_core[0].isolated_baselines is False
+
+    def test_list_axis_elements_are_typed(self):
+        with pytest.raises(ValueError, match="entries must be strings"):
+            sweep_spec_from_dict({"single_core": [{"workloads": ["bfs.urand", 7]}]})
+        with pytest.raises(ValueError, match="entries must be numbers"):
+            sweep_spec_from_dict(
+                {"multi_core": [{"per_core_bandwidths": ["3.2"]}]}
+            )
+        with pytest.raises(ValueError, match="must be .*pairs"):
+            sweep_spec_from_dict({"multi_core": [{"mixes": [["m", "not-a-list"]]}]})
+        # Well-formed mixes still parse.
+        spec = sweep_spec_from_dict(
+            {"multi_core": [{"mixes": [["m", ["a", "b", "c", "d"]]]}]}
+        )
+        assert spec.multi_core[0].mixes == (("m", ("a", "b", "c", "d")),)
+
+    def test_scalar_axes_are_typed(self):
+        with pytest.raises(ValueError, match="must be an integer"):
+            sweep_spec_from_dict({"single_core": [{"memory_accesses": "4000"}]})
+        with pytest.raises(ValueError, match="must be an integer"):
+            sweep_spec_from_dict({"multi_core": [{"memory_accesses": [500]}]})
+        with pytest.raises(ValueError, match="must be a boolean"):
+            sweep_spec_from_dict({"multi_core": [{"isolated_baselines": 1}]})
+
+    def test_defaults_omitted_from_serialization(self):
+        payload = sweep_spec_to_dict(
+            SweepSpec(single_core=(SingleCoreSweep(schemes=("tlp",)),))
+        )
+        assert payload == {
+            "single_core": [{"schemes": ["tlp"]}],
+            "multi_core": [],
+        }
+
+
+class TestGlobalCacheKeying:
+    def test_distinct_configs_get_distinct_caches(self):
+        default = get_global_cache()
+        quick = get_global_cache(quick_experiment_config())
+        assert default is not quick
+        assert quick.config == quick_experiment_config()
+
+    def test_equal_configs_share_one_cache(self):
+        assert get_global_cache(quick_experiment_config()) is get_global_cache(
+            quick_experiment_config()
+        )
+        assert get_global_cache() is get_global_cache(ExperimentConfig())

@@ -583,6 +583,123 @@ class TestTraceCli:
 
 
 # ----------------------------------------------------------------------
+# Trace-store GC (size-capped sweep mirroring `repro cache gc`)
+# ----------------------------------------------------------------------
+class TestTraceStoreGc:
+    def _populated_store(self, tmp_path) -> tuple[TraceStore, list[str]]:
+        """A store with three entries whose header mtimes are 0/1/2."""
+        import os
+
+        store = TraceStore(tmp_path / "store")
+        keys = []
+        for index, budget in enumerate((200, 250, 300)):
+            trace = spec_like_trace("lbm_like", num_memory_accesses=budget)
+            key = workload_key("spec.lbm_like", budget)
+            store.put(key, trace)
+            meta_path = store.path(key) / "meta.json"
+            os.utime(meta_path, (index, index))
+            keys.append(key)
+        return store, keys
+
+    def test_gc_evicts_oldest_first(self, tmp_path):
+        store, keys = self._populated_store(tmp_path)
+        newest_size = store.entry_size_bytes(keys[2])
+        removed, freed = store.gc(newest_size + store.entry_size_bytes(keys[1]))
+        assert removed == 1
+        assert not store.contains(keys[0])  # oldest mtime went first
+        assert store.contains(keys[1]) and store.contains(keys[2])
+        assert freed > 0
+        assert store.size_bytes() <= newest_size + store.entry_size_bytes(keys[1])
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path):
+        store, keys = self._populated_store(tmp_path)
+        before = store.size_bytes()
+        removed, freed = store.gc(0, dry_run=True)
+        assert removed == 3
+        assert freed == before
+        assert store.keys() == sorted(keys)
+        assert store.size_bytes() == before
+
+    def test_gc_unregisters_evicted_imported_traces(self, tmp_path):
+        import os
+
+        store = TraceStore(tmp_path / "store")
+        _, key, _ = import_champsim_trace(
+            CHAMPSIM_FIXTURE, store=store, name="fixture"
+        )
+        os.utime(store.path(key) / "meta.json", (0, 0))
+        store.put(
+            workload_key("spec.lbm_like", 400),
+            spec_like_trace("lbm_like", num_memory_accesses=400),
+        )
+        removed, _ = store.gc(store.entry_size_bytes(workload_key("spec.lbm_like", 400)))
+        assert removed == 1
+        assert "imported.fixture" not in store.imported_workloads()
+        assert store.resolve("imported.fixture") is None
+
+    def test_gc_noop_when_under_cap(self, tmp_path):
+        store, keys = self._populated_store(tmp_path)
+        assert store.gc(store.size_bytes() + 1) == (0, 0)
+        assert store.keys() == sorted(keys)
+
+    def test_cli_gc_and_dry_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store, _ = self._populated_store(tmp_path)
+        store_dir = str(store.directory)
+        assert main(["trace", "--dir", store_dir, "gc",
+                     "--max-mb", "0.001", "--dry-run"]) == 0
+        output = capsys.readouterr().out
+        assert "would evict" in output and "dry run" in output
+        assert len(store.keys()) == 3
+        assert main(["trace", "--dir", store_dir, "gc", "--max-mb", "0.001"]) == 0
+        output = capsys.readouterr().out
+        assert "evicted" in output
+        assert store.size_bytes() <= 1024
+
+
+# ----------------------------------------------------------------------
+# xz-compressed ChampSim ingestion
+# ----------------------------------------------------------------------
+class TestXzIngestion:
+    @pytest.fixture()
+    def xz_fixture(self, tmp_path) -> Path:
+        """The committed plain fixture, xz-compressed on the fly."""
+        import lzma
+
+        path = tmp_path / "champsim_small.trace.xz"
+        path.write_bytes(lzma.compress(CHAMPSIM_FIXTURE.read_bytes()))
+        return path
+
+    def test_xz_import_identical_to_plain(self, tmp_path, xz_fixture):
+        plain = read_champsim_trace(CHAMPSIM_FIXTURE, name="fixture")
+        compressed = read_champsim_trace(xz_fixture, name="fixture")
+        assert len(plain) == len(compressed)
+        for a, b in zip(plain.columns(), compressed.columns()):
+            assert (a == b).all()
+
+    def test_xz_default_name_strips_suffixes(self, xz_fixture):
+        trace = read_champsim_trace(xz_fixture)
+        assert trace.name == "champsim_small"
+
+    def test_xz_registers_catalog_workload(self, tmp_path, xz_fixture):
+        store = TraceStore(tmp_path / "store")
+        workload, key, trace = import_champsim_trace(
+            xz_fixture, store=store, name="xzfixture"
+        )
+        assert workload == "imported.xzfixture"
+        assert store.resolve("imported.xzfixture") == key
+        assert trace.num_memory_accesses > 0
+
+    def test_cli_imports_xz(self, tmp_path, xz_fixture, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "--dir", str(tmp_path / "store"), "import",
+                     str(xz_fixture), "--name", "xzcli"]) == 0
+        assert "imported.xzcli" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
 # Graph memo LRU bound
 # ----------------------------------------------------------------------
 class TestGraphMemoLru:
