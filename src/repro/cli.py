@@ -219,9 +219,67 @@ def _print_point_status(label: str, rows) -> None:
 
 def _run_summary(label: str, elapsed: float, engine, jobs, note: str = "") -> str:
     """The shared simulated/cache-hits/jobs run-summary line."""
+    health = ""
+    report = _merged_report(engine)
+    if report is not None and (report.total_retries or report.quarantined):
+        health = (f", {report.total_retries} retries, "
+                  f"{report.quarantined} quarantined")
     return (f"{label} in {elapsed:.1f}s "
             f"({engine.simulations_run} simulated, {engine.cache_hits} cache hits, "
-            f"jobs={engine.resolve_jobs(jobs)}{note})")
+            f"jobs={engine.resolve_jobs(jobs)}{note}{health})")
+
+
+def _policy_from_args(args: argparse.Namespace):
+    """The :class:`~repro.sim.engine.RetryPolicy` described by the CLI flags."""
+    from repro.sim.engine import RetryPolicy
+
+    defaults = RetryPolicy()
+    return RetryPolicy(
+        retries=args.retries if args.retries is not None else defaults.retries,
+        timeout_s=args.timeout_s,
+        strict=args.strict,
+    )
+
+
+def _merged_report(engine):
+    """Every engine run of this invocation folded into one report, or None."""
+    from repro.sim.engine import CampaignReport
+
+    if not engine.reports:
+        return None
+    return CampaignReport.merged(engine.reports)
+
+
+def _finish_run(args: argparse.Namespace, engine) -> int:
+    """Shared post-run reporting: quarantine listing, --report dump, --strict.
+
+    Returns the exit code the robustness flags impose (0 when every point
+    succeeded, or when quarantined points exist but --strict is off).
+    """
+    report = _merged_report(engine)
+    if report is None:
+        return 0
+    quarantined = report.quarantined_outcomes()
+    if quarantined:
+        print(f"{len(quarantined)} points quarantined "
+              f"(re-run the same command to retry just these):")
+        for outcome in quarantined:
+            detail = outcome.error_kind or "error"
+            if outcome.timed_out:
+                detail += ", timed out"
+            print(f"  [{detail}] {outcome.label} "
+                  f"after {outcome.attempts} attempts: {outcome.error}")
+    if args.report:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.report == "-":
+            print(payload)
+        else:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"report written to {args.report}")
+    if quarantined and args.strict:
+        return 1
+    return 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
@@ -244,19 +302,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         _print_point_status("campaign", cache.engine.status(points))
         return 0
 
+    policy = _policy_from_args(args)
     start = time.perf_counter()
     if shard is not None:
         # A shard simulates its own point subset only; the cross-shard
         # summary is printed by an unsharded run over the merged cache.
-        cache.engine.run(points, jobs=args.jobs)
+        cache.engine.run(points, jobs=args.jobs, policy=policy)
     else:
-        cache.run_campaign(schemes, include_multicore=args.multicore, jobs=args.jobs)
+        cache.run_campaign(
+            schemes, include_multicore=args.multicore, jobs=args.jobs,
+            policy=policy,
+        )
     elapsed = time.perf_counter() - start
     shard_note = f", shard {shard[0]}/{shard[1]}" if shard is not None else ""
     print(_run_summary(f"campaign: {len(points)} points", elapsed,
                        cache.engine, args.jobs, shard_note))
+    exit_code = _finish_run(args, cache.engine)
     if shard is not None:
-        return 0
+        return exit_code
+
+    report = _merged_report(cache.engine)
+    if report is not None and report.quarantined:
+        # The speedup summary would re-execute the quarantined points
+        # serially (and presumably fail the same way); skip it.
+        print("skipping the speedup summary (quarantined points)")
+        return exit_code
 
     rows = []
     for prefetcher in cache.config.l1d_prefetchers:
@@ -279,7 +349,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if rows:
         print("single-core campaign summary (speedup over baseline):")
         print("\n".join(rows))
-    return 0
+    return exit_code
 
 
 def _format_bytes(count: int) -> str:
@@ -298,21 +368,28 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "merge":
         total_copied = 0
         total_skipped = 0
+        total_unreadable = 0
         total_bytes = 0
         for source in args.sources:
             try:
-                copied, skipped, bytes_copied = cache.merge_from(source)
+                copied, skipped, unreadable, bytes_copied = cache.merge_from(source)
             except FileNotFoundError as error:
                 print(error)
                 return 1
+            unreadable_note = (
+                f", {unreadable} unreadable skipped" if unreadable else ""
+            )
             print(f"  {source}: {copied} copied "
-                  f"({_format_bytes(bytes_copied)}), {skipped} already present")
+                  f"({_format_bytes(bytes_copied)}), {skipped} already present"
+                  f"{unreadable_note}")
             total_copied += copied
             total_skipped += skipped
+            total_unreadable += unreadable
             total_bytes += bytes_copied
         print(
             f"merged {total_copied} entries ({_format_bytes(total_bytes)}) "
             f"into {cache.directory} ({total_skipped} duplicates skipped, "
+            f"{total_unreadable} unreadable skipped, "
             f"{len(cache.entries())} entries total)"
         )
         return 0
@@ -321,11 +398,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     before = cache.size_bytes()
     removed, freed = cache.gc(max_bytes, dry_run=args.dry_run)
     verb = "would evict" if args.dry_run else "evicted"
+    quarantined = cache.quarantined_files()
+    quarantine_note = (
+        f", {len(quarantined)} quarantined corrupt entries" if quarantined else ""
+    )
     print(
         f"cache gc{' (dry run)' if args.dry_run else ''}: {cache.directory} "
         f"{_format_bytes(before)} -> {_format_bytes(before - freed)} "
         f"({removed} entries {verb}, {_format_bytes(freed)} reclaimed, "
-        f"cap {args.max_mb:g} MB)"
+        f"cap {args.max_mb:g} MB{quarantine_note})"
     )
     return 0
 
@@ -458,6 +539,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     trace_store = _resolve_trace_store(args)
     config = _experiment_config_from_args(args, trace_store)
     cache = _cache_from_config(args, config, trace_store)
+    policy = _policy_from_args(args)
+    incomplete = []
     start = time.perf_counter()
     for index, name in enumerate(names):
         spec = get_experiment(name)
@@ -475,15 +558,28 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 print(f"note: {name} pins its L1D prefetcher sweep to "
                       f"{sorted(swept)}; --prefetchers {' '.join(ignored)} "
                       f"has no effect on it")
-        result = run_experiment(spec, cache=cache, jobs=args.jobs)
         if index:
             print()
+        try:
+            result = run_experiment(spec, cache=cache, jobs=args.jobs,
+                                    policy=policy)
+        except KeyError as error:
+            # A quarantined point left a hole the reducer tripped over;
+            # the healthy points are committed, so a re-run only executes
+            # the quarantined remainder.
+            incomplete.append(name)
+            print(f"{name}: incomplete -- {error.args[0] if error.args else error}")
+            print(f"{name}: re-run the same command to retry the failed points")
+            continue
         print(spec.title)
         print(spec.format_table(result))
     elapsed = time.perf_counter() - start
     print("\n" + _run_summary(f"figures: {len(names)}", elapsed,
                               cache.engine, args.jobs))
-    return 0
+    exit_code = _finish_run(args, cache.engine)
+    if incomplete:
+        return 1
+    return exit_code
 
 
 def _sweep_spec_from_args(args: argparse.Namespace):
@@ -590,12 +686,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
 
     start = time.perf_counter()
-    results = cache.run_points(points, jobs=args.jobs)
+    results = cache.run_points(points, jobs=args.jobs,
+                               policy=_policy_from_args(args))
     elapsed = time.perf_counter() - start
 
     rows = []
     for point in points:
-        result = results[point.key()]
+        result = results.get(point.key())
+        if result is None:
+            rows.append([point.label, point.kind, "quarantined", "-", "-"])
+            continue
         ipc = result.ipc if point.kind == "single_core" else sum(result.ipcs)
         row = [point.label, point.kind, ipc, result.dram_transactions]
         if point.scheme != "baseline":
@@ -619,7 +719,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(format_rows(["point", "kind", "ipc", "dram tx", "speedup (%)"], rows))
     print("\n" + _run_summary(f"sweep: {len(points)} points", elapsed,
                               cache.engine, args.jobs))
-    return 0
+    return _finish_run(args, cache.engine)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -671,6 +771,24 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--multicore-accesses", type=int, default=None,
                                 help="memory accesses per core of a multi-core "
                                      "point (default: the configuration's budget)")
+        add_robustness_flags(sub_parser)
+
+    def add_robustness_flags(sub_parser: argparse.ArgumentParser) -> None:
+        """Retry/timeout/quarantine flags shared by campaign execution."""
+        sub_parser.add_argument("--retries", type=int, default=None,
+                                help="retries per point for transient failures "
+                                     "(worker crash, timeout; default: 2)")
+        sub_parser.add_argument("--timeout-s", type=float, default=None,
+                                help="per-point timeout in seconds; a point "
+                                     "exceeding it is retried, then quarantined "
+                                     "(default: none)")
+        sub_parser.add_argument("--strict", action="store_true",
+                                help="exit nonzero when any point was "
+                                     "quarantined (default: report and exit 0)")
+        sub_parser.add_argument("--report", default=None, metavar="PATH",
+                                help="write the JSON campaign report "
+                                     "(succeeded/retried/quarantined, wall-time "
+                                     "percentiles) to PATH ('-' for stdout)")
 
     figure_parser = subparsers.add_parser(
         "figure",
@@ -761,6 +879,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--include-imported", action="store_true",
                                  help="also simulate every trace imported into "
                                       "the store ('repro trace import')")
+    add_robustness_flags(campaign_parser)
     campaign_parser.set_defaults(func=_cmd_campaign)
 
     cache_parser = subparsers.add_parser(

@@ -23,6 +23,7 @@ from repro.experiments.spec import multicore_mixes
 from repro.sim.engine import (
     CampaignEngine,
     CampaignPoint,
+    RetryPolicy,
     multi_core_point,
     single_core_point,
 )
@@ -379,15 +380,21 @@ class CampaignCache:
         self,
         points: Iterable[CampaignPoint],
         jobs: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> dict[str, SingleCoreResult | MultiCoreResult]:
         """Run a point batch through one engine fan-out, memo layered on top.
 
         The in-process memo filters out points this cache has already seen
         (any path: a previous batch, :meth:`single_core`, ...); only the
         remainder goes to :meth:`CampaignEngine.run`, which fans cache
-        misses out across ``jobs`` worker processes.  Returns ``{point key:
-        result}`` for every requested point and populates the semantic
-        memos, so figure reducers and the legacy per-point calls all hit.
+        misses out across ``jobs`` worker processes under ``policy``
+        (retry/timeout/quarantine; engine defaults when None).  Returns
+        ``{point key: result}`` for every requested point that produced a
+        result and populates the semantic memos, so figure reducers and the
+        legacy per-point calls all hit.  Points the engine quarantined are
+        simply absent from the returned dict -- idempotent cache keys make
+        a re-run execute only that remainder; check
+        ``self.engine.last_report`` for what failed and why.
         """
         ordered: list[tuple[str, CampaignPoint]] = []
         seen: set[str] = set()
@@ -398,25 +405,32 @@ class CampaignCache:
                 ordered.append((key, point))
         missing = [(key, point) for key, point in ordered if key not in self._by_key]
         if missing:
-            fresh = self.engine.run([point for _, point in missing], jobs=jobs)
+            fresh = self.engine.run(
+                [point for _, point in missing], jobs=jobs, policy=policy
+            )
             for key, point in missing:
-                self._record(point, fresh[key])
-        return {key: self._by_key[key] for key, _ in ordered}
+                if key in fresh:
+                    self._record(point, fresh[key])
+        return {
+            key: self._by_key[key] for key, _ in ordered if key in self._by_key
+        }
 
     def run_campaign(
         self,
         schemes: Optional[tuple[str, ...]] = None,
         include_multicore: bool = False,
         jobs: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> int:
         """Simulate the whole campaign, fanning points out across ``jobs``.
 
         Populates the in-memory memos so subsequent :meth:`single_core` /
-        :meth:`multi_core` calls are hits.  Returns the number of points.
+        :meth:`multi_core` calls are hits.  Returns the number of points
+        that produced results (quarantined points are not counted).
         """
         points = self.enumerate_points(schemes, include_multicore=include_multicore)
-        self.run_points(points, jobs=jobs)
-        return len(points)
+        results = self.run_points(points, jobs=jobs, policy=policy)
+        return len(results)
 
 
 @lru_cache(maxsize=1)

@@ -559,6 +559,7 @@ def run_experiment(
     cache=None,
     config=None,
     jobs: Optional[int] = None,
+    policy=None,
     **params,
 ):
     """Execute one experiment spec end to end.
@@ -566,9 +567,14 @@ def run_experiment(
     Compiles the sweep against the campaign's configuration, pushes the
     whole point batch through the engine in one
     :meth:`~repro.experiments.common.CampaignCache.run_points` fan-out
-    (``jobs`` workers), and reduces the results.  ``cache`` is any
+    (``jobs`` workers, retry/timeout behaviour from ``policy`` -- a
+    :class:`~repro.sim.engine.RetryPolicy` or None for engine defaults),
+    and reduces the results.  ``cache`` is any
     :class:`~repro.experiments.common.CampaignCache`; one cache shared
     across experiments deduplicates their overlapping points in-process.
+    If points were quarantined, the reducer's lookup raises a KeyError
+    naming the missing point -- re-run the same command to execute just
+    that remainder.
     """
     from repro.experiments.common import CampaignCache
 
@@ -577,7 +583,7 @@ def run_experiment(
     campaign = cache if cache is not None else CampaignCache(config)
     sweep = spec.build_sweep(campaign.config, **params)
     points = sweep.compile(campaign.config, trace_store=campaign.engine.trace_store)
-    results = campaign.run_points(points, jobs=jobs)
+    results = campaign.run_points(points, jobs=jobs, policy=policy)
     view = SweepResults(
         campaign.config, results, trace_store=campaign.engine.trace_store
     )

@@ -8,6 +8,18 @@ every result to the on-disk :class:`~repro.sim.result_cache.ResultCache`,
 keyed by a content hash of everything that determines the outcome.  A warm
 cache means re-running a figure harness performs zero simulations.
 
+Execution is *supervised*: each point runs as its own future, every result
+is committed to the result cache the moment it lands, per-point failures
+are classified transient vs deterministic, transient failures are retried
+with capped exponential backoff (and an optional per-point timeout), the
+worker pool is respawned after a crash (``BrokenProcessPool``) with only
+the unfinished points re-submitted, and points that exhaust their retries
+are *quarantined* into a structured :class:`CampaignReport` instead of
+aborting the batch.  Idempotent cache keys make every campaign resumable
+by construction: re-running a partially-failed batch executes only the
+quarantined remainder.  The failure paths are exercised deterministically
+via :mod:`repro.sim.faults` (``REPRO_FAULT_SPEC``).
+
 Layering: the engine sits between the raw simulation drivers
 (:mod:`repro.sim.single_core` / :mod:`repro.sim.multi_core`) and the
 experiment harnesses; :class:`repro.experiments.common.CampaignCache` is a
@@ -17,11 +29,19 @@ thin per-process memo on top of it.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional, Sequence
+
+from repro.sim import faults
 
 from repro.common.config import (
     SystemConfig,
@@ -340,19 +360,265 @@ _worker_trace_store: Optional[TraceStore] = None
 
 
 def _init_pool_worker(trace_store_dir: Optional[str]) -> None:
-    """Pool initializer: point the worker at the engine's trace store."""
+    """Pool initializer: point the worker at the engine's trace store.
+
+    Also (re)installs the fault-injection spec from the environment, so a
+    respawned pool keeps injecting the configured faults.
+    """
     global _worker_trace_store
     _worker_trace_store = (
         TraceStore(trace_store_dir) if trace_store_dir is not None else None
     )
+    faults.install_from_env()
 
 
-def _execute_for_pool(point: CampaignPoint) -> tuple[str, dict]:
-    """Worker-side entry point: returns (key, serialized result)."""
+class PointTimeoutError(RuntimeError):
+    """A point exceeded the policy's per-point timeout."""
+
+
+@contextmanager
+def _point_deadline(timeout_s: Optional[float]):
+    """Raise :class:`PointTimeoutError` if the body outlives ``timeout_s``.
+
+    Implemented with ``SIGALRM`` (sub-second via ``setitimer``), which only
+    works in a main thread on POSIX; elsewhere the deadline is a no-op and
+    the supervisor's hard-deadline pool kill is the only timeout backstop.
+    Pool workers execute tasks in their main thread, so the common paths
+    are covered.
+    """
+    if (
+        not timeout_s
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise PointTimeoutError(f"point exceeded timeout of {timeout_s:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def classify_failure(error: BaseException) -> tuple[bool, str]:
+    """Classify a per-point failure as ``(transient, kind)``.
+
+    Transient failures (worker crash, timeout, OOM, I/O hiccups, corrupted
+    payloads) are worth retrying; deterministic ones (a genuine bug raising
+    ``ValueError``, an unknown workload raising ``KeyError``) would fail
+    identically on every attempt and are quarantined immediately to avoid
+    retry storms.
+    """
+    if isinstance(error, PointTimeoutError):
+        return True, "timeout"
+    if isinstance(error, BrokenProcessPool):
+        return True, "worker-crash"
+    if isinstance(error, faults.FaultInjectedError):
+        return error.transient, "fault-injected"
+    if isinstance(error, (MemoryError, ConnectionError, OSError)):
+        return True, type(error).__name__
+    return False, type(error).__name__
+
+
+def _execute_for_pool(
+    point: CampaignPoint, attempt: int = 0, timeout_s: Optional[float] = None
+) -> tuple[str, dict, int]:
+    """Worker-side entry point: ``(key, serialized result, generator runs)``.
+
+    ``attempt`` is the 0-based attempt index the supervisor is on for this
+    point; fault-injection rules and retry accounting both key off it.  The
+    generator-invocation delta rides back with the payload so the campaign
+    report can aggregate generator work across worker processes.
+    """
     from repro.sim.result_cache import result_to_dict
 
-    result = execute_point(point, trace_store=_worker_trace_store)
-    return point.key(), result_to_dict(result)
+    before = _generator_invocations
+    with _point_deadline(timeout_s):
+        faults.inject_before(point.key(), point.label, attempt)
+        result = execute_point(point, trace_store=_worker_trace_store)
+    payload = result_to_dict(result)
+    payload = faults.corrupt_payload(point.key(), point.label, attempt, payload)
+    return point.key(), payload, _generator_invocations - before
+
+
+# ----------------------------------------------------------------------
+# Retry policy and campaign report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the supervised engine treats per-point failures.
+
+    ``retries`` bounds *re*-executions: a point runs at most ``1 + retries``
+    times.  Transient failures back off exponentially (``backoff_s * 2**n``
+    capped at ``backoff_cap_s``) before re-submission; deterministic
+    failures are quarantined without retrying.  ``timeout_s`` bounds one
+    attempt's wall time (None: unbounded); a timed-out attempt counts as a
+    transient failure.  ``strict`` is carried for CLI convenience: the
+    engine itself never aborts on quarantine.
+    """
+
+    retries: int = 2
+    timeout_s: Optional[float] = None
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    strict: bool = False
+
+    def backoff(self, failed_attempts: int) -> float:
+        """Delay before re-submitting after ``failed_attempts`` failures."""
+        return min(
+            self.backoff_cap_s,
+            self.backoff_s * (2 ** max(0, failed_attempts - 1)),
+        )
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one campaign point during a supervised run."""
+
+    key: str
+    label: str
+    status: str  # "ok" | "cached" | "quarantined"
+    attempts: int = 1
+    retries: int = 0
+    wall_s: float = 0.0
+    error: Optional[str] = None
+    error_kind: Optional[str] = None
+    transient: Optional[bool] = None
+    timed_out: bool = False
+
+    def to_dict(self) -> dict:
+        payload = {
+            "key": self.key,
+            "label": self.label,
+            "status": self.status,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "wall_s": round(self.wall_s, 6),
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+            payload["error_kind"] = self.error_kind
+            payload["transient"] = self.transient
+        if self.timed_out:
+            payload["timed_out"] = True
+        return payload
+
+
+def _percentile(ordered: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class CampaignReport:
+    """Structured health report of one (or several merged) campaign runs.
+
+    The machine-readable surface the CLI dumps with ``--report`` and the
+    future distributed fabric will stream: per-point outcomes plus the
+    aggregate counters a progress/health dashboard needs.
+    """
+
+    outcomes: list[PointOutcome] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    jobs: int = 1
+    generator_invocations: int = 0
+    cache_hits: int = 0
+    pool_respawns: int = 0
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def quarantined(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "quarantined")
+
+    @property
+    def retried(self) -> int:
+        return sum(1 for o in self.outcomes if o.retries > 0)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def timed_out(self) -> int:
+        return sum(1 for o in self.outcomes if o.timed_out)
+
+    def quarantined_outcomes(self) -> list[PointOutcome]:
+        return [o for o in self.outcomes if o.status == "quarantined"]
+
+    def wall_time_percentiles(self) -> dict:
+        """p50/p90/p99/max of per-point wall time over executed points."""
+        walls = sorted(
+            o.wall_s for o in self.outcomes if o.status != "cached"
+        )
+        if not walls:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "p50": round(_percentile(walls, 0.50), 6),
+            "p90": round(_percentile(walls, 0.90), 6),
+            "p99": round(_percentile(walls, 0.99), 6),
+            "max": round(walls[-1], 6),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "points": len(self.outcomes),
+            "succeeded": self.succeeded,
+            "cached": self.cached,
+            "quarantined": self.quarantined,
+            "retried": self.retried,
+            "total_retries": self.total_retries,
+            "timed_out": self.timed_out,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "jobs": self.jobs,
+            "generator_invocations": self.generator_invocations,
+            "cache_hits": self.cache_hits,
+            "pool_respawns": self.pool_respawns,
+            "wall_time_s": self.wall_time_percentiles(),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    @classmethod
+    def merged(cls, reports: Sequence["CampaignReport"]) -> "CampaignReport":
+        """Fold several per-batch reports into one (``repro figure all``)."""
+        merged = cls()
+        for report in reports:
+            merged.outcomes.extend(report.outcomes)
+            merged.elapsed_s += report.elapsed_s
+            merged.jobs = max(merged.jobs, report.jobs)
+            merged.generator_invocations += report.generator_invocations
+            merged.cache_hits += report.cache_hits
+            merged.pool_respawns += report.pool_respawns
+        return merged
+
+
+class _PointState:
+    """Supervisor-side mutable bookkeeping for one in-flight point."""
+
+    __slots__ = ("point", "attempts", "wall_s", "error", "error_kind",
+                 "transient", "timed_out")
+
+    def __init__(self, point: CampaignPoint) -> None:
+        self.point = point
+        self.attempts = 0  # completed (finished or failed) attempts
+        self.wall_s = 0.0
+        self.error: Optional[str] = None
+        self.error_kind: Optional[str] = None
+        self.transient: Optional[bool] = None
+        self.timed_out = False
 
 
 # ----------------------------------------------------------------------
@@ -385,6 +651,12 @@ class CampaignEngine:
         self.jobs = jobs
         self.simulations_run = 0
         self.cache_hits = 0
+        #: Report of the most recent :meth:`run` batch.
+        self.last_report: Optional[CampaignReport] = None
+        #: Reports of every :meth:`run` batch this engine executed, in
+        #: order; merge with :meth:`CampaignReport.merged` for a session
+        #: view (``repro figure all`` runs one batch per figure).
+        self.reports: list[CampaignReport] = []
         self._traces: dict[tuple[str, int, str], Trace] = {}
 
     def trace(
@@ -436,12 +708,23 @@ class CampaignEngine:
         self,
         points: Iterable[CampaignPoint],
         jobs: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
     ) -> dict[str, SingleCoreResult | MultiCoreResult]:
-        """Run a batch of points, fanning out cache misses across processes.
+        """Run a batch of points under supervision, committing as they land.
 
-        Returns ``{point key: result}`` for every requested point.  Workers
-        are only spawned for points that miss the cache; with one miss (or
-        ``jobs == 1``) execution stays in-process to avoid fork overhead.
+        Returns ``{point key: result}`` for every point that produced a
+        result (cache hit or fresh simulation).  Workers are only spawned
+        for points that miss the cache; with one miss (or ``jobs == 1``)
+        execution stays in-process to avoid fork overhead -- both paths go
+        through the same retry/quarantine supervision.
+
+        Every completed simulation is committed to the result cache the
+        moment it finishes, so a later crash (or Ctrl-C) never discards
+        finished work.  Points whose failures exhaust ``policy.retries``
+        (or fail deterministically) are *quarantined*: they are absent from
+        the returned dict and recorded in :attr:`last_report` instead of
+        aborting the batch.  Re-running the same batch executes only the
+        quarantined remainder (idempotent cache keys).
         """
         ordered: list[CampaignPoint] = []
         seen: set[str] = set()
@@ -451,6 +734,11 @@ class CampaignEngine:
                 seen.add(key)
                 ordered.append(point)
 
+        effective_policy = policy if policy is not None else RetryPolicy()
+        faults.install_from_env()
+        report = CampaignReport(jobs=self.resolve_jobs(jobs))
+        start = time.perf_counter()
+
         results: dict[str, SingleCoreResult | MultiCoreResult] = {}
         missing: list[tuple[str, CampaignPoint]] = []
         for point in ordered:
@@ -459,47 +747,343 @@ class CampaignEngine:
                 cached = self.result_cache.get(key)
                 if cached is not None:
                     self.cache_hits += 1
+                    report.cache_hits += 1
                     results[key] = cached
+                    report.outcomes.append(
+                        PointOutcome(key, point.label, "cached", attempts=0)
+                    )
                     continue
             missing.append((key, point))
 
         effective_jobs = self.resolve_jobs(jobs)
         if missing:
             if effective_jobs <= 1 or len(missing) <= 1:
-                for key, point in missing:
-                    result = execute_point(
-                        point, traces=self._traces, trace_store=self.trace_store
-                    )
-                    self.simulations_run += 1
-                    if self.result_cache is not None:
-                        self.result_cache.put(key, result, point=asdict(point))
-                    results[key] = result
+                self._run_serial(missing, effective_policy, report, results)
             else:
-                from repro.sim.result_cache import result_from_dict
-
-                workers = min(effective_jobs, len(missing))
-                store_dir = (
-                    str(self.trace_store.directory)
-                    if self.trace_store is not None
-                    else None
+                self._run_pool(
+                    missing, min(effective_jobs, len(missing)),
+                    effective_policy, report, results,
                 )
-                with ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_init_pool_worker,
-                    initargs=(store_dir,),
-                ) as pool:
-                    by_point = dict(missing)
-                    for key, payload in pool.map(
-                        _execute_for_pool, (point for _, point in missing)
-                    ):
-                        result = result_from_dict(payload)
-                        self.simulations_run += 1
-                        if self.result_cache is not None:
-                            self.result_cache.put(
-                                key, result, point=asdict(by_point[key])
-                            )
-                        results[key] = result
+
+        report.elapsed_s = time.perf_counter() - start
+        self.last_report = report
+        self.reports.append(report)
         return results
+
+    # ------------------------------------------------------------------
+    # Supervised execution paths
+    # ------------------------------------------------------------------
+    def _commit(
+        self,
+        key: str,
+        point: CampaignPoint,
+        result: SingleCoreResult | MultiCoreResult,
+        results: dict,
+    ) -> None:
+        """Count and persist one freshly simulated result immediately."""
+        self.simulations_run += 1
+        if self.result_cache is not None:
+            self.result_cache.put(key, result, point=asdict(point))
+        results[key] = result
+
+    @staticmethod
+    def _quarantine_outcome(key: str, state: _PointState) -> PointOutcome:
+        return PointOutcome(
+            key,
+            state.point.label,
+            "quarantined",
+            attempts=state.attempts,
+            retries=max(0, state.attempts - 1),
+            wall_s=state.wall_s,
+            error=state.error,
+            error_kind=state.error_kind,
+            transient=state.transient,
+            timed_out=state.timed_out,
+        )
+
+    def _run_serial(
+        self,
+        missing: list[tuple[str, CampaignPoint]],
+        policy: RetryPolicy,
+        report: CampaignReport,
+        results: dict,
+    ) -> None:
+        """In-process supervised execution (``--jobs 1`` / single miss).
+
+        The same retry/quarantine semantics as the pool path: a mid-batch
+        failure quarantines its point and the batch keeps going, with every
+        earlier result already committed to the cache.  A ``crash``-mode
+        injected fault is the one failure this path cannot survive -- it
+        *is* the process.
+        """
+        from repro.sim.result_cache import result_from_dict, result_to_dict
+
+        fault_spec = faults.active_spec()
+        for key, point in missing:
+            state = _PointState(point)
+            while True:
+                attempt = state.attempts
+                attempt_start = time.perf_counter()
+                failure: Optional[tuple[bool, str, str]] = None
+                result = None
+                generators_before = _generator_invocations
+                try:
+                    with _point_deadline(policy.timeout_s):
+                        faults.inject_before(key, point.label, attempt)
+                        result = execute_point(
+                            point, traces=self._traces,
+                            trace_store=self.trace_store,
+                        )
+                except Exception as error:  # noqa: BLE001 -- supervised boundary
+                    transient, kind = classify_failure(error)
+                    failure = (transient, kind, str(error))
+                else:
+                    if fault_spec:
+                        # Mirror the pool path's serialization boundary so
+                        # corrupt-mode faults (and their recovery) behave
+                        # identically in serial runs.  Healthy runs skip
+                        # the round trip entirely.
+                        payload = faults.corrupt_payload(
+                            key, point.label, attempt, result_to_dict(result)
+                        )
+                        try:
+                            result = result_from_dict(payload)
+                        except (ValueError, TypeError, KeyError) as error:
+                            failure = (True, "corrupt-payload", str(error))
+                state.attempts += 1
+                state.wall_s += time.perf_counter() - attempt_start
+                if failure is not None:
+                    transient, kind, message = failure
+                    state.error = message
+                    state.error_kind = kind
+                    state.transient = transient
+                    state.timed_out = state.timed_out or kind == "timeout"
+                    if transient and state.attempts <= policy.retries:
+                        time.sleep(policy.backoff(state.attempts))
+                        continue
+                    report.outcomes.append(self._quarantine_outcome(key, state))
+                    break
+                report.generator_invocations += (
+                    _generator_invocations - generators_before
+                )
+                self._commit(key, point, result, results)
+                report.outcomes.append(
+                    PointOutcome(
+                        key, point.label, "ok",
+                        attempts=state.attempts,
+                        retries=state.attempts - 1,
+                        wall_s=state.wall_s,
+                    )
+                )
+                break
+
+    def _spawn_pool(self, workers: int) -> ProcessPoolExecutor:
+        store_dir = (
+            str(self.trace_store.directory)
+            if self.trace_store is not None
+            else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_pool_worker,
+            initargs=(store_dir,),
+        )
+
+    def _run_pool(
+        self,
+        missing: list[tuple[str, CampaignPoint]],
+        workers: int,
+        policy: RetryPolicy,
+        report: CampaignReport,
+        results: dict,
+    ) -> None:
+        """Supervised pool execution: per-point futures, drain as completed.
+
+        Submission is windowed (at most ``2 * workers`` futures in flight)
+        so a pool crash only charges an attempt to the points that could
+        actually have caused it.  ``BrokenProcessPool`` respawns the pool
+        and re-submits the unfinished points; a point overrunning the
+        supervisor's hard deadline (the worker-side alarm plus grace)
+        terminates the stuck workers, charges only the overdue point, and
+        re-submits the innocent bystanders uncharged.
+        """
+        from repro.sim.result_cache import result_from_dict
+
+        state: dict[str, _PointState] = {
+            key: _PointState(point) for key, point in missing
+        }
+        ready: list[str] = [key for key, _ in missing]
+        waiting: list[tuple[float, str]] = []  # (eligible monotonic time, key)
+        inflight: dict = {}  # future -> (key, submit monotonic time)
+        grace_s = (
+            max(5.0, 0.5 * policy.timeout_s) if policy.timeout_s else None
+        )
+        pool = self._spawn_pool(workers)
+        try:
+            while ready or waiting or inflight:
+                now = time.monotonic()
+                while waiting and waiting[0][0] <= now:
+                    _, key = heapq.heappop(waiting)
+                    ready.append(key)
+                while ready and len(inflight) < 2 * workers:
+                    key = ready.pop(0)
+                    point_state = state[key]
+                    try:
+                        future = pool.submit(
+                            _execute_for_pool,
+                            point_state.point,
+                            point_state.attempts,
+                            policy.timeout_s,
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        # The pool broke between our draining it and this
+                        # submit; put the point back and let the broken
+                        # branch below respawn.
+                        ready.insert(0, key)
+                        break
+                    inflight[future] = (key, time.monotonic())
+
+                if not inflight:
+                    if waiting:
+                        time.sleep(
+                            max(0.0, min(waiting[0][0] - time.monotonic(), 0.25))
+                        )
+                        continue
+                    if ready:
+                        # Submission failed on a broken pool; respawn.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = self._spawn_pool(workers)
+                        report.pool_respawns += 1
+                        continue
+                    break
+
+                done, _ = wait(
+                    set(inflight), timeout=0.25, return_when=FIRST_COMPLETED
+                )
+
+                broken = False
+                overdue: set[str] = set()
+                for future in done:
+                    key, submitted = inflight.pop(future)
+                    point_state = state[key]
+                    duration = time.monotonic() - submitted
+                    failure: Optional[tuple[bool, str, str]] = None
+                    result = None
+                    try:
+                        _, payload, generator_delta = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        failure = (True, "worker-crash", str(exc))
+                    except Exception as exc:  # noqa: BLE001 -- supervised boundary
+                        transient, kind = classify_failure(exc)
+                        failure = (transient, kind, str(exc))
+                    else:
+                        report.generator_invocations += generator_delta
+                        try:
+                            result = result_from_dict(payload)
+                        except (ValueError, TypeError, KeyError) as exc:
+                            # The worker finished but its payload does not
+                            # decode -- corruption is worth retrying.
+                            failure = (True, "corrupt-payload", str(exc))
+                    if failure is None:
+                        point_state.attempts += 1
+                        point_state.wall_s += duration
+                        self._commit(key, point_state.point, result, results)
+                        report.outcomes.append(
+                            PointOutcome(
+                                key, point_state.point.label, "ok",
+                                attempts=point_state.attempts,
+                                retries=point_state.attempts - 1,
+                                wall_s=point_state.wall_s,
+                            )
+                        )
+                        continue
+                    self._charge_failure(
+                        key, point_state, duration, *failure,
+                        policy, report, ready, waiting,
+                    )
+
+                # Hard deadline: the worker-side alarm should end an
+                # attempt at timeout_s; a worker stuck in uninterruptible
+                # code is terminated here instead.
+                if grace_s is not None and not broken:
+                    now = time.monotonic()
+                    for future, (key, submitted) in list(inflight.items()):
+                        if now - submitted > policy.timeout_s + grace_s:
+                            overdue.add(key)
+                    if overdue:
+                        broken = True
+                        for process in getattr(pool, "_processes", {}).values():
+                            try:
+                                process.terminate()
+                            except OSError:
+                                pass
+
+                if broken:
+                    # Every in-flight future dies with the pool.  Charge an
+                    # attempt to the points that could have caused it (all
+                    # of them for a spontaneous crash, just the overdue
+                    # ones for an induced kill); re-submit the rest
+                    # uncharged.
+                    for future, (key, submitted) in inflight.items():
+                        point_state = state[key]
+                        duration = time.monotonic() - submitted
+                        if overdue:
+                            if key in overdue:
+                                self._charge_failure(
+                                    key, point_state, duration, True,
+                                    "timeout",
+                                    f"hard deadline exceeded "
+                                    f"({policy.timeout_s:g}s + {grace_s:g}s "
+                                    f"grace); worker terminated",
+                                    policy, report, ready, waiting,
+                                )
+                            else:
+                                ready.append(key)
+                        else:
+                            self._charge_failure(
+                                key, point_state, duration, True,
+                                "worker-crash",
+                                "worker process pool broke mid-attempt",
+                                policy, report, ready, waiting,
+                            )
+                    inflight.clear()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = self._spawn_pool(workers)
+                    report.pool_respawns += 1
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _charge_failure(
+        self,
+        key: str,
+        point_state: _PointState,
+        duration: float,
+        transient: bool,
+        kind: str,
+        message: str,
+        policy: RetryPolicy,
+        report: CampaignReport,
+        ready: list[str],
+        waiting: list[tuple[float, str]],
+    ) -> None:
+        """Record one failed attempt; schedule a retry or quarantine."""
+        point_state.attempts += 1
+        point_state.wall_s += duration
+        point_state.error = message
+        point_state.error_kind = kind
+        point_state.transient = transient
+        point_state.timed_out = point_state.timed_out or kind == "timeout"
+        if transient and point_state.attempts <= policy.retries:
+            heapq.heappush(
+                waiting,
+                (
+                    time.monotonic() + policy.backoff(point_state.attempts),
+                    key,
+                ),
+            )
+            return
+        report.outcomes.append(self._quarantine_outcome(key, point_state))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -1,0 +1,235 @@
+"""Deterministic fault injection for campaign execution.
+
+The supervised campaign engine promises to survive worker crashes, hangs,
+raised exceptions and corrupted payloads -- promises that are worthless
+unless CI can actually exercise them.  This module makes the failure modes
+*injectable*: a JSON spec (the ``REPRO_FAULT_SPEC`` environment variable)
+selects campaign points by label or cache-key prefix and makes their worker
+crash, hang, raise or corrupt its payload, with seeded determinism, so the
+recovery paths in :mod:`repro.sim.engine` are tested rather than trusted.
+
+The spec travels through the environment on purpose: worker processes
+inherit it, ``_init_pool_worker`` re-installs it after a pool respawn, and a
+CLI invocation needs no extra flags::
+
+    REPRO_FAULT_SPEC='{"faults": [
+        {"match": "bfs.urand/baseline/ipcp", "mode": "crash", "max_attempts": 1}
+    ]}' repro figure fig01 --jobs 2
+
+Rule fields:
+
+``match``
+    Substring of the point label (``workload/scheme/prefetcher``) or prefix
+    of the point's cache key.
+``mode``
+    ``crash`` (the worker process dies via ``os._exit``), ``hang`` (sleeps
+    ``hang_s`` seconds), ``raise`` (raises :class:`FaultInjectedError`) or
+    ``corrupt`` (the worker returns an undecodable result payload).
+``max_attempts``
+    Fire only while the point's attempt index is below this bound; the
+    default (absent) fires on every attempt, modelling a deterministic
+    failure.  ``max_attempts: 1`` models a transient failure the first
+    retry heals.
+``probability`` / ``seed``
+    Fire with this probability, decided by a hash of ``(seed, point key,
+    attempt)`` -- deterministic across processes and re-runs, unlike
+    ``random.random()``.
+``transient``
+    For ``raise`` only: mark the injected error transient (retried) instead
+    of deterministic (quarantined immediately).
+``hang_s``
+    For ``hang`` only: how long to sleep (default 3600 -- effectively
+    forever next to any sane ``--timeout-s``).
+
+Fault injection is a no-op unless the environment variable is set; the
+healthy-path overhead is one dictionary lookup per campaign run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+#: Environment variable holding the JSON fault spec (empty/absent: no faults).
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+_MODES = ("crash", "hang", "raise", "corrupt")
+
+
+class FaultSpecError(ValueError):
+    """The ``REPRO_FAULT_SPEC`` payload is malformed."""
+
+
+class FaultInjectedError(RuntimeError):
+    """Raised by a ``raise``-mode fault rule.
+
+    ``transient`` feeds the engine's error classification: transient
+    injected errors are retried, deterministic ones are quarantined
+    immediately.  The explicit ``__reduce__`` keeps the flag intact when
+    the exception is pickled back across the process boundary.
+    """
+
+    def __init__(self, message: str = "injected fault", transient: bool = False):
+        super().__init__(message)
+        self.transient = transient
+
+    def __reduce__(self):
+        return (FaultInjectedError, (str(self), self.transient))
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injected failure, matched against campaign points."""
+
+    match: str
+    mode: str
+    max_attempts: Optional[int] = None
+    probability: float = 1.0
+    seed: int = 0
+    transient: bool = False
+    hang_s: float = 3600.0
+
+    def applies(self, key: str, label: str, attempt: int) -> bool:
+        """True when this rule fires for ``(point, attempt)``.
+
+        Deterministic: the probabilistic gate hashes ``(seed, key,
+        attempt)`` so the same spec injects the same faults on every
+        machine and every re-run.
+        """
+        if self.match not in label and not key.startswith(self.match):
+            return False
+        if self.max_attempts is not None and attempt >= self.max_attempts:
+            return False
+        if self.probability >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return draw < self.probability
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A parsed fault spec: an ordered tuple of rules."""
+
+    rules: tuple[FaultRule, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def matching(self, key: str, label: str, attempt: int) -> list[FaultRule]:
+        return [
+            rule for rule in self.rules if rule.applies(key, label, attempt)
+        ]
+
+
+#: No faults -- the default spec.
+NO_FAULTS = FaultSpec()
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse the JSON form of a fault spec (see the module docstring)."""
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise FaultSpecError(f"{FAULT_SPEC_ENV} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or set(payload) - {"faults"}:
+        raise FaultSpecError(
+            f"{FAULT_SPEC_ENV} must be an object with a 'faults' list"
+        )
+    rules = []
+    for entry in payload.get("faults", []):
+        if not isinstance(entry, dict):
+            raise FaultSpecError(f"fault rule must be an object, got {entry!r}")
+        unknown = set(entry) - {
+            "match", "mode", "max_attempts", "probability", "seed",
+            "transient", "hang_s",
+        }
+        if unknown:
+            raise FaultSpecError(f"unknown fault rule fields: {sorted(unknown)}")
+        mode = entry.get("mode")
+        if mode not in _MODES:
+            raise FaultSpecError(
+                f"fault mode must be one of {_MODES}, got {mode!r}"
+            )
+        match = entry.get("match")
+        if not isinstance(match, str) or not match:
+            raise FaultSpecError(
+                f"fault rule needs a non-empty 'match' string, got {match!r}"
+            )
+        rules.append(
+            FaultRule(
+                match=match,
+                mode=mode,
+                max_attempts=entry.get("max_attempts"),
+                probability=float(entry.get("probability", 1.0)),
+                seed=int(entry.get("seed", 0)),
+                transient=bool(entry.get("transient", False)),
+                hang_s=float(entry.get("hang_s", 3600.0)),
+            )
+        )
+    return FaultSpec(rules=tuple(rules))
+
+
+_active: FaultSpec = NO_FAULTS
+_active_source: Optional[str] = None
+
+
+def install_from_env() -> FaultSpec:
+    """(Re)install the spec from ``REPRO_FAULT_SPEC``; returns it.
+
+    Called at the start of every campaign run and in every pool-worker
+    initializer, so respawned workers and monkeypatched test environments
+    both pick the current spec up.  A malformed spec raises -- silently
+    injecting nothing would defeat the point of a fault-injection test.
+    """
+    global _active, _active_source
+    raw = os.environ.get(FAULT_SPEC_ENV) or None
+    if raw == _active_source:
+        return _active
+    _active = parse_fault_spec(raw) if raw else NO_FAULTS
+    _active_source = raw
+    return _active
+
+
+def active_spec() -> FaultSpec:
+    """The currently installed spec (installing from the env on first use)."""
+    return install_from_env()
+
+
+def inject_before(key: str, label: str, attempt: int) -> None:
+    """Apply crash/hang/raise rules before a point executes.
+
+    Runs in the worker process (or in-process for serial runs).  ``crash``
+    uses ``os._exit`` so not even ``finally`` blocks run -- exactly like a
+    segfault or OOM kill, it breaks the process pool.
+    """
+    for rule in active_spec().matching(key, label, attempt):
+        if rule.mode == "crash":
+            os._exit(13)
+        if rule.mode == "hang":
+            time.sleep(rule.hang_s)
+        elif rule.mode == "raise":
+            raise FaultInjectedError(
+                f"injected {'transient' if rule.transient else 'deterministic'} "
+                f"fault for {label} (attempt {attempt})",
+                transient=rule.transient,
+            )
+
+
+def corrupt_payload(key: str, label: str, attempt: int, payload: dict) -> dict:
+    """Apply ``corrupt`` rules to a worker's serialized result payload."""
+    for rule in active_spec().matching(key, label, attempt):
+        if rule.mode == "corrupt":
+            return {
+                "kind": "__corrupted__",
+                "fields": None,
+                "injected_for": label,
+                "attempt": attempt,
+            }
+    return payload

@@ -24,6 +24,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import uuid
+import warnings
 from pathlib import Path
 from typing import Optional
 
@@ -106,15 +108,21 @@ def result_from_dict(payload: dict) -> SingleCoreResult | MultiCoreResult:
 class ResultCache:
     """One-file-per-result JSON store.
 
-    Writes are atomic (write to a temp file, then rename) so that a crashed
-    or interrupted campaign never leaves a truncated entry behind; corrupt
-    or unreadable entries are treated as misses.
+    Writes are atomic (write to a uniquely named temp file, then
+    ``os.replace``) so that a crashed or interrupted campaign -- or two
+    shard writers racing on the same key -- can never tear an entry.  A
+    torn or corrupt entry found on read is *quarantined*: renamed to
+    ``<key>.json.corrupt`` (with a warning) and treated as a miss, so the
+    point is simply re-simulated and re-committed instead of crashing the
+    campaign; ``repro cache gc`` reports the quarantined files.
     """
 
     def __init__(self, directory: Optional[Path | str] = None) -> None:
         self.directory = Path(directory) if directory is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Corrupt entries renamed aside by this instance.
+        self.quarantined = 0
         #: Running byte total of the directory, maintained incrementally
         #: once initialized so the opportunistic per-write size-cap check
         #: costs O(1) instead of a directory scan.
@@ -130,14 +138,38 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
 
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        """Rename a corrupt entry aside so the next run re-simulates it."""
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return
+        self.quarantined += 1
+        self._approx_size = None
+        warnings.warn(
+            f"quarantined corrupt result-cache entry {path.name} -> "
+            f"{target.name} ({reason}); the point will be re-simulated",
+            stacklevel=3,
+        )
+
     def get(self, key: str) -> Optional[SingleCoreResult | MultiCoreResult]:
-        """Return the cached result for ``key``, or None on a miss."""
+        """Return the cached result for ``key``, or None on a miss.
+
+        A present-but-undecodable entry (torn write from a crashed process,
+        disk corruption) is quarantined with a warning and counts as a
+        miss -- reads never raise.
+        """
         path = self._path(key)
         try:
             with path.open("r", encoding="utf-8") as fh:
                 payload = json.load(fh)
             result = result_from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            self._quarantine(path, error)
             self.misses += 1
             return None
         self.hits += 1
@@ -153,21 +185,28 @@ class ResultCache:
 
         ``point`` is the (JSON-safe) description of the simulated point; it
         is stored alongside the result so that cache entries are
-        self-describing and debuggable with a text editor.
+        self-describing and debuggable with a text editor.  The temp file
+        carries a unique suffix, so concurrent writers of the same key
+        (e.g. overlapping shard runs) each replace the entry atomically
+        with identical content instead of tearing each other's writes.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         payload = {"key": key, "point": point, "result": result_to_dict(result)}
         path = self._path(key)
-        tmp_path = path.with_suffix(".tmp")
-        with tmp_path.open("w", encoding="utf-8") as fh:
-            json.dump(payload, fh, sort_keys=True)
-        previous = 0
-        if self._approx_size is not None:
-            try:
-                previous = path.stat().st_size
-            except OSError:
-                previous = 0
-        tmp_path.replace(path)
+        tmp_path = path.with_name(f".{key}-{uuid.uuid4().hex[:8]}.tmp")
+        try:
+            with tmp_path.open("w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            previous = 0
+            if self._approx_size is not None:
+                try:
+                    previous = path.stat().st_size
+                except OSError:
+                    previous = 0
+            os.replace(tmp_path, path)
+        except BaseException:
+            tmp_path.unlink(missing_ok=True)
+            raise
         if self._approx_size is not None:
             try:
                 self._approx_size += path.stat().st_size - previous
@@ -180,6 +219,12 @@ class ResultCache:
         if not self.directory.is_dir():
             return []
         return sorted(path.stem for path in self.directory.glob("*.json"))
+
+    def quarantined_files(self) -> list[Path]:
+        """Corrupt entries renamed aside by :meth:`get` (oldest first)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json.corrupt"))
 
     def clear(self) -> int:
         """Delete every entry, returning the number removed."""
@@ -259,19 +304,23 @@ class ResultCache:
             self._approx_size = total - freed
         return (removed, freed)
 
-    def merge_from(self, source: Path | str) -> tuple[int, int, int]:
+    def merge_from(self, source: Path | str) -> tuple[int, int, int, int]:
         """Copy entries from another cache directory into this one.
 
         Entries whose key already exists here are skipped (keys are content
         hashes of everything that determines the result, so an existing
-        entry is the same result).  Returns
-        ``(copied, skipped, bytes_copied)``.
+        entry is the same result).  Unreadable or undecodable source
+        entries -- a shard that crashed mid-write on a filesystem without
+        atomic rename, a truncated copy -- are skipped with a warning and
+        counted instead of aborting the merge.  Returns
+        ``(copied, skipped, unreadable, bytes_copied)``.
         """
         source_dir = Path(source)
         if not source_dir.is_dir():
             raise FileNotFoundError(f"cache directory {source_dir} does not exist")
         copied = 0
         skipped = 0
+        unreadable = 0
         bytes_copied = 0
         self.directory.mkdir(parents=True, exist_ok=True)
         for entry in sorted(source_dir.glob("*.json")):
@@ -279,12 +328,24 @@ class ResultCache:
             if destination.exists():
                 skipped += 1
                 continue
-            payload = entry.read_bytes()
-            tmp_path = destination.with_suffix(".tmp")
+            try:
+                payload = entry.read_bytes()
+                json.loads(payload.decode("utf-8"))
+            except (OSError, ValueError) as error:
+                unreadable += 1
+                warnings.warn(
+                    f"skipping unreadable cache entry {entry} during merge: "
+                    f"{error}",
+                    stacklevel=2,
+                )
+                continue
+            tmp_path = destination.with_name(
+                f".{destination.stem}-{uuid.uuid4().hex[:8]}.tmp"
+            )
             tmp_path.write_bytes(payload)
             tmp_path.replace(destination)
             if self._approx_size is not None:
                 self._approx_size += len(payload)
             copied += 1
             bytes_copied += len(payload)
-        return (copied, skipped, bytes_copied)
+        return (copied, skipped, unreadable, bytes_copied)

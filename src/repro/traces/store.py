@@ -42,6 +42,7 @@ import os
 import shutil
 import sys
 import uuid
+import warnings
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -51,6 +52,15 @@ from repro.traces.trace import ADDR_DTYPE, KIND_DTYPE, Trace
 
 #: Environment variable overriding the default trace store directory.
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Digest-verification policy for loads: "auto" (default -- verify entries
+#: up to the size threshold), "always", or "never".
+TRACE_VERIFY_ENV = "REPRO_TRACE_VERIFY"
+
+#: Entries at or below this many column bytes are digest-verified on load
+#: under the "auto" policy; larger entries keep the O(1) mmap-open cost and
+#: rely on the byte-length check alone.
+VERIFY_AUTO_MAX_BYTES = 64 * 1024 * 1024
 
 #: Default trace store directory (relative to the working directory).
 DEFAULT_TRACE_DIR = ".repro_traces"
@@ -125,7 +135,14 @@ def save_trace(trace: Trace, directory: Path | str, extra: Optional[dict] = None
             data = {"pc": pc, "vaddr": vaddr, "kind": kind}[column_name]
             data = np.ascontiguousarray(data).astype(dtype, copy=False)
             data.tofile(tmp_dir / file_name)
-            columns[column_name] = {"file": file_name, "dtype": dtype}
+            columns[column_name] = {
+                "file": file_name,
+                "dtype": dtype,
+                # Content digest: the byte-length check catches truncation,
+                # this catches in-place corruption (verified on load per
+                # the REPRO_TRACE_VERIFY policy).
+                "sha256": hashlib.sha256(memoryview(data)).hexdigest(),
+            }
         meta = {
             "format_version": TRACE_FORMAT_VERSION,
             "endianness": "little",
@@ -191,7 +208,27 @@ def read_meta(directory: Path | str) -> dict:
     return meta
 
 
-def load_trace(directory: Path | str, mmap: bool = True) -> Trace:
+def _verify_policy() -> str:
+    """The ``REPRO_TRACE_VERIFY`` policy: "auto", "always" or "never"."""
+    policy = (os.environ.get(TRACE_VERIFY_ENV) or "auto").strip().lower()
+    return policy if policy in ("auto", "always", "never") else "auto"
+
+
+def _should_verify(total_bytes: int, verify: Optional[bool]) -> bool:
+    """Whether a load of ``total_bytes`` of columns digest-verifies."""
+    if verify is not None:
+        return verify
+    policy = _verify_policy()
+    if policy == "always":
+        return True
+    if policy == "never":
+        return False
+    return total_bytes <= VERIFY_AUTO_MAX_BYTES
+
+
+def load_trace(
+    directory: Path | str, mmap: bool = True, verify: Optional[bool] = None
+) -> Trace:
     """Load one stored trace, memory-mapping its columns by default.
 
     With ``mmap=True`` the returned trace's columns are read-only
@@ -199,13 +236,25 @@ def load_trace(directory: Path | str, mmap: bool = True) -> Trace:
     concurrent processes mapping the same entry share the page cache.
     ``mmap=False`` reads private in-memory copies instead (useful when the
     entry is about to be deleted).
+
+    Every column's byte length is validated against the header, so a
+    truncated file raises :class:`TraceStoreError` instead of handing the
+    simulator a short memmap.  Stored content digests are additionally
+    verified when ``verify`` is True (or, when None, per the
+    ``REPRO_TRACE_VERIFY`` policy -- by default entries up to 64 MiB; the
+    verification read warms the same page cache the simulation will use).
     """
     directory = Path(directory)
     meta = read_meta(directory)
     records = int(meta["records"])
+    total_bytes = records * sum(
+        np.dtype(dtype).itemsize for _, _, dtype in _COLUMNS
+    )
+    check_digests = _should_verify(total_bytes, verify)
     arrays = {}
     for column_name, _, dtype in _COLUMNS:
-        file_name = meta["columns"][column_name]["file"]
+        described = meta["columns"][column_name]
+        file_name = described["file"]
         path = directory / file_name
         expected = records * np.dtype(dtype).itemsize
         try:
@@ -224,6 +273,17 @@ def load_trace(directory: Path | str, mmap: bool = True) -> Trace:
             )
         else:
             arrays[column_name] = np.fromfile(path, dtype=dtype)
+        stored_digest = described.get("sha256")
+        if check_digests and stored_digest and records:
+            actual_digest = hashlib.sha256(
+                memoryview(np.ascontiguousarray(arrays[column_name]))
+            ).hexdigest()
+            if actual_digest != stored_digest:
+                raise TraceStoreError(
+                    f"column file {path} content digest mismatch "
+                    f"({actual_digest[:12]} != stored {stored_digest[:12]}); "
+                    f"entry is corrupt"
+                )
     # On little-endian hosts the explicit '<' dtypes equal the native column
     # dtypes, so the view keeps the memmaps as-is (zero copy); a big-endian
     # host gets a byte-swapped private copy instead of a mis-decoded map.
@@ -277,6 +337,10 @@ class TraceStore:
         self.hits = 0
         #: Lookups that found no (readable) entry.
         self.misses = 0
+        #: Keys whose content digests this instance already verified; a
+        #: re-open of the same entry skips the O(n) hash (the threat is
+        #: on-disk corruption, checked once per process).
+        self._verified: set[str] = set()
         #: ((mtime_ns, size), parsed registry) memo for :meth:`_read_index`.
         self._index_cache: Optional[tuple[tuple[int, int], dict]] = None
 
@@ -302,19 +366,45 @@ class TraceStore:
     def get(self, key: str, mmap: bool = True) -> Optional[Trace]:
         """Load the trace stored under ``key``, or None on a miss.
 
-        Corrupt or incompatible entries count as misses (the caller will
-        rebuild and overwrite them); only a complete, valid entry is served.
+        Corrupt or incompatible entries are *quarantined*: renamed to
+        ``<key>.corrupt`` with a warning and counted as a miss, so the
+        caller regenerates the trace instead of handing the simulator a
+        truncated or bit-rotted memmap -- and the broken bytes stay around
+        for a post-mortem instead of being silently overwritten.
         """
         if not self.contains(key):
             self.misses += 1
             return None
         try:
-            trace = load_trace(self.path(key), mmap=mmap)
-        except TraceStoreError:
+            trace = load_trace(
+                self.path(key),
+                mmap=mmap,
+                verify=False if key in self._verified else None,
+            )
+        except TraceStoreError as error:
+            self._quarantine(key, error)
             self.misses += 1
             return None
+        self._verified.add(key)
         self.hits += 1
         return trace
+
+    def _quarantine(self, key: str, reason: Exception) -> None:
+        """Rename a corrupt entry aside so the next access regenerates it."""
+        entry = self.path(key)
+        self._verified.discard(key)
+        target = entry.with_name(entry.name + ".corrupt")
+        try:
+            if target.exists():
+                shutil.rmtree(target)
+            os.replace(entry, target)
+        except OSError:
+            return
+        warnings.warn(
+            f"quarantined corrupt trace-store entry {key} -> {target.name} "
+            f"({reason}); the trace will be regenerated",
+            stacklevel=3,
+        )
 
     def put(self, key: str, trace: Trace, extra: Optional[dict] = None) -> Path:
         """Store ``trace`` under ``key`` (atomically replacing any entry)."""
@@ -323,6 +413,7 @@ class TraceStore:
     def remove(self, key: str) -> bool:
         """Delete the entry stored under ``key``; True when one existed."""
         entry = self.path(key)
+        self._verified.discard(key)
         if not entry.is_dir():
             return False
         shutil.rmtree(entry)
@@ -335,7 +426,19 @@ class TraceStore:
         return sorted(
             path.name
             for path in self.directory.iterdir()
-            if path.is_dir() and (path / _META_NAME).is_file()
+            if path.is_dir()
+            and not path.name.endswith(".corrupt")
+            and (path / _META_NAME).is_file()
+        )
+
+    def quarantined_entries(self) -> list[Path]:
+        """Corrupt entries renamed aside by :meth:`get`."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            path
+            for path in self.directory.iterdir()
+            if path.is_dir() and path.name.endswith(".corrupt")
         )
 
     def info(self, key: str) -> dict:

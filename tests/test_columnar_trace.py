@@ -320,8 +320,10 @@ def test_merge_skips_existing_entries(tmp_path):
     source.put("k1", _dummy_result("a"))
     destination = ResultCache(tmp_path / "dst")
     destination.put("k1", _dummy_result("b"))
-    copied, skipped, bytes_copied = destination.merge_from(tmp_path / "src")
-    assert (copied, skipped, bytes_copied) == (0, 1, 0)
+    copied, skipped, unreadable, bytes_copied = destination.merge_from(
+        tmp_path / "src"
+    )
+    assert (copied, skipped, unreadable, bytes_copied) == (0, 1, 0, 0)
     assert destination.get("k1").workload == "b"
     with pytest.raises(FileNotFoundError):
         destination.merge_from(tmp_path / "missing")

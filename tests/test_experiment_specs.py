@@ -190,10 +190,10 @@ class TestBatchExecution:
         calls = []
         original = cache.engine.run
 
-        def counting_run(points, jobs=None):
+        def counting_run(points, jobs=None, policy=None):
             points = list(points)
             calls.append(len(points))
-            return original(points, jobs=jobs)
+            return original(points, jobs=jobs, policy=policy)
 
         monkeypatch.setattr(cache.engine, "run", counting_run)
         fig01_mpki.run(cache=cache)

@@ -779,6 +779,8 @@ def test_merge_reports_bytes_copied(tmp_path):
         (tmp_path / "src" / f"{key}.json").stat().st_size for key in ("k1", "k2")
     )
     destination = ResultCache(tmp_path / "dst")
-    copied, skipped, bytes_copied = destination.merge_from(tmp_path / "src")
-    assert (copied, skipped) == (2, 0)
+    copied, skipped, unreadable, bytes_copied = destination.merge_from(
+        tmp_path / "src"
+    )
+    assert (copied, skipped, unreadable) == (2, 0, 0)
     assert bytes_copied == expected
