@@ -241,6 +241,25 @@ def _policy_from_args(args: argparse.Namespace):
     )
 
 
+def _progress_from_args(args: argparse.Namespace, label: str):
+    """``(ProgressLine, engine progress callback)`` for ``--progress``.
+
+    ``(None, None)`` when progress is off -- explicitly via
+    ``--no-progress``, or by default when stderr is not a terminal.
+    """
+    import sys
+
+    enabled = getattr(args, "progress", None)
+    if enabled is None:
+        enabled = sys.stderr.isatty()
+    if not enabled:
+        return None, None
+    from repro.fabric.progress import ProgressLine, campaign_progress
+
+    line = ProgressLine(enabled=True)
+    return line, campaign_progress(line, label)
+
+
 def _merged_report(engine):
     """Every engine run of this invocation folded into one report, or None."""
     from repro.sim.engine import CampaignReport
@@ -303,16 +322,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     policy = _policy_from_args(args)
+    line, progress = _progress_from_args(args, "campaign")
     start = time.perf_counter()
     if shard is not None:
         # A shard simulates its own point subset only; the cross-shard
         # summary is printed by an unsharded run over the merged cache.
-        cache.engine.run(points, jobs=args.jobs, policy=policy)
+        cache.engine.run(points, jobs=args.jobs, policy=policy,
+                         progress=progress)
     else:
         cache.run_campaign(
             schemes, include_multicore=args.multicore, jobs=args.jobs,
-            policy=policy,
+            policy=policy, progress=progress,
         )
+    if line is not None:
+        line.finish()
     elapsed = time.perf_counter() - start
     shard_note = f", shard {shard[0]}/{shard[1]}" if shard is not None else ""
     print(_run_summary(f"campaign: {len(points)} points", elapsed,
@@ -560,17 +583,22 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                       f"has no effect on it")
         if index:
             print()
+        line, progress = _progress_from_args(args, name)
         try:
             result = run_experiment(spec, cache=cache, jobs=args.jobs,
-                                    policy=policy)
+                                    policy=policy, progress=progress)
         except KeyError as error:
             # A quarantined point left a hole the reducer tripped over;
             # the healthy points are committed, so a re-run only executes
             # the quarantined remainder.
+            if line is not None:
+                line.finish()
             incomplete.append(name)
             print(f"{name}: incomplete -- {error.args[0] if error.args else error}")
             print(f"{name}: re-run the same command to retry the failed points")
             continue
+        if line is not None:
+            line.finish()
         print(spec.title)
         print(spec.format_table(result))
     elapsed = time.perf_counter() - start
@@ -685,9 +713,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _print_point_status("sweep", cache.engine.status(points))
         return 0
 
+    line, progress = _progress_from_args(args, "sweep")
     start = time.perf_counter()
     results = cache.run_points(points, jobs=args.jobs,
-                               policy=_policy_from_args(args))
+                               policy=_policy_from_args(args),
+                               progress=progress)
+    if line is not None:
+        line.finish()
     elapsed = time.perf_counter() - start
 
     rows = []
@@ -720,6 +752,213 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print("\n" + _run_summary(f"sweep: {len(points)} points", elapsed,
                               cache.engine, args.jobs))
     return _finish_run(args, cache.engine)
+
+
+def _fabric_points(args: argparse.Namespace, cache: CampaignCache, trace_store):
+    """Compile the point set of a ``repro fabric run`` target.
+
+    ``campaign`` enumerates the evaluation campaign (respecting
+    ``--schemes``/``--multicore``); a figure id compiles that experiment's
+    sweep -- both through the exact code paths the single-node commands
+    use, so the fabric's task keys are the same cache keys and warm caches
+    transfer in both directions.
+    """
+    from repro.experiments.spec import get_experiment
+
+    if args.target == "campaign":
+        return cache.enumerate_points(
+            tuple(args.schemes), include_multicore=args.multicore
+        )
+    canonical = FIGURES.get(args.target)
+    if canonical is None:
+        raise SystemExit(
+            f"unknown fabric target {args.target!r}; use 'campaign' or a "
+            f"figure id from {sorted(FIGURES)}"
+        )
+    spec = get_experiment(canonical)
+    sweep = spec.build_sweep(cache.config)
+    return sweep.compile(cache.config, trace_store=trace_store)
+
+
+def _fabric_worker_args(args: argparse.Namespace) -> list[str]:
+    """CLI argv forwarded to every spawned ``repro fabric worker``."""
+    argv: list[str] = []
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
+    if args.trace_dir:
+        argv += ["--trace-dir", args.trace_dir]
+    if args.no_trace_store:
+        argv += ["--no-trace-store"]
+    if args.retries is not None:
+        argv += ["--retries", str(args.retries)]
+    if args.timeout_s is not None:
+        argv += ["--timeout-s", f"{args.timeout_s:g}"]
+    return argv
+
+
+def _cmd_fabric_run(args: argparse.Namespace) -> int:
+    import pathlib
+    import shutil
+
+    from repro.fabric import (
+        FabricDriver,
+        ProgressLine,
+        TaskQueue,
+        points_queue_slug,
+    )
+    from repro.sim.engine import CampaignReport
+
+    if args.no_cache:
+        # The shared result cache is how workers hand results back; a
+        # fabric without one would simulate everything and keep nothing.
+        print("the fabric requires the persistent result cache "
+              "(drop --no-cache)")
+        return 2
+    trace_store = _resolve_trace_store(args)
+    config = _experiment_config_from_args(args, trace_store)
+    cache = _cache_from_config(args, config, trace_store)
+    points = _fabric_points(args, cache, trace_store)
+    if not points:
+        print(f"target {args.target!r} compiled to zero points")
+        return 1
+    if args.list:
+        _print_point_status("fabric", cache.engine.status(points))
+        return 0
+
+    # Default queue location: keyed by the compiled point set, so the same
+    # command resumes its queue while different flags get a fresh one.
+    queue_dir = pathlib.Path(
+        args.queue_dir
+        if args.queue_dir
+        else pathlib.Path(".repro_fabric") / points_queue_slug(args.target, points)
+    )
+    queue = TaskQueue(queue_dir)
+    progress_enabled = args.progress if args.progress is not None else True
+    driver = FabricDriver(
+        queue,
+        workers=args.workers,
+        heartbeat_s=args.heartbeat_s,
+        lease_loss_budget=args.lease_loss_budget,
+        worker_args=_fabric_worker_args(args),
+        progress=ProgressLine(enabled=progress_enabled),
+    )
+    result = driver.run(points)
+
+    counts = result.counts
+    print(f"fabric: {counts.done} done, {counts.quarantined} quarantined of "
+          f"{counts.tasks} points in {result.elapsed_s:.1f}s "
+          f"(workers spawned {result.workers_spawned}, "
+          f"leases reclaimed {result.leases_reclaimed}, "
+          f"queue {queue.directory})")
+    report = result.report
+    quarantined = report.quarantined_outcomes()
+    if quarantined:
+        print(f"{len(quarantined)} points quarantined "
+              f"(re-run the same command to retry just these):")
+        for outcome in quarantined:
+            print(f"  [{outcome.error_kind or 'error'}] {outcome.label}: "
+                  f"{outcome.error}")
+    if args.report:
+        payload = json.dumps(result.to_dict(), indent=2, sort_keys=True)
+        if args.report == "-":
+            print(payload)
+        else:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"report written to {args.report}")
+
+    if not result.settled:
+        print("fabric run did not settle every point (out of worker "
+              "respawns); re-run the same command to resume the remainder")
+        return 1
+
+    rendered = True
+    if args.target != "campaign" and not quarantined:
+        # Every point is committed to the shared cache; rendering the
+        # figure is now a warm-cache reduction.
+        from repro.experiments.spec import get_experiment, run_experiment
+
+        spec = get_experiment(FIGURES[args.target])
+        try:
+            figure_result = run_experiment(spec, cache=cache, jobs=1)
+        except KeyError as error:
+            rendered = False
+            print(f"{args.target}: incomplete -- "
+                  f"{error.args[0] if error.args else error}")
+        else:
+            print(spec.title)
+            print(spec.format_table(figure_result))
+
+    if not quarantined and rendered and not args.keep_queue:
+        shutil.rmtree(queue.directory, ignore_errors=True)
+    elif quarantined:
+        print(f"keeping queue {queue.directory} (quarantined points; "
+              f"re-run to retry)")
+    if quarantined and args.strict:
+        return 1
+    return 0 if rendered else 1
+
+
+def _cmd_fabric_worker(args: argparse.Namespace) -> int:
+    from repro.fabric import FabricWorker, TaskQueue
+    from repro.sim.result_cache import ResultCache
+
+    queue = TaskQueue(args.queue_dir)
+    if not queue.exists():
+        print(f"no fabric queue at {queue.directory} "
+              f"(start one with 'repro fabric run')")
+        return 2
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    worker = FabricWorker(
+        queue,
+        cache,
+        trace_store=_resolve_trace_store(args),
+        owner=args.owner,
+        policy=_policy_from_args(args),
+        heartbeat_s=args.heartbeat_s,
+        max_points=args.max_points,
+    )
+    report = worker.run()
+    note = " (drained)" if worker.drained else ""
+    print(f"worker {worker.owner}: {worker.settled} points settled, "
+          f"{report.cache_hits} cache hits{note}")
+    return 0
+
+
+def _cmd_fabric_status(args: argparse.Namespace) -> int:
+    from repro.fabric import TaskQueue
+
+    queue = TaskQueue(args.queue_dir)
+    if not queue.exists():
+        print(f"no fabric queue at {queue.directory}")
+        return 2
+    counts = queue.counts()
+    print(f"queue {queue.directory}: {counts.tasks} points -- "
+          f"{counts.pending} pending, {counts.leased} leased, "
+          f"{counts.done} done, {counts.quarantined} quarantined")
+    import time as _time
+
+    now = _time.time()
+    for lease in queue.lease_records():
+        deadline = lease.get("deadline")
+        if deadline is None:
+            state = "claiming"
+        else:
+            delta = float(deadline) - now
+            state = (f"heartbeat in {delta:.1f}s" if delta >= 0
+                     else f"EXPIRED {-delta:.1f}s ago")
+        print(f"  leased {lease.get('key', '?')[:12]} by "
+              f"{lease.get('owner', '?')} "
+              f"(attempt {lease.get('attempts', '?')}, {state})")
+    return 0
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    if args.fabric_command == "worker":
+        return _cmd_fabric_worker(args)
+    if args.fabric_command == "status":
+        return _cmd_fabric_status(args)
+    return _cmd_fabric_run(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -789,6 +1028,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="write the JSON campaign report "
                                      "(succeeded/retried/quarantined, wall-time "
                                      "percentiles) to PATH ('-' for stdout)")
+        sub_parser.add_argument("--progress", action=argparse.BooleanOptionalAction,
+                                default=None,
+                                help="stream a live points/ok/quarantined/ETA "
+                                     "line to stderr while the campaign runs "
+                                     "(default: on when stderr is a terminal)")
 
     figure_parser = subparsers.add_parser(
         "figure",
@@ -881,6 +1125,85 @@ def build_parser() -> argparse.ArgumentParser:
                                       "the store ('repro trace import')")
     add_robustness_flags(campaign_parser)
     campaign_parser.set_defaults(func=_cmd_campaign)
+
+    fabric_parser = subparsers.add_parser(
+        "fabric",
+        help="drain a campaign with lease-based cooperating worker processes",
+    )
+    fabric_sub = fabric_parser.add_subparsers(dest="fabric_command", required=True)
+
+    fabric_run = fabric_sub.add_parser(
+        "run",
+        help="enqueue a campaign/figure and drain it with supervised local "
+             "workers (crash-resumable: re-run to resume)",
+    )
+    fabric_run.add_argument(
+        "target", help="'campaign' or a figure id (e.g. fig01)")
+    fabric_run.add_argument("--workers", type=int, default=2,
+                            help="local worker processes to spawn (default 2)")
+    fabric_run.add_argument("--heartbeat-s", type=float, default=15.0,
+                            help="lease heartbeat TTL in seconds; a lease "
+                                 "unrenewed this long is reclaimed (default 15)")
+    fabric_run.add_argument("--lease-loss-budget", type=int, default=2,
+                            help="leases a point may lose to dead workers "
+                                 "before it is quarantined (default 2)")
+    fabric_run.add_argument("--queue-dir", default=None,
+                            help="queue directory (default: .repro_fabric/"
+                                 "<target>-<hash of the point set>; shared "
+                                 "over NFS for multi-host runs)")
+    fabric_run.add_argument("--keep-queue", action="store_true",
+                            help="keep the queue directory after a fully "
+                                 "successful run (default: remove it)")
+    fabric_run.add_argument("--list", action="store_true",
+                            help="print the compiled points and their cache "
+                                 "status without running")
+    fabric_run.add_argument("--schemes", nargs="+",
+                            default=["ppf", "hermes", "hermes_ppf", "tlp"],
+                            choices=list(SCHEMES),
+                            help="schemes for the 'campaign' target")
+    fabric_run.add_argument("--multicore", action="store_true",
+                            help="include the multi-core mixes in the "
+                                 "'campaign' target")
+    fabric_run.add_argument("--prefetchers", nargs="+", default=None,
+                            choices=PREFETCHER_CHOICES,
+                            help="L1D prefetchers to sweep "
+                                 "(default: the configuration's sweep)")
+    add_engine_flags(fabric_run)
+    fabric_run.set_defaults(func=_cmd_fabric)
+
+    fabric_worker = fabric_sub.add_parser(
+        "worker",
+        help="drain one fabric queue from this process (start by hand on "
+             "other hosts against a shared --queue-dir)",
+    )
+    fabric_worker.add_argument("--queue-dir", required=True,
+                               help="queue directory created by 'fabric run'")
+    fabric_worker.add_argument("--owner", default=None,
+                               help="lease owner id (default: worker-<pid>)")
+    fabric_worker.add_argument("--heartbeat-s", type=float, default=15.0,
+                               help="lease heartbeat TTL in seconds")
+    fabric_worker.add_argument("--max-points", type=int, default=None,
+                               help="exit after settling this many points")
+    fabric_worker.add_argument("--cache-dir", default=None,
+                               help="result cache directory (must be shared "
+                                    "with the driver)")
+    fabric_worker.add_argument("--trace-dir", default=None,
+                               help="trace store directory")
+    fabric_worker.add_argument("--no-trace-store", action="store_true",
+                               help="regenerate traces instead of using the "
+                                    "store")
+    fabric_worker.add_argument("--retries", type=int, default=None,
+                               help="in-worker retries per point (default: 2)")
+    fabric_worker.add_argument("--timeout-s", type=float, default=None,
+                               help="per-point timeout in seconds")
+    fabric_worker.set_defaults(func=_cmd_fabric, strict=False)
+
+    fabric_status = fabric_sub.add_parser(
+        "status", help="print a fabric queue's point and lease state"
+    )
+    fabric_status.add_argument("--queue-dir", required=True,
+                               help="queue directory to inspect")
+    fabric_status.set_defaults(func=_cmd_fabric)
 
     cache_parser = subparsers.add_parser(
         "cache", help="manage the persistent result cache"

@@ -381,6 +381,7 @@ class CampaignCache:
         points: Iterable[CampaignPoint],
         jobs: Optional[int] = None,
         policy: Optional[RetryPolicy] = None,
+        progress=None,
     ) -> dict[str, SingleCoreResult | MultiCoreResult]:
         """Run a point batch through one engine fan-out, memo layered on top.
 
@@ -406,7 +407,8 @@ class CampaignCache:
         missing = [(key, point) for key, point in ordered if key not in self._by_key]
         if missing:
             fresh = self.engine.run(
-                [point for _, point in missing], jobs=jobs, policy=policy
+                [point for _, point in missing], jobs=jobs, policy=policy,
+                progress=progress,
             )
             for key, point in missing:
                 if key in fresh:
@@ -421,15 +423,19 @@ class CampaignCache:
         include_multicore: bool = False,
         jobs: Optional[int] = None,
         policy: Optional[RetryPolicy] = None,
+        progress=None,
     ) -> int:
         """Simulate the whole campaign, fanning points out across ``jobs``.
 
         Populates the in-memory memos so subsequent :meth:`single_core` /
         :meth:`multi_core` calls are hits.  Returns the number of points
         that produced results (quarantined points are not counted).
+        ``progress`` is forwarded to :meth:`CampaignEngine.run` (the
+        ``--progress`` live line).
         """
         points = self.enumerate_points(schemes, include_multicore=include_multicore)
-        results = self.run_points(points, jobs=jobs, policy=policy)
+        results = self.run_points(points, jobs=jobs, policy=policy,
+                                  progress=progress)
         return len(results)
 
 

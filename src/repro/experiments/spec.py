@@ -560,6 +560,7 @@ def run_experiment(
     config=None,
     jobs: Optional[int] = None,
     policy=None,
+    progress=None,
     **params,
 ):
     """Execute one experiment spec end to end.
@@ -583,7 +584,8 @@ def run_experiment(
     campaign = cache if cache is not None else CampaignCache(config)
     sweep = spec.build_sweep(campaign.config, **params)
     points = sweep.compile(campaign.config, trace_store=campaign.engine.trace_store)
-    results = campaign.run_points(points, jobs=jobs, policy=policy)
+    results = campaign.run_points(points, jobs=jobs, policy=policy,
+                                  progress=progress)
     view = SweepResults(
         campaign.config, results, trace_store=campaign.engine.trace_store
     )

@@ -1,0 +1,34 @@
+"""Lease-based distributed campaign fabric.
+
+A filesystem-backed work queue (:mod:`repro.fabric.queue`) that any number
+of cooperating worker processes (:mod:`repro.fabric.worker`) drain
+concurrently, supervised by a local driver (:mod:`repro.fabric.driver`)
+that reclaims dead workers' leases and merges the per-worker reports.
+The shared directory is the only coordination substrate, so the fabric
+works across machines over NFS.  See ``repro fabric run/worker/status``.
+"""
+
+from repro.fabric.driver import FabricDriver, FabricRunResult
+from repro.fabric.progress import ProgressLine, campaign_progress
+from repro.fabric.queue import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_LEASE_LOSS_BUDGET,
+    LeasedTask,
+    TaskQueue,
+    points_queue_slug,
+)
+from repro.fabric.worker import DrainRequested, FabricWorker
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_LEASE_LOSS_BUDGET",
+    "DrainRequested",
+    "FabricDriver",
+    "FabricRunResult",
+    "FabricWorker",
+    "LeasedTask",
+    "ProgressLine",
+    "TaskQueue",
+    "campaign_progress",
+    "points_queue_slug",
+]

@@ -1,0 +1,309 @@
+"""Fabric driver: enqueue a campaign, supervise local workers, merge reports.
+
+The driver is the fabric's local-machine front end (``repro fabric run``):
+it materializes the campaign's points into a :class:`TaskQueue`, spawns N
+worker processes against it, and then supervises -- reclaiming expired
+leases from dead workers, re-queuing points whose leases it knows are dead
+(a reaped child), respawning workers while claimable work remains, and
+rendering a live leased/done/quarantined progress line.  When every point
+has a terminal record it terminates the workers (SIGTERM: they drain and
+flush their reports) and folds the per-worker reports plus the queue's
+terminal records into one :class:`~repro.sim.engine.CampaignReport`.
+
+The driver holds no state the queue doesn't: kill it mid-run and a second
+``repro fabric run`` with the same flags re-attaches to the same queue,
+enqueues nothing new (terminal records are respected) and executes only
+the remainder.  Remote workers started by hand with ``repro fabric
+worker --queue-dir <shared>`` drain the same queue; the local driver
+treats their leases exactly like its own children's.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.fabric.progress import ProgressLine, format_eta
+from repro.fabric.queue import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_LEASE_LOSS_BUDGET,
+    QueueCounts,
+    TaskQueue,
+)
+from repro.sim.engine import CampaignPoint, CampaignReport, PointOutcome
+
+
+def report_from_dict(payload: dict) -> CampaignReport:
+    """Rebuild a :meth:`CampaignReport.to_dict` payload (worker reports)."""
+    report = CampaignReport(
+        elapsed_s=float(payload.get("elapsed_s", 0.0)),
+        jobs=int(payload.get("jobs", 1)),
+        generator_invocations=int(payload.get("generator_invocations", 0)),
+        cache_hits=int(payload.get("cache_hits", 0)),
+        pool_respawns=int(payload.get("pool_respawns", 0)),
+    )
+    for outcome in payload.get("outcomes", []):
+        report.outcomes.append(PointOutcome.from_dict(outcome))
+    return report
+
+
+@dataclass
+class FabricRunResult:
+    """What one driver run did, beyond the merged campaign report."""
+
+    report: CampaignReport
+    counts: QueueCounts
+    settled: bool
+    workers_spawned: int = 0
+    worker_respawns: int = 0
+    leases_reclaimed: int = 0
+    lease_quarantined: int = 0
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        payload = self.report.to_dict()
+        payload["fabric"] = {
+            "settled": self.settled,
+            "workers_spawned": self.workers_spawned,
+            "worker_respawns": self.worker_respawns,
+            "leases_reclaimed": self.leases_reclaimed,
+            "lease_quarantined": self.lease_quarantined,
+            "tasks": self.counts.tasks,
+            "done": self.counts.done,
+            "quarantined": self.counts.quarantined,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+        return payload
+
+
+class FabricDriver:
+    """Supervises local fabric workers draining one queue (see module docs).
+
+    ``worker_args`` is the extra CLI argv forwarded to every spawned
+    ``repro fabric worker`` (cache/trace-store/retry flags); the queue
+    directory, owner id and heartbeat are appended by the driver.  The
+    respawn budget bounds total process spawns so a fault spec that kills
+    every worker on sight degrades into quarantined points, not a
+    fork bomb.
+    """
+
+    def __init__(
+        self,
+        queue: TaskQueue,
+        workers: int = 2,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        lease_loss_budget: int = DEFAULT_LEASE_LOSS_BUDGET,
+        worker_args: Sequence[str] = (),
+        progress: Optional[ProgressLine] = None,
+        respawn_budget: Optional[int] = None,
+        poll_s: float = 0.2,
+    ) -> None:
+        self.queue = queue
+        self.workers = max(1, workers)
+        self.heartbeat_s = heartbeat_s
+        self.lease_loss_budget = lease_loss_budget
+        self.worker_args = list(worker_args)
+        self.progress = progress
+        self.respawn_budget = (
+            respawn_budget
+            if respawn_budget is not None
+            else self.workers * (lease_loss_budget + 3)
+        )
+        self.poll_s = poll_s
+        self._children: dict[str, subprocess.Popen] = {}  # owner -> process
+        self._spawned = 0
+        self._wall_samples: list[float] = []
+        self._seen_done: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Worker process management
+    # ------------------------------------------------------------------
+    def _worker_env(self) -> dict:
+        """Child environment: the repro package importable, faults inherited."""
+        import repro
+
+        env = dict(os.environ)
+        src_dir = str(os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__))))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir if not existing else src_dir + os.pathsep + existing
+        )
+        return env
+
+    def _spawn_worker(self) -> None:
+        owner = f"worker-{os.getpid()}-{self._spawned}"
+        cmd = [
+            sys.executable, "-m", "repro.cli", "fabric", "worker",
+            "--queue-dir", str(self.queue.directory),
+            "--owner", owner,
+            "--heartbeat-s", f"{self.heartbeat_s:g}",
+        ] + self.worker_args
+        self._children[owner] = subprocess.Popen(
+            cmd,
+            env=self._worker_env(),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        self._spawned += 1
+
+    def _reap_children(self, result: FabricRunResult) -> None:
+        """Collect exited workers; reclaim a crashed child's leases at once."""
+        for owner, child in list(self._children.items()):
+            if child.poll() is None:
+                continue
+            del self._children[owner]
+            if child.returncode != 0:
+                # The child is *known* dead -- no reason to wait out the
+                # heartbeat TTL before recovering whatever it held.
+                summary = self.queue.reclaim_owner(
+                    owner, self.lease_loss_budget
+                )
+                result.leases_reclaimed += len(summary.requeued)
+                result.lease_quarantined += len(summary.quarantined)
+
+    def _terminate_children(self) -> None:
+        """SIGTERM every live worker (they drain), then reap with a deadline."""
+        for child in self._children.values():
+            if child.poll() is None:
+                try:
+                    child.send_signal(signal.SIGTERM)
+                except OSError:
+                    pass
+        deadline = time.monotonic() + max(5.0, self.heartbeat_s)
+        for owner, child in list(self._children.items()):
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                child.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                child.kill()
+                child.wait()
+            if child.returncode != 0:
+                self.queue.reclaim_owner(owner, self.lease_loss_budget)
+        self._children.clear()
+
+    # ------------------------------------------------------------------
+    # Progress
+    # ------------------------------------------------------------------
+    def _collect_wall_samples(self) -> None:
+        """Fold newly finished points' wall times into the ETA estimate."""
+        from repro.common.fsutil import read_json
+
+        for key in self.queue._listing("done"):
+            if key in self._seen_done:
+                continue
+            self._seen_done.add(key)
+            payload = read_json(self.queue._entry("done", key))
+            if payload is not None:
+                self._wall_samples.append(float(payload.get("wall_s", 0.0)))
+
+    def _eta_s(self, counts: QueueCounts) -> Optional[float]:
+        executed = sorted(w for w in self._wall_samples if w > 0)
+        if not executed:
+            return None
+        p50 = executed[len(executed) // 2]
+        lanes = max(1, len(self._children))
+        return counts.remaining * p50 / lanes
+
+    def _render_progress(self, counts: QueueCounts, force: bool = False) -> None:
+        if self.progress is None:
+            return
+        self._collect_wall_samples()
+        parts = [
+            f"fabric: {counts.done + counts.quarantined}/{counts.tasks} settled",
+            f"{counts.leased} leased",
+            f"{counts.pending} pending",
+        ]
+        if counts.quarantined:
+            parts.append(f"{counts.quarantined} quarantined")
+        parts.append(f"workers {len(self._children)}")
+        parts.append(f"eta {format_eta(self._eta_s(counts))}")
+        self.progress.update(" | ".join(parts), force=force)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self, points: Sequence[CampaignPoint]) -> FabricRunResult:
+        """Enqueue ``points``, drain them with supervised workers, merge.
+
+        Returns once every point has a terminal record -- or, if the
+        respawn budget is exhausted with no live worker left, with
+        ``settled=False`` and the undrained remainder still queued (a
+        later run resumes it).
+        """
+        start = time.perf_counter()
+        self.queue.enqueue(points)
+        result = FabricRunResult(
+            report=CampaignReport(), counts=self.queue.counts(), settled=False
+        )
+        try:
+            while True:
+                counts = self.queue.counts()
+                if counts.settled:
+                    result.settled = True
+                    break
+                self._reap_children(result)
+                summary = self.queue.reclaim_expired(
+                    self.lease_loss_budget, self.heartbeat_s
+                )
+                result.leases_reclaimed += len(summary.requeued)
+                result.lease_quarantined += len(summary.quarantined)
+
+                # Keep min(workers, remaining) lanes busy while claimable
+                # work exists and the respawn budget allows.
+                desired = min(self.workers, counts.remaining)
+                while (
+                    len(self._children) < desired
+                    and self._spawned < self.respawn_budget
+                    and (counts.pending > 0 or not self._children)
+                ):
+                    self._spawn_worker()
+                    result.worker_respawns = max(
+                        0, self._spawned - self.workers
+                    )
+                if (
+                    not self._children
+                    and self._spawned >= self.respawn_budget
+                    and counts.remaining > 0
+                ):
+                    break  # out of respawns; leave the remainder queued
+                self._render_progress(counts)
+                time.sleep(self.poll_s)
+        finally:
+            self._terminate_children()
+        result.workers_spawned = self._spawned
+        result.counts = self.queue.counts()
+        result.settled = result.counts.settled
+        self._render_progress(result.counts, force=True)
+        if self.progress is not None:
+            self.progress.finish()
+        result.report = self._merged_report()
+        result.elapsed_s = time.perf_counter() - start
+        return result
+
+    def _merged_report(self) -> CampaignReport:
+        """Worker reports (the counters) + queue records (the truth).
+
+        The queue's terminal records are authoritative per point -- they
+        include lease-loss quarantines no worker lived to report -- so
+        they merge *last* and win the per-key dedup; the worker reports
+        contribute the aggregate counters (cache hits, generator runs,
+        elapsed worker time).
+        """
+        reports = [
+            report_from_dict(payload)
+            for payload in self.queue.worker_reports()
+        ]
+        queue_report = CampaignReport(
+            outcomes=[
+                PointOutcome.from_dict(record)
+                for record in self.queue.outcome_records()
+            ]
+        )
+        merged = CampaignReport.merged(reports + [queue_report])
+        merged.jobs = max(merged.jobs, self.workers)
+        return merged

@@ -1,0 +1,526 @@
+"""Filesystem-backed task queue with lease-based mutual exclusion.
+
+The fabric's only coordination substrate is a shared directory -- local
+disk for process groups, NFS/sshfs for multi-host campaigns -- so every
+state transition is an atomic ``os.replace`` within that directory.  One
+queue holds one campaign's point set:
+
+``tasks/<key>.json``
+    Immutable task record (the :class:`~repro.sim.engine.CampaignPoint` as
+    JSON plus its label), written once at enqueue.  ``<key>`` is the
+    point's result-cache key, so task identity, lease identity and cache
+    identity are all the same content hash -- the property that makes
+    every fabric operation idempotent.
+``pending/<key>.json``
+    The claim token: a point waiting for a worker.  Its content tracks the
+    claim count and how many leases died on it.
+``leases/<key>.json``
+    A leased point.  Claiming *is* ``os.replace(pending/<key>,
+    leases/<key>)`` -- the rename succeeds for exactly one claimant, the
+    losers see ``FileNotFoundError`` and move on.  The winner immediately
+    rewrites the lease with its owner id and a heartbeat deadline, and a
+    background thread renews that deadline while the point executes.
+``done/<key>.json`` / ``quarantine/<key>.json``
+    Terminal outcome records (:class:`~repro.sim.engine.PointOutcome`
+    dictionaries plus the owning worker).  The simulation result itself
+    lives in the shared :class:`~repro.sim.result_cache.ResultCache`;
+    these records only carry health bookkeeping.
+``reclaim/<key>.<nonce>.json``
+    Transient hold taken by a driver while it re-queues or quarantines an
+    expired lease; claimed by the same rename trick, so concurrent
+    drivers reclaim each dead lease exactly once.
+``reports/<owner>.json``
+    Per-worker :class:`~repro.sim.engine.CampaignReport` dumps, merged by
+    the driver into the campaign-wide report.
+
+A worker that dies silently simply stops renewing its lease; once the
+deadline passes, :meth:`TaskQueue.reclaim_expired` moves the point back to
+``pending`` (charging one *lease loss*) or, when the point has burned
+through the lease-loss budget, quarantines it as a poison point -- the
+distributed mirror of the engine's deterministic-failure quarantine.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.common.fsutil import atomic_write_json, read_json
+from repro.sim.engine import CampaignPoint, point_from_dict
+
+#: Default lease time-to-live: a lease whose deadline is this far past its
+#: last renewal is presumed dead.  Workers renew at a quarter of this.
+DEFAULT_HEARTBEAT_S = 15.0
+
+#: Leases a point may lose to dead workers before it is quarantined as a
+#: poison point (the worker-killer, e.g. an OOM the supervised engine's
+#: in-worker retries can never observe).
+DEFAULT_LEASE_LOSS_BUDGET = 2
+
+_STATE_DIRS = ("tasks", "pending", "leases", "done", "quarantine", "reclaim",
+               "reports")
+
+
+@dataclass(frozen=True)
+class LeasedTask:
+    """One point held under lease by one worker."""
+
+    key: str
+    point: CampaignPoint
+    owner: str
+    #: 1-based claim count, including this claim (and any reclaim re-queues).
+    attempts: int
+    #: Leases lost to dead workers before this claim.
+    lease_losses: int
+    heartbeat_s: float
+
+
+@dataclass
+class QueueCounts:
+    """Point-level state census of one queue directory."""
+
+    tasks: int = 0
+    pending: int = 0
+    leased: int = 0
+    done: int = 0
+    quarantined: int = 0
+
+    @property
+    def settled(self) -> bool:
+        """True when every enqueued point has a terminal record."""
+        return (
+            self.tasks > 0
+            and self.pending == 0
+            and self.leased == 0
+            and self.done + self.quarantined >= self.tasks
+        )
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.tasks - self.done - self.quarantined)
+
+
+@dataclass
+class EnqueueSummary:
+    """What :meth:`TaskQueue.enqueue` did for each requested point."""
+
+    enqueued: int = 0
+    already_done: int = 0
+    already_active: int = 0
+    requeued_quarantined: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.enqueued + self.already_done + self.already_active
+                + self.requeued_quarantined)
+
+
+@dataclass
+class ReclaimSummary:
+    """Expired leases a :meth:`TaskQueue.reclaim_expired` sweep recovered."""
+
+    requeued: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+    #: Stale reclaim holds left by a crashed driver, re-queued.
+    recovered_holds: list[str] = field(default_factory=list)
+
+
+class TaskQueue:
+    """Lease-based work queue over a shared directory (see module docs)."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+
+    def _dir(self, state: str) -> Path:
+        return self.directory / state
+
+    def _entry(self, state: str, key: str) -> Path:
+        return self._dir(state) / f"{key}.json"
+
+    def create(self) -> None:
+        """Create the queue directory tree (idempotent)."""
+        for state in _STATE_DIRS:
+            self._dir(state).mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        return self._dir("tasks").is_dir()
+
+    def _listing(self, state: str) -> list[str]:
+        """Sorted keys present in one state directory."""
+        try:
+            names = os.listdir(self._dir(state))
+        except FileNotFoundError:
+            return []
+        return sorted(name[:-5] for name in names if name.endswith(".json"))
+
+    # ------------------------------------------------------------------
+    # Enqueue
+    # ------------------------------------------------------------------
+    def enqueue(self, points: Iterable[CampaignPoint]) -> EnqueueSummary:
+        """Materialize ``points`` as task records and pending claim tokens.
+
+        Idempotent by construction: a point already carrying a terminal
+        ``done`` record is skipped (the resume path after a killed driver),
+        a point currently pending or leased is left alone (a second driver
+        joining a live run), and a previously *quarantined* point is
+        re-queued with fresh counters -- re-running the same command
+        retries exactly the failed remainder, mirroring the single-node
+        engine's resume semantics.
+        """
+        self.create()
+        summary = EnqueueSummary()
+        seen: set[str] = set()
+        for point in points:
+            key = point.key()
+            if key in seen:
+                continue
+            seen.add(key)
+            if not self._entry("tasks", key).is_file():
+                atomic_write_json(
+                    self._entry("tasks", key),
+                    {"key": key, "label": point.label, "point": asdict(point)},
+                )
+            if self._entry("done", key).is_file():
+                summary.already_done += 1
+                continue
+            if self._entry("quarantine", key).is_file():
+                self._entry("quarantine", key).unlink(missing_ok=True)
+                self._write_token(key, attempts=0, lease_losses=0)
+                summary.requeued_quarantined += 1
+                continue
+            if (self._entry("pending", key).is_file()
+                    or self._entry("leases", key).is_file()):
+                summary.already_active += 1
+                continue
+            self._write_token(key, attempts=0, lease_losses=0)
+            summary.enqueued += 1
+        return summary
+
+    def _write_token(self, key: str, attempts: int, lease_losses: int) -> None:
+        atomic_write_json(
+            self._entry("pending", key),
+            {"key": key, "attempts": attempts, "lease_losses": lease_losses},
+        )
+
+    def task_record(self, key: str) -> Optional[dict]:
+        return read_json(self._entry("tasks", key))
+
+    # ------------------------------------------------------------------
+    # Lease lifecycle (worker side)
+    # ------------------------------------------------------------------
+    def claim(
+        self, owner: str, heartbeat_s: float = DEFAULT_HEARTBEAT_S
+    ) -> Optional[LeasedTask]:
+        """Lease one pending point for ``owner``, or None when none remain.
+
+        The claim is the atomic rename of the pending token into the lease
+        path; racing claimants lose with ``FileNotFoundError`` and try the
+        next token.  Until the winner's first :meth:`renew` lands, the
+        lease file briefly holds the bare token (no owner/deadline) --
+        reclamation covers that window by falling back to file mtime plus
+        the default TTL.
+        """
+        for key in self._listing("pending"):
+            lease_path = self._entry("leases", key)
+            try:
+                os.replace(self._entry("pending", key), lease_path)
+            except FileNotFoundError:
+                continue  # lost the claim race; try the next token
+            token = read_json(lease_path) or {}
+            record = self.task_record(key)
+            if record is None or "point" not in record:
+                # A torn task record can't be executed; put the token back
+                # rather than wedging the key in the lease state.
+                os.replace(lease_path, self._entry("pending", key))
+                continue
+            task = LeasedTask(
+                key=key,
+                point=point_from_dict(record["point"]),
+                owner=owner,
+                attempts=int(token.get("attempts", 0)) + 1,
+                lease_losses=int(token.get("lease_losses", 0)),
+                heartbeat_s=heartbeat_s,
+            )
+            self.renew(task)
+            return task
+        return None
+
+    def renew(self, task: LeasedTask, now: Optional[float] = None) -> None:
+        """(Re)write ``task``'s lease with a fresh heartbeat deadline.
+
+        Harmless if the lease was reclaimed in the meantime: the rewrite
+        recreates the file, but the point's terminal record and the result
+        cache stay idempotent, so at worst the point runs twice and the
+        second run is a cache hit.
+        """
+        stamp = time.time() if now is None else now
+        atomic_write_json(
+            self._entry("leases", task.key),
+            {
+                "key": task.key,
+                "owner": task.owner,
+                "attempts": task.attempts,
+                "lease_losses": task.lease_losses,
+                "heartbeat_s": task.heartbeat_s,
+                "deadline": stamp + task.heartbeat_s,
+                "renewed_at": stamp,
+            },
+        )
+
+    def release(self, task: LeasedTask) -> None:
+        """Hand a lease back gracefully (worker drain, no loss charged).
+
+        A no-op re-queue for a point that already settled (a drain signal
+        landing between the terminal record and the next claim): terminal
+        records are never resurrected.
+        """
+        if not (self._entry("done", task.key).is_file()
+                or self._entry("quarantine", task.key).is_file()):
+            self._write_token(
+                task.key, attempts=task.attempts, lease_losses=task.lease_losses
+            )
+        self._entry("leases", task.key).unlink(missing_ok=True)
+
+    def _settle(self, state: str, task: LeasedTask, outcome: dict) -> None:
+        record = dict(outcome)
+        record.setdefault("key", task.key)
+        record["owner"] = task.owner
+        record["queue_attempts"] = task.attempts
+        record["lease_losses"] = task.lease_losses
+        atomic_write_json(self._entry(state, key=task.key), record)
+        self._entry("leases", task.key).unlink(missing_ok=True)
+        # If the lease expired mid-execution and was re-queued, retire the
+        # stale token too -- the work is done and the cache holds it.
+        self._entry("pending", task.key).unlink(missing_ok=True)
+
+    def complete(self, task: LeasedTask, outcome: dict) -> None:
+        """Record a terminal success (or cache hit) for a leased point."""
+        self._settle("done", task, outcome)
+
+    def quarantine(self, task: LeasedTask, outcome: dict) -> None:
+        """Record a worker-side quarantine (deterministic failure, retries
+        exhausted) for a leased point."""
+        self._settle("quarantine", task, outcome)
+
+    # ------------------------------------------------------------------
+    # Reclamation (driver side)
+    # ------------------------------------------------------------------
+    def reclaim_expired(
+        self,
+        lease_loss_budget: int = DEFAULT_LEASE_LOSS_BUDGET,
+        default_heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        now: Optional[float] = None,
+    ) -> ReclaimSummary:
+        """Recover every lease whose heartbeat deadline has passed.
+
+        Each expired lease is first *held* -- renamed to a driver-unique
+        path under ``reclaim/`` -- so that of any number of concurrent
+        drivers exactly one performs the recovery.  The holder then either
+        re-queues the point (charging one lease loss) or quarantines it
+        once the losses exceed ``lease_loss_budget``.  A hold orphaned by
+        a driver that died mid-reclaim is itself recovered after one TTL.
+        """
+        stamp = time.time() if now is None else now
+        summary = ReclaimSummary()
+        for key in self._listing("leases"):
+            lease_path = self._entry("leases", key)
+            lease = read_json(lease_path)
+            if lease is None or "deadline" not in lease:
+                # Claim window (token content, no deadline yet) or torn
+                # lease: expire by file age against the default TTL.
+                try:
+                    deadline = lease_path.stat().st_mtime + default_heartbeat_s
+                except OSError:
+                    continue
+            else:
+                deadline = float(lease["deadline"])
+            if deadline > stamp:
+                continue
+            hold = self._dir("reclaim") / f"{key}.{uuid.uuid4().hex[:8]}.json"
+            try:
+                os.replace(lease_path, hold)
+            except FileNotFoundError:
+                continue  # another driver reclaimed it first
+            token = read_json(hold) or {}
+            self._recover_token(key, token, lease_loss_budget, summary)
+            hold.unlink(missing_ok=True)
+        self._recover_stale_holds(lease_loss_budget, default_heartbeat_s,
+                                  stamp, summary)
+        return summary
+
+    def reclaim_owner(
+        self,
+        owner: str,
+        lease_loss_budget: int = DEFAULT_LEASE_LOSS_BUDGET,
+    ) -> ReclaimSummary:
+        """Immediately reclaim every lease held by ``owner``.
+
+        The fast path for a driver that *knows* a worker is dead (it reaped
+        the child's exit status): no need to wait out the heartbeat TTL.
+        The same hold-then-recover rename dance as :meth:`reclaim_expired`,
+        so it composes safely with expiry sweeps by other drivers.
+        """
+        summary = ReclaimSummary()
+        for key in self._listing("leases"):
+            lease_path = self._entry("leases", key)
+            lease = read_json(lease_path)
+            if lease is None or lease.get("owner") != owner:
+                continue
+            hold = self._dir("reclaim") / f"{key}.{uuid.uuid4().hex[:8]}.json"
+            try:
+                os.replace(lease_path, hold)
+            except FileNotFoundError:
+                continue
+            token = read_json(hold) or {}
+            self._recover_token(key, token, lease_loss_budget, summary)
+            hold.unlink(missing_ok=True)
+        return summary
+
+    def _recover_token(
+        self,
+        key: str,
+        token: dict,
+        lease_loss_budget: int,
+        summary: ReclaimSummary,
+    ) -> None:
+        """Re-queue or quarantine one held (expired) lease token."""
+        if self._entry("done", key).is_file():
+            return  # the presumed-dead worker finished after all
+        attempts = int(token.get("attempts", 0))
+        losses = int(token.get("lease_losses", 0)) + 1
+        if losses > lease_loss_budget:
+            record = self.task_record(key) or {}
+            atomic_write_json(
+                self._entry("quarantine", key),
+                {
+                    "key": key,
+                    "label": record.get("label", key),
+                    "status": "quarantined",
+                    "attempts": attempts,
+                    "retries": max(0, attempts - 1),
+                    "error": (
+                        f"lease lost {losses} times (budget "
+                        f"{lease_loss_budget}): every worker that leased "
+                        f"this point died before completing it"
+                    ),
+                    "error_kind": "lease-lost",
+                    "transient": True,
+                    "owner": token.get("owner"),
+                    "lease_losses": losses,
+                },
+            )
+            summary.quarantined.append(key)
+        else:
+            self._write_token(key, attempts=attempts, lease_losses=losses)
+            summary.requeued.append(key)
+
+    def _recover_stale_holds(
+        self,
+        lease_loss_budget: int,
+        default_heartbeat_s: float,
+        stamp: float,
+        summary: ReclaimSummary,
+    ) -> None:
+        """Re-queue holds left behind by a driver that died mid-reclaim."""
+        try:
+            names = os.listdir(self._dir("reclaim"))
+        except FileNotFoundError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            hold = self._dir("reclaim") / name
+            key = name.split(".", 1)[0]
+            try:
+                if hold.stat().st_mtime + default_heartbeat_s > stamp:
+                    continue
+            except OSError:
+                continue
+            token = read_json(hold) or {}
+            hold.unlink(missing_ok=True)
+            if (self._entry("done", key).is_file()
+                    or self._entry("quarantine", key).is_file()
+                    or self._entry("pending", key).is_file()
+                    or self._entry("leases", key).is_file()):
+                continue  # the key progressed some other way
+            self._recover_token(key, token, lease_loss_budget, summary)
+            summary.recovered_holds.append(key)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counts(self) -> QueueCounts:
+        return QueueCounts(
+            tasks=len(self._listing("tasks")),
+            pending=len(self._listing("pending")),
+            leased=len(self._listing("leases")),
+            done=len(self._listing("done")),
+            quarantined=len(self._listing("quarantine")),
+        )
+
+    def all_settled(self) -> bool:
+        """True when every enqueued point reached a terminal record."""
+        return self.counts().settled
+
+    def outcome_records(self) -> list[dict]:
+        """Every terminal record (done then quarantined), as dictionaries."""
+        records = []
+        for state in ("done", "quarantine"):
+            for key in self._listing(state):
+                record = read_json(self._entry(state, key))
+                if record is not None:
+                    records.append(record)
+        return records
+
+    def lease_records(self) -> list[dict]:
+        """The current lease files (driver status displays)."""
+        leases = []
+        for key in self._listing("leases"):
+            record = read_json(self._entry("leases", key))
+            if record is not None:
+                leases.append(record)
+        return leases
+
+    # ------------------------------------------------------------------
+    # Worker reports
+    # ------------------------------------------------------------------
+    def write_worker_report(self, owner: str, payload: dict) -> None:
+        atomic_write_json(self._dir("reports") / f"{owner}.json", payload)
+
+    def worker_reports(self) -> list[dict]:
+        """Every per-worker report flushed into this queue."""
+        reports = []
+        try:
+            names = sorted(os.listdir(self._dir("reports")))
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            payload = read_json(self._dir("reports") / name)
+            if payload is not None:
+                reports.append(payload)
+        return reports
+
+
+def points_queue_slug(
+    target: str, points: Sequence[CampaignPoint]
+) -> str:
+    """Stable queue-directory name for a target and its compiled point set.
+
+    Hashing the sorted point keys into the name means re-running the same
+    command resumes the same queue, while any change to the swept axes
+    (different flags, different budgets) lands in a fresh queue instead of
+    mixing incompatible task sets.
+    """
+    import hashlib
+
+    digest = hashlib.sha256(
+        "\n".join(sorted(point.key() for point in points)).encode("utf-8")
+    ).hexdigest()[:10]
+    safe = "".join(ch if ch.isalnum() or ch in "-_." else "-" for ch in target)
+    return f"{safe}-{digest}"

@@ -131,6 +131,22 @@ class CampaignPoint:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 
 
+def point_from_dict(payload: dict) -> CampaignPoint:
+    """Rebuild a :class:`CampaignPoint` from its ``asdict`` form.
+
+    The inverse of ``dataclasses.asdict`` modulo JSON round-tripping: the
+    tuple fields come back as lists and must be re-tupled or the rebuilt
+    point would hash to a different cache key than the original.  Used by
+    the fabric task queue, whose on-disk task records carry the point
+    across worker processes (and machines) as plain JSON.
+    """
+    data = dict(payload)
+    data["workloads"] = tuple(data["workloads"])
+    if data.get("trace_keys") is not None:
+        data["trace_keys"] = tuple(data["trace_keys"])
+    return CampaignPoint(**data)
+
+
 def imported_trace_keys(
     workloads: Sequence[str], trace_store: Optional[TraceStore] = None
 ) -> Optional[tuple[str, ...]]:
@@ -509,6 +525,26 @@ class PointOutcome:
             payload["timed_out"] = True
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PointOutcome":
+        """Rebuild an outcome from its :meth:`to_dict` form.
+
+        Tolerates the extra fields fabric outcome records carry (owner,
+        queue attempt counters) -- only the outcome fields are read.
+        """
+        return cls(
+            key=payload["key"],
+            label=payload.get("label", payload["key"]),
+            status=payload.get("status", "ok"),
+            attempts=int(payload.get("attempts", 1)),
+            retries=int(payload.get("retries", 0)),
+            wall_s=float(payload.get("wall_s", 0.0)),
+            error=payload.get("error"),
+            error_kind=payload.get("error_kind"),
+            transient=payload.get("transient"),
+            timed_out=bool(payload.get("timed_out", False)),
+        )
+
 
 def _percentile(ordered: list[float], fraction: float) -> float:
     """Nearest-rank percentile of an ascending-sorted non-empty list."""
@@ -593,15 +629,28 @@ class CampaignReport:
 
     @classmethod
     def merged(cls, reports: Sequence["CampaignReport"]) -> "CampaignReport":
-        """Fold several per-batch reports into one (``repro figure all``)."""
+        """Fold several per-batch reports into one (``repro figure all``,
+        the fabric driver's per-worker reports).
+
+        Per-point outcomes are deduplicated by cache key, keeping the
+        *latest* occurrence: when a fabric point is leased twice after a
+        reclamation (or a ``figure all`` session touches the same point in
+        two batches), the merged report counts it once, with its final
+        status, instead of double-counting.  The aggregate counters
+        (elapsed, cache hits, generator runs, respawns) remain sums -- they
+        measure work performed, which really did happen twice.
+        """
         merged = cls()
+        by_key: dict[str, PointOutcome] = {}
         for report in reports:
-            merged.outcomes.extend(report.outcomes)
+            for outcome in report.outcomes:
+                by_key[outcome.key] = outcome
             merged.elapsed_s += report.elapsed_s
             merged.jobs = max(merged.jobs, report.jobs)
             merged.generator_invocations += report.generator_invocations
             merged.cache_hits += report.cache_hits
             merged.pool_respawns += report.pool_respawns
+        merged.outcomes.extend(by_key.values())
         return merged
 
 
@@ -658,6 +707,8 @@ class CampaignEngine:
         #: view (``repro figure all`` runs one batch per figure).
         self.reports: list[CampaignReport] = []
         self._traces: dict[tuple[str, int, str], Trace] = {}
+        #: Per-run progress callback (set by :meth:`run`, cleared after).
+        self._progress: Optional[callable] = None
 
     def trace(
         self, workload: str, memory_accesses: int, gap_scale: str = "medium"
@@ -709,8 +760,15 @@ class CampaignEngine:
         points: Iterable[CampaignPoint],
         jobs: Optional[int] = None,
         policy: Optional[RetryPolicy] = None,
+        progress: Optional[callable] = None,
     ) -> dict[str, SingleCoreResult | MultiCoreResult]:
         """Run a batch of points under supervision, committing as they land.
+
+        ``progress``, when given, is called as ``progress(report, total)``
+        every time a point settles (cached, succeeded or quarantined) --
+        the hook behind the live progress line of ``--progress`` and the
+        fabric driver.  It runs on the supervisor thread and should be
+        cheap (the renderers throttle themselves).
 
         Returns ``{point key: result}`` for every point that produced a
         result (cache hit or fresh simulation).  Workers are only spawned
@@ -738,32 +796,39 @@ class CampaignEngine:
         faults.install_from_env()
         report = CampaignReport(jobs=self.resolve_jobs(jobs))
         start = time.perf_counter()
+        if progress is not None:
+            total = len(ordered)
+            self._progress = lambda: progress(report, total)
 
-        results: dict[str, SingleCoreResult | MultiCoreResult] = {}
-        missing: list[tuple[str, CampaignPoint]] = []
-        for point in ordered:
-            key = point.key()
-            if self.result_cache is not None:
-                cached = self.result_cache.get(key)
-                if cached is not None:
-                    self.cache_hits += 1
-                    report.cache_hits += 1
-                    results[key] = cached
-                    report.outcomes.append(
-                        PointOutcome(key, point.label, "cached", attempts=0)
+        try:
+            results: dict[str, SingleCoreResult | MultiCoreResult] = {}
+            missing: list[tuple[str, CampaignPoint]] = []
+            for point in ordered:
+                key = point.key()
+                if self.result_cache is not None:
+                    cached = self.result_cache.get(key)
+                    if cached is not None:
+                        self.cache_hits += 1
+                        report.cache_hits += 1
+                        results[key] = cached
+                        report.outcomes.append(
+                            PointOutcome(key, point.label, "cached", attempts=0)
+                        )
+                        self._notify_progress()
+                        continue
+                missing.append((key, point))
+
+            effective_jobs = self.resolve_jobs(jobs)
+            if missing:
+                if effective_jobs <= 1 or len(missing) <= 1:
+                    self._run_serial(missing, effective_policy, report, results)
+                else:
+                    self._run_pool(
+                        missing, min(effective_jobs, len(missing)),
+                        effective_policy, report, results,
                     )
-                    continue
-            missing.append((key, point))
-
-        effective_jobs = self.resolve_jobs(jobs)
-        if missing:
-            if effective_jobs <= 1 or len(missing) <= 1:
-                self._run_serial(missing, effective_policy, report, results)
-            else:
-                self._run_pool(
-                    missing, min(effective_jobs, len(missing)),
-                    effective_policy, report, results,
-                )
+        finally:
+            self._progress = None
 
         report.elapsed_s = time.perf_counter() - start
         self.last_report = report
@@ -773,6 +838,11 @@ class CampaignEngine:
     # ------------------------------------------------------------------
     # Supervised execution paths
     # ------------------------------------------------------------------
+    def _notify_progress(self) -> None:
+        """Invoke the per-run progress callback, if one is installed."""
+        if self._progress is not None:
+            self._progress()
+
     def _commit(
         self,
         key: str,
@@ -862,6 +932,7 @@ class CampaignEngine:
                         time.sleep(policy.backoff(state.attempts))
                         continue
                     report.outcomes.append(self._quarantine_outcome(key, state))
+                    self._notify_progress()
                     break
                 report.generator_invocations += (
                     _generator_invocations - generators_before
@@ -875,6 +946,7 @@ class CampaignEngine:
                         wall_s=state.wall_s,
                     )
                 )
+                self._notify_progress()
                 break
 
     def _spawn_pool(self, workers: int) -> ProcessPoolExecutor:
@@ -997,6 +1069,7 @@ class CampaignEngine:
                                 wall_s=point_state.wall_s,
                             )
                         )
+                        self._notify_progress()
                         continue
                     self._charge_failure(
                         key, point_state, duration, *failure,
@@ -1084,6 +1157,7 @@ class CampaignEngine:
             )
             return
         report.outcomes.append(self._quarantine_outcome(key, point_state))
+        self._notify_progress()
 
     # ------------------------------------------------------------------
     # Introspection

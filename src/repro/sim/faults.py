@@ -23,8 +23,12 @@ Rule fields:
     of the point's cache key.
 ``mode``
     ``crash`` (the worker process dies via ``os._exit``), ``hang`` (sleeps
-    ``hang_s`` seconds), ``raise`` (raises :class:`FaultInjectedError`) or
-    ``corrupt`` (the worker returns an undecodable result payload).
+    ``hang_s`` seconds), ``raise`` (raises :class:`FaultInjectedError`),
+    ``corrupt`` (the worker returns an undecodable result payload) or
+    ``kill_worker`` (a fabric worker dies right after acquiring a point's
+    lease -- before any execution -- so lease expiry and dead-worker
+    reclamation are exercised; fires only at the fabric's
+    :func:`inject_after_lease` hook and is inert in pool/serial campaigns).
 ``max_attempts``
     Fire only while the point's attempt index is below this bound; the
     default (absent) fires on every attempt, modelling a deterministic
@@ -57,7 +61,7 @@ from typing import Optional
 #: Environment variable holding the JSON fault spec (empty/absent: no faults).
 FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
 
-_MODES = ("crash", "hang", "raise", "corrupt")
+_MODES = ("crash", "hang", "raise", "corrupt", "kill_worker")
 
 
 class FaultSpecError(ValueError):
@@ -220,6 +224,20 @@ def inject_before(key: str, label: str, attempt: int) -> None:
                 f"fault for {label} (attempt {attempt})",
                 transient=rule.transient,
             )
+
+
+def inject_after_lease(key: str, label: str, attempt: int) -> None:
+    """Apply ``kill_worker`` rules right after a fabric lease is acquired.
+
+    Called by :mod:`repro.fabric.worker` with the 0-based lease attempt
+    (claims so far, including reclaim re-queues).  ``os._exit`` means no
+    lease release, no heartbeat, no report flush -- the honest model of a
+    worker host dying mid-lease, which only driver-side heartbeat-expiry
+    reclamation can recover from.
+    """
+    for rule in active_spec().matching(key, label, attempt):
+        if rule.mode == "kill_worker":
+            os._exit(19)
 
 
 def corrupt_payload(key: str, label: str, attempt: int, payload: dict) -> dict:

@@ -29,6 +29,7 @@ import warnings
 from pathlib import Path
 from typing import Optional
 
+from repro.common.fsutil import atomic_write_json
 from repro.sim.multi_core import MultiCoreResult
 from repro.sim.results import SingleCoreResult
 
@@ -185,33 +186,24 @@ class ResultCache:
 
         ``point`` is the (JSON-safe) description of the simulated point; it
         is stored alongside the result so that cache entries are
-        self-describing and debuggable with a text editor.  The temp file
-        carries a unique suffix, so concurrent writers of the same key
-        (e.g. overlapping shard runs) each replace the entry atomically
-        with identical content instead of tearing each other's writes.
+        self-describing and debuggable with a text editor.  The write goes
+        through :func:`~repro.common.fsutil.atomic_write_json` (unique temp
+        file, then ``os.replace``), so concurrent writers of the same key
+        (overlapping shard runs, several fabric workers re-executing a
+        reclaimed point) each replace the entry atomically with identical
+        content instead of tearing each other's writes.
         """
-        self.directory.mkdir(parents=True, exist_ok=True)
         payload = {"key": key, "point": point, "result": result_to_dict(result)}
         path = self._path(key)
-        tmp_path = path.with_name(f".{key}-{uuid.uuid4().hex[:8]}.tmp")
-        try:
-            with tmp_path.open("w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True)
-            previous = 0
-            if self._approx_size is not None:
-                try:
-                    previous = path.stat().st_size
-                except OSError:
-                    previous = 0
-            os.replace(tmp_path, path)
-        except BaseException:
-            tmp_path.unlink(missing_ok=True)
-            raise
+        previous = 0
         if self._approx_size is not None:
             try:
-                self._approx_size += path.stat().st_size - previous
+                previous = path.stat().st_size
             except OSError:
-                self._approx_size = None
+                previous = 0
+        written = atomic_write_json(path, payload)
+        if self._approx_size is not None:
+            self._approx_size += written - previous
         self._enforce_size_cap()
 
     def entries(self) -> list[str]:

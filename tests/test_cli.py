@@ -196,3 +196,46 @@ class TestCampaignCommand:
         output = capsys.readouterr().out
         assert "missing" not in output
         assert "cached" in output
+
+
+class TestCacheMerge:
+    def test_merge_combines_shard_caches_with_per_source_summary(
+        self, capsys, tmp_path
+    ):
+        shard_a = tmp_path / "shard0"
+        shard_b = tmp_path / "shard1"
+        merged = tmp_path / "merged"
+        common = ["--schemes", "tlp", "--prefetchers", "ipcp",
+                  "--accesses", "600", "--jobs", "1", "--no-trace-store"]
+        assert main(["campaign", "--shard", "0/2",
+                     "--cache-dir", str(shard_a)] + common) == 0
+        assert main(["campaign", "--shard", "1/2",
+                     "--cache-dir", str(shard_b)] + common) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "--dir", str(merged), "merge",
+                     str(shard_a), str(shard_b)]) == 0
+        output = capsys.readouterr().out
+        # One summary line per source, plus the combined total.
+        assert f"{shard_a}:" in output
+        assert f"{shard_b}:" in output
+        assert "merged" in output
+        expected = (len(list(shard_a.glob("*.json")))
+                    + len(list(shard_b.glob("*.json"))))
+        assert expected > 0
+        assert len(list(merged.glob("*.json"))) == expected
+
+        # Merging a source again copies nothing (duplicates are skipped).
+        assert main(["cache", "--dir", str(merged), "merge",
+                     str(shard_a)]) == 0
+        output = capsys.readouterr().out
+        assert "0 copied" in output
+
+        # The merged cache serves the full (unsharded) campaign.
+        assert main(["campaign", "--list",
+                     "--cache-dir", str(merged)] + common) == 0
+        assert "missing" not in capsys.readouterr().out
+
+    def test_merge_missing_source_is_an_error(self, capsys, tmp_path):
+        assert main(["cache", "--dir", str(tmp_path / "dst"), "merge",
+                     str(tmp_path / "nope")]) == 1

@@ -190,10 +190,11 @@ class TestBatchExecution:
         calls = []
         original = cache.engine.run
 
-        def counting_run(points, jobs=None, policy=None):
+        def counting_run(points, jobs=None, policy=None, progress=None):
             points = list(points)
             calls.append(len(points))
-            return original(points, jobs=jobs, policy=policy)
+            return original(points, jobs=jobs, policy=policy,
+                            progress=progress)
 
         monkeypatch.setattr(cache.engine, "run", counting_run)
         fig01_mpki.run(cache=cache)

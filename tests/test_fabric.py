@@ -1,0 +1,547 @@
+"""Tests for the lease-based distributed campaign fabric.
+
+Every distributed-failure mode the fabric promises to survive is staged
+here for real: concurrent claimants race on the same pending tokens,
+leases expire and are reclaimed by racing drivers, workers are SIGTERM'd
+mid-point and killed outright via the ``kill_worker`` injected fault, and
+a driver "crash" is emulated by settling only part of a queue before a
+fresh driver resumes it.  Worker/driver subprocesses run the real CLI
+entry points -- the same code paths production uses.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fabric import (
+    FabricDriver,
+    FabricWorker,
+    TaskQueue,
+    points_queue_slug,
+)
+from repro.fabric.driver import report_from_dict
+from repro.fabric.progress import ProgressLine, campaign_progress, format_eta
+from repro.sim import faults
+from repro.sim.engine import (
+    CampaignEngine,
+    CampaignReport,
+    PointOutcome,
+    RetryPolicy,
+    single_core_point,
+)
+from repro.sim.result_cache import ResultCache
+
+#: Tiny trace budget so each simulated point costs ~10ms.
+BUDGET = 500
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+def tiny_point(workload="bfs.urand", scheme="baseline", budget=BUDGET):
+    return single_core_point(
+        workload, scheme, "ipcp", memory_accesses=budget, warmup_fraction=0.25
+    )
+
+
+def point_batch():
+    """Four distinct points; fault rules select them by label substring."""
+    return [
+        tiny_point(),
+        tiny_point(scheme="tlp"),
+        tiny_point(scheme="hermes"),
+        tiny_point(workload="spec.mcf_like"),
+    ]
+
+
+def install_faults(monkeypatch, *rules):
+    monkeypatch.setenv(faults.FAULT_SPEC_ENV, json.dumps({"faults": list(rules)}))
+    faults.install_from_env()
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_spec(monkeypatch):
+    """Each test starts and ends with no fault spec installed."""
+    monkeypatch.delenv(faults.FAULT_SPEC_ENV, raising=False)
+    faults.install_from_env()
+    yield
+    monkeypatch.delenv(faults.FAULT_SPEC_ENV, raising=False)
+    faults.install_from_env()
+
+
+def wait_for(predicate, timeout_s=60.0, interval_s=0.05):
+    """Poll ``predicate`` until true or ``timeout_s`` elapses."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+def worker_cmd(queue_dir, cache_dir, *extra):
+    return [
+        sys.executable, "-m", "repro.cli", "fabric", "worker",
+        "--queue-dir", str(queue_dir),
+        "--cache-dir", str(cache_dir),
+        "--no-trace-store",
+        *extra,
+    ]
+
+
+def subprocess_env(fault_spec=None):
+    """Child environment with repro importable and a controlled fault spec."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else str(SRC_DIR)
+    )
+    env.pop(faults.FAULT_SPEC_ENV, None)
+    if fault_spec is not None:
+        env[faults.FAULT_SPEC_ENV] = json.dumps(fault_spec)
+    return env
+
+
+def in_process_worker(queue, cache_dir, **kwargs):
+    """A FabricWorker wired for in-test execution (no signal handlers)."""
+    kwargs.setdefault("policy", RetryPolicy(retries=1))
+    kwargs.setdefault("heartbeat_s", 5.0)
+    return FabricWorker(
+        queue,
+        ResultCache(cache_dir),
+        install_signal_handlers=False,
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Queue mechanics: claims, leases, reclamation
+# ----------------------------------------------------------------------
+class TestTaskQueue:
+    def test_enqueue_is_idempotent(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        points = point_batch()
+        first = queue.enqueue(points)
+        second = queue.enqueue(points)
+        assert first.enqueued == len(points)
+        assert second.enqueued == 0
+        assert second.already_active == len(points)
+        assert queue.counts().tasks == len(points)
+
+    def test_task_record_roundtrips_the_point(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        point = tiny_point()
+        queue.enqueue([point])
+        task = queue.claim("w1")
+        assert task is not None
+        # The rebuilt point must hash to the same cache key, or fabric
+        # results would land under different keys than single-node runs.
+        assert task.point.key() == point.key()
+        assert task.attempts == 1 and task.lease_losses == 0
+
+    def test_claims_are_mutually_exclusive_under_contention(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        points = point_batch()
+        queue.enqueue(points)
+        claimed: list[list[str]] = [[] for _ in range(8)]
+
+        def drain(slot: int) -> None:
+            while True:
+                task = queue.claim(f"w{slot}")
+                if task is None:
+                    return
+                claimed[slot].append(task.key)
+
+        threads = [
+            threading.Thread(target=drain, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        winners = [key for keys in claimed for key in keys]
+        # Every point claimed exactly once across all racing claimants.
+        assert sorted(winners) == sorted(p.key() for p in points)
+
+    def test_release_requeues_without_charging_a_loss(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        queue.enqueue([tiny_point()])
+        task = queue.claim("w1")
+        queue.release(task)
+        again = queue.claim("w2")
+        assert again is not None
+        assert again.attempts == 2
+        assert again.lease_losses == 0
+
+    def test_expired_lease_is_reclaimed_with_a_loss(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        queue.enqueue([tiny_point()])
+        task = queue.claim("w1", heartbeat_s=0.01)
+        time.sleep(0.05)
+        summary = queue.reclaim_expired(lease_loss_budget=2)
+        assert summary.requeued == [task.key]
+        again = queue.claim("w2")
+        assert again.lease_losses == 1
+        assert queue.counts().leased == 1 and queue.counts().pending == 0
+
+    def test_live_lease_is_not_reclaimed(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        queue.enqueue([tiny_point()])
+        queue.claim("w1", heartbeat_s=60.0)
+        summary = queue.reclaim_expired()
+        assert summary.requeued == [] and summary.quarantined == []
+
+    def test_expired_lease_reclaimed_exactly_once_by_racing_drivers(
+        self, tmp_path
+    ):
+        queue = TaskQueue(tmp_path / "q")
+        queue.enqueue([tiny_point()])
+        queue.claim("w1", heartbeat_s=0.01)
+        time.sleep(0.05)
+        summaries = [None] * 8
+
+        def reclaim(slot: int) -> None:
+            summaries[slot] = queue.reclaim_expired(lease_loss_budget=2)
+
+        threads = [
+            threading.Thread(target=reclaim, args=(slot,)) for slot in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        requeues = sum(len(s.requeued) for s in summaries)
+        # The hold rename hands the expired lease to exactly one driver.
+        assert requeues == 1
+        assert queue.counts().pending == 1
+
+    def test_lease_loss_budget_quarantines_poison_points(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        point = tiny_point()
+        queue.enqueue([point])
+        queue.claim("w1", heartbeat_s=0.01)
+        time.sleep(0.05)
+        summary = queue.reclaim_expired(lease_loss_budget=0)
+        assert summary.quarantined == [point.key()]
+        counts = queue.counts()
+        assert counts.quarantined == 1 and counts.settled
+        [record] = queue.outcome_records()
+        assert record["status"] == "quarantined"
+        assert record["error_kind"] == "lease-lost"
+        # Re-enqueueing retries the quarantined point with fresh counters.
+        again = queue.enqueue([point])
+        assert again.requeued_quarantined == 1
+        assert queue.claim("w2").lease_losses == 0
+
+    def test_release_never_resurrects_a_settled_point(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        queue.enqueue([tiny_point()])
+        task = queue.claim("w1")
+        queue.complete(task, {"key": task.key, "label": "x", "status": "ok"})
+        queue.release(task)  # drain signal racing the terminal record
+        counts = queue.counts()
+        assert counts.pending == 0 and counts.done == 1 and counts.settled
+
+    def test_reclaim_owner_recovers_a_known_dead_workers_leases(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        points = point_batch()[:2]
+        queue.enqueue(points)
+        dead = queue.claim("dead", heartbeat_s=3600.0)
+        queue.claim("alive", heartbeat_s=3600.0)
+        summary = queue.reclaim_owner("dead")
+        assert summary.requeued == [dead.key]
+        counts = queue.counts()
+        assert counts.pending == 1 and counts.leased == 1
+
+    def test_queue_slug_is_stable_and_flag_sensitive(self):
+        points = point_batch()
+        assert points_queue_slug("fig01", points) == points_queue_slug(
+            "fig01", list(reversed(points))
+        )
+        assert points_queue_slug("fig01", points) != points_queue_slug(
+            "fig01", points[:2]
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker execution (in-process)
+# ----------------------------------------------------------------------
+class TestFabricWorker:
+    def test_worker_drains_queue_and_commits_to_shared_cache(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        points = point_batch()
+        queue.enqueue(points)
+        worker = in_process_worker(queue, tmp_path / "rc")
+        report = worker.run()
+        assert worker.settled == len(points)
+        assert queue.counts().done == len(points)
+        assert report.succeeded == len(points)
+        cache = ResultCache(tmp_path / "rc")
+        assert all(cache.contains(p.key()) for p in points)
+        # A fresh queue over the same points is pure cache hits.
+        queue2 = TaskQueue(tmp_path / "q2")
+        queue2.enqueue(points)
+        report2 = in_process_worker(queue2, tmp_path / "rc").run()
+        assert report2.cached == len(points)
+        [record] = [
+            r for r in queue2.outcome_records()
+            if r["key"] == points[0].key()
+        ]
+        assert record["status"] == "cached"
+
+    def test_worker_quarantines_deterministic_failures(
+        self, tmp_path, monkeypatch
+    ):
+        install_faults(
+            monkeypatch,
+            {"match": "bfs.urand/baseline/ipcp", "mode": "raise",
+             "transient": False},
+        )
+        queue = TaskQueue(tmp_path / "q")
+        points = point_batch()
+        queue.enqueue(points)
+        worker = in_process_worker(queue, tmp_path / "rc")
+        report = worker.run()
+        counts = queue.counts()
+        assert counts.done == len(points) - 1
+        assert counts.quarantined == 1 and counts.settled
+        assert report.quarantined == 1
+        [bad] = [
+            r for r in queue.outcome_records() if r["status"] == "quarantined"
+        ]
+        assert bad["error_kind"] == "fault-injected"
+        assert bad["owner"] == worker.owner
+
+    def test_worker_report_payload_roundtrips(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        queue.enqueue(point_batch()[:2])
+        worker = in_process_worker(queue, tmp_path / "rc")
+        worker.run()
+        [payload] = queue.worker_reports()
+        assert payload["owner"] == worker.owner
+        restored = report_from_dict(payload)
+        assert restored.succeeded == 2
+
+
+# ----------------------------------------------------------------------
+# Drain, dead workers and resume (real subprocesses)
+# ----------------------------------------------------------------------
+class TestWorkerProcesses:
+    def test_sigterm_drains_gracefully_and_another_worker_finishes(
+        self, tmp_path
+    ):
+        queue = TaskQueue(tmp_path / "q")
+        point = tiny_point()
+        queue.enqueue([point])
+        # The hang fault parks worker 1 inside the point, lease held.
+        hanging = subprocess.Popen(
+            worker_cmd(tmp_path / "q", tmp_path / "rc", "--owner", "w1"),
+            env=subprocess_env({
+                "faults": [{"match": point.label, "mode": "hang",
+                            "hang_s": 600}],
+            }),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            assert wait_for(lambda: queue.counts().leased == 1), (
+                "worker never leased the point"
+            )
+            hanging.send_signal(signal.SIGTERM)
+            assert hanging.wait(timeout=60) == 0, "drain must exit 0"
+        finally:
+            if hanging.poll() is None:
+                hanging.kill()
+                hanging.wait()
+        # The lease was released back to pending, no loss charged...
+        counts = queue.counts()
+        assert counts.leased == 0 and counts.pending == 1
+        # ...and an unfaulted worker picks the point up and finishes it.
+        finisher = subprocess.run(
+            worker_cmd(tmp_path / "q", tmp_path / "rc", "--owner", "w2"),
+            env=subprocess_env(),
+            capture_output=True,
+            timeout=120,
+        )
+        assert finisher.returncode == 0
+        assert queue.counts().done == 1
+        [record] = queue.outcome_records()
+        assert record["owner"] == "w2" and record["lease_losses"] == 0
+
+    def test_kill_worker_fault_dies_mid_lease_and_point_survives(
+        self, tmp_path
+    ):
+        queue = TaskQueue(tmp_path / "q")
+        point = tiny_point()
+        queue.enqueue([point])
+        spec = {
+            "faults": [{"match": point.label, "mode": "kill_worker",
+                        "max_attempts": 1}],
+        }
+        killed = subprocess.run(
+            worker_cmd(tmp_path / "q", tmp_path / "rc", "--owner", "w1"),
+            env=subprocess_env(spec),
+            capture_output=True,
+            timeout=120,
+        )
+        # os._exit(19): no drain, no release -- the lease is orphaned.
+        assert killed.returncode == 19
+        assert queue.counts().leased == 1
+        summary = queue.reclaim_expired(
+            lease_loss_budget=2, now=time.time() + 3600.0
+        )
+        assert summary.requeued == [point.key()]
+        # Attempt 1 is past the rule's max_attempts: the same spec lets
+        # the reclaimed point run to completion.
+        finisher = subprocess.run(
+            worker_cmd(tmp_path / "q", tmp_path / "rc", "--owner", "w2"),
+            env=subprocess_env(spec),
+            capture_output=True,
+            timeout=120,
+        )
+        assert finisher.returncode == 0
+        [record] = queue.outcome_records()
+        assert record["status"] == "ok" and record["lease_losses"] == 1
+
+    def test_driver_resumes_only_the_remainder_after_a_killed_run(
+        self, tmp_path
+    ):
+        queue = TaskQueue(tmp_path / "q")
+        points = point_batch()
+        queue.enqueue(points)
+        # Stage a "killed driver": two points settled, then nothing.
+        stage = in_process_worker(queue, tmp_path / "rc", max_points=2)
+        stage.run()
+        assert queue.counts().done == 2
+        done_dir = tmp_path / "q" / "done"
+        staged = {p.name: p.stat().st_mtime_ns for p in done_dir.glob("*.json")}
+
+        driver = FabricDriver(
+            queue,
+            workers=2,
+            heartbeat_s=5.0,
+            worker_args=["--cache-dir", str(tmp_path / "rc"),
+                         "--no-trace-store"],
+        )
+        result = driver.run(points)
+        assert result.settled
+        assert result.counts.done == len(points)
+        # The staged records were respected, not re-executed: their files
+        # are byte-for-byte the ones the first "run" wrote.
+        for name, mtime_ns in staged.items():
+            assert (done_dir / name).stat().st_mtime_ns == mtime_ns
+        merged = result.report
+        assert len(merged.outcomes) == len(points)
+        assert merged.quarantined == 0
+
+    def test_driver_reclaims_killed_workers_and_settles(self, tmp_path):
+        queue = TaskQueue(tmp_path / "q")
+        points = point_batch()
+        queue.enqueue(points)
+        # Kill the first worker that leases the bfs baseline point; the
+        # driver must reap it, reclaim the lease at once, and respawn.
+        os.environ[faults.FAULT_SPEC_ENV] = json.dumps({
+            "faults": [{"match": "bfs.urand/baseline/ipcp",
+                        "mode": "kill_worker", "max_attempts": 1}],
+        })
+        try:
+            driver = FabricDriver(
+                queue,
+                workers=2,
+                heartbeat_s=5.0,
+                worker_args=["--cache-dir", str(tmp_path / "rc"),
+                             "--no-trace-store"],
+            )
+            result = driver.run(points)
+        finally:
+            os.environ.pop(faults.FAULT_SPEC_ENV, None)
+        assert result.settled
+        assert result.counts.done == len(points)
+        assert result.counts.quarantined == 0
+        assert result.leases_reclaimed >= 1
+        assert result.report.quarantined == 0
+
+
+# ----------------------------------------------------------------------
+# Progress rendering
+# ----------------------------------------------------------------------
+class TestProgress:
+    def test_format_eta(self):
+        assert format_eta(None) == "--"
+        assert format_eta(42) == "42s"
+        assert format_eta(90) == "1m30s"
+        assert format_eta(3700) == "1h01m"
+
+    def test_progress_line_writes_plain_lines_off_tty(self):
+        import io
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream, enabled=True, min_interval_s=0.0)
+        line.update("1/4 points")
+        line.update("2/4 points")
+        line.finish("4/4 points")
+        emitted = stream.getvalue().splitlines()
+        assert emitted == ["1/4 points", "2/4 points", "4/4 points"]
+
+    def test_progress_line_disabled_writes_nothing(self):
+        import io
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream, enabled=False)
+        line.update("anything", force=True)
+        line.finish()
+        assert stream.getvalue() == ""
+
+    def test_engine_invokes_progress_per_settled_point(self, tmp_path):
+        engine = CampaignEngine(result_cache=ResultCache(tmp_path / "rc"))
+        points = point_batch()
+        calls: list[tuple[int, int]] = []
+        engine.run(
+            points, jobs=1,
+            progress=lambda report, total: calls.append(
+                (len(report.outcomes), total)
+            ),
+        )
+        assert calls == [(i + 1, len(points)) for i in range(len(points))]
+        # Cached points notify too (the second run is all cache hits).
+        calls.clear()
+        engine.run(
+            points, jobs=1,
+            progress=lambda report, total: calls.append(
+                (len(report.outcomes), total)
+            ),
+        )
+        assert len(calls) == len(points)
+
+    def test_campaign_progress_renders_counts_and_eta(self):
+        import io
+
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream, enabled=True, min_interval_s=0.0)
+        callback = campaign_progress(line, "sweep")
+        report = CampaignReport(jobs=2)
+        report.outcomes.append(PointOutcome("a", "a", "ok", wall_s=0.5))
+        callback(report, 4)
+        report.outcomes.append(PointOutcome("b", "b", "cached", attempts=0))
+        callback(report, 4)
+        output = stream.getvalue()
+        assert "sweep: 1/4 points" in output
+        assert "1 ok" in output
+        assert "1 cached" in output
+        assert "eta" in output
+
+    def test_progress_flag_parses_on_campaign_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["campaign"]).progress is None
+        assert parser.parse_args(["campaign", "--progress"]).progress is True
+        assert parser.parse_args(["figure", "fig01", "--no-progress"]).progress is False
+        assert parser.parse_args(["sweep", "--progress"]).progress is True

@@ -252,14 +252,41 @@ class TestCampaignReport:
         engine.run(points, jobs=1)  # all cached now
         merged = CampaignReport.merged(engine.reports)
         payload = merged.to_dict()
-        assert payload["succeeded"] == len(points)
+        # Merging dedups per point by cache key, keeping the *latest*
+        # outcome: every point's final state is "cached" (second run).
+        assert payload["points"] == len(points)
         assert payload["cached"] == len(points)
+        assert payload["succeeded"] == 0
+        # The work counters still sum across runs -- both really happened.
         assert payload["cache_hits"] == len(points)
         assert payload["generator_invocations"] >= 1
         assert set(payload["wall_time_s"]) == {"p50", "p90", "p99", "max"}
-        assert payload["wall_time_s"]["max"] >= payload["wall_time_s"]["p50"] > 0
         statuses = {o["status"] for o in payload["outcomes"]}
-        assert statuses == {"ok", "cached"}
+        assert statuses == {"cached"}
+
+    def test_merged_dedups_by_key_keeping_latest(self):
+        first = CampaignReport(
+            outcomes=[
+                PointOutcome("a", "a", "quarantined", attempts=3),
+                PointOutcome("b", "b", "ok", wall_s=1.0),
+            ],
+            elapsed_s=1.0,
+            cache_hits=1,
+        )
+        second = CampaignReport(
+            outcomes=[PointOutcome("a", "a", "ok", wall_s=2.0)],
+            elapsed_s=2.0,
+            cache_hits=2,
+        )
+        merged = CampaignReport.merged([first, second])
+        assert len(merged.outcomes) == 2
+        by_key = {o.key: o for o in merged.outcomes}
+        # Point "a" failed in the first run and succeeded in the second:
+        # one outcome, the later one.
+        assert by_key["a"].status == "ok" and by_key["a"].wall_s == 2.0
+        assert merged.quarantined == 0
+        # Aggregate counters remain sums of work actually performed.
+        assert merged.elapsed_s == 3.0 and merged.cache_hits == 3
 
     def test_percentiles_ignore_cached_points(self):
         report = CampaignReport(
