@@ -18,6 +18,13 @@ Three metrics per scenario:
   cache (steady-state trace build + simulate; the per-process graph build
   is amortized across the campaign and reported via
   ``first_build_seconds``);
+* ``core_batch`` (per scenario) -- the same simulation through the
+  chunk-vectorized batch core (``--core batch``), which is bit-identical
+  to the scalar path; ``speedup_vs_scalar`` is the per-scenario ratio and
+  ``batch_speedup_vs_scalar`` its geomean.  ``--check`` additionally
+  fails when that geomean drops below 1.0 (the batch core must never be
+  slower than the scalar reference it replaces) -- a same-machine,
+  same-run comparison, so no calibration scaling applies;
 * ``store_load`` (per workload) -- trace-store load throughput in
   records/sec: memory-mapping a stored trace back (header parse + mmap +
   touching every column element), i.e. what a campaign worker pays instead
@@ -47,11 +54,13 @@ baseline -- the CI throughput smoke.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import math
 import time
 from pathlib import Path
 
+from repro.common.config import cascade_lake_single_core
 from repro.sim.scenarios import build_scenario
 from repro.sim.single_core import run_single_core
 from repro.workloads.gap import gap_trace
@@ -180,6 +189,7 @@ def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0
     construction = {}
     store_load = {}
     results = {}
+    core_batch = {}
     from repro.workloads.graphs import clear_graph_memo
 
     for workload, scheme in SCENARIOS:
@@ -202,28 +212,55 @@ def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0
             }
             store_load[workload] = _measure_store_load(trace, repeats)
         trace = traces[workload]
+        name = f"{workload}/{scheme}"
+        batch_system = dataclasses.replace(
+            cascade_lake_single_core(), sim_core="batch"
+        )
         best = math.inf
+        batch_best = math.inf
         for _ in range(repeats):
             scenario = build_scenario(scheme, l1d_prefetcher="ipcp")
             start = time.perf_counter()
             run_single_core(trace, scenario, warmup_fraction=warmup_fraction)
             best = min(best, time.perf_counter() - start)
-        results[f"{workload}/{scheme}"] = {
+            # Same trace, same scenario, through the chunk-vectorized core.
+            scenario = build_scenario(scheme, l1d_prefetcher="ipcp")
+            start = time.perf_counter()
+            run_single_core(trace, scenario, config=batch_system,
+                            warmup_fraction=warmup_fraction)
+            batch_best = min(batch_best, time.perf_counter() - start)
+        results[name] = {
             "seconds": round(best, 4),
             "accesses_per_sec": round(accesses / best, 1),
             "cold_point_seconds": round(
                 construction[workload]["seconds"] + best, 4
             ),
         }
+        core_batch[name] = {
+            "seconds": round(batch_best, 4),
+            "accesses_per_sec": round(accesses / batch_best, 1),
+            "speedup_vs_scalar": round(best / batch_best, 2),
+        }
     return {
         "accesses": accesses,
         "repeats": repeats,
         "scenarios": results,
+        "core_batch": core_batch,
         "construction": construction,
         "store_load": store_load,
         "figure_campaign": measure_figure_campaign(),
         "geomean_accesses_per_sec": round(
             _geomean(entry["accesses_per_sec"] for entry in results.values()), 1
+        ),
+        "core_batch_geomean_accesses_per_sec": round(
+            _geomean(
+                entry["accesses_per_sec"] for entry in core_batch.values()
+            ), 1
+        ),
+        "batch_speedup_vs_scalar": round(
+            _geomean(
+                entry["speedup_vs_scalar"] for entry in core_batch.values()
+            ), 2
         ),
         "construction_geomean_records_per_sec": round(
             _geomean(entry["records_per_sec"] for entry in construction.values()), 1
@@ -271,6 +308,14 @@ def main(argv=None) -> int:
             line += f"  ({entry['accesses_per_sec'] / seed_entry['accesses_per_sec']:.2f}x vs seed)"
         print(line)
     print(f"  {'geomean':<24} {report['geomean_accesses_per_sec']:>10,.0f} acc/s")
+
+    print(f"batch core (--core batch, bit-identical, best of {args.repeats}):")
+    for name, entry in report["core_batch"].items():
+        print(f"  {name:<24} {entry['accesses_per_sec']:>10,.0f} acc/s"
+              f"  ({entry['speedup_vs_scalar']:.2f}x vs scalar)")
+    print(f"  {'geomean':<24} "
+          f"{report['core_batch_geomean_accesses_per_sec']:>10,.0f} acc/s"
+          f"  ({report['batch_speedup_vs_scalar']:.2f}x vs scalar)")
 
     print(f"trace construction ({args.accesses} memory accesses, best of {args.repeats}):")
     seed_construction = (baseline or {}).get("seed", {}).get("construction", {})
@@ -380,6 +425,22 @@ def main(argv=None) -> int:
                 f"(baseline {reference:,.0f}, machine scale {scale:.2f}x, "
                 f"tolerance {args.tolerance:.0%})"
             )
+
+    if args.check and report["batch_speedup_vs_scalar"] < 1.0:
+        # Same machine, same run: the batch core being slower than the
+        # scalar reference is a regression regardless of hardware.
+        print(
+            f"BATCH CORE REGRESSION: batch geomean is "
+            f"{report['batch_speedup_vs_scalar']:.2f}x the scalar geomean "
+            f"(must be >= 1.0x)"
+        )
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        return 1
+    if args.check:
+        print(
+            f"batch core check passed: {report['batch_speedup_vs_scalar']:.2f}x "
+            f"the scalar geomean (floor 1.0x)"
+        )
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"report written to {args.output}")

@@ -12,8 +12,13 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_scenario, cascade_lake_multi_core, run_multicore_mix
-from repro.workloads import gap_trace, spec_like_trace
+from repro.api import (
+    build_scenario,
+    cascade_lake_multi_core,
+    gap_trace,
+    run_multicore_mix,
+    spec_like_trace,
+)
 
 
 def main() -> None:

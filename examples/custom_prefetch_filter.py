@@ -13,12 +13,19 @@ Run with::
 
 from __future__ import annotations
 
-from repro import MemoryHierarchy, build_scenario, cascade_lake_single_core, run_single_core
-from repro.core.slp import SecondLevelPerceptron
-from repro.prefetchers.base import FilterDecision, PrefetchFilter, PrefetchRequest
-from repro.prefetchers.ipcp import IPCPPrefetcher
-from repro.prefetchers.spp import SPPPrefetcher
-from repro.workloads import spec_like_trace
+from repro.api import (
+    FilterDecision,
+    IPCPPrefetcher,
+    MemoryHierarchy,
+    PrefetchFilter,
+    PrefetchRequest,
+    SecondLevelPerceptron,
+    SPPPrefetcher,
+    build_scenario,
+    cascade_lake_single_core,
+    run_single_core,
+    spec_like_trace,
+)
 
 
 class ConfidenceThresholdFilter(PrefetchFilter):

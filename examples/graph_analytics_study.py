@@ -13,9 +13,14 @@ Run with::
 
 from __future__ import annotations
 
-from repro import build_scenario, run_single_core
-from repro.stats.metrics import percent_change, speedup_percent
-from repro.workloads import GAP_KERNELS, gap_trace
+from repro.api import (
+    GAP_KERNELS,
+    build_scenario,
+    gap_trace,
+    percent_change,
+    run_single_core,
+    speedup_percent,
+)
 
 
 def main() -> None:

@@ -16,8 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments import CampaignCache
-from repro.experiments.common import ExperimentConfig
+from repro.api import CampaignCache, ExperimentConfig
 
 WORKLOAD = "bfs.kron"
 ACCESSES = 12_000

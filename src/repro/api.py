@@ -1,0 +1,282 @@
+"""repro.api: the stable Python surface of the library.
+
+Downstream scripts should import from here (and only here) rather than
+reaching into submodules: the five entry points below -- plus the re-exported
+result/config/trace types they produce and consume -- are the supported API
+and keep their signatures across refactors of the internals.  Everything
+else under :mod:`repro` is implementation and may move between releases.
+
+The entry points mirror the CLI one-to-one:
+
+===================  =====================================================
+``load_trace``       ``repro trace build`` -- one workload trace
+``simulate_point``   one (workload, scheme, prefetcher) simulation
+``run_sweep``        ``repro sweep`` -- a user-defined point grid
+``run_figure``       ``repro figure`` -- one registered paper figure
+``run_campaign``     ``repro campaign`` -- the full paper point set
+===================  =====================================================
+
+Every entry point takes ``core=`` ("scalar" or "batch") to select the
+simulator core implementation; the batch core of :mod:`repro.sim.batch` is
+bit-identical to the scalar reference and simply faster, so results (and
+persistent cache entries) are shared between the two.
+
+Example::
+
+    from repro import api
+
+    trace = api.load_trace("bfs.urand", memory_accesses=20_000)
+    baseline = api.simulate_point("bfs.urand", "baseline", core="batch")
+    tlp = api.simulate_point("bfs.urand", "tlp", core="batch")
+    print(tlp.ipc / baseline.ipc, tlp.dram_transactions)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    DRAMConfig,
+    SystemConfig,
+    cascade_lake_multi_core,
+    cascade_lake_single_core,
+)
+from repro.core.slp import SecondLevelPerceptron
+from repro.experiments.common import CampaignCache, ExperimentConfig
+from repro.experiments.spec import (
+    MultiCoreSweep,
+    SingleCoreSweep,
+    SweepResults,
+    SweepSpec,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.prefetchers.base import FilterDecision, PrefetchFilter, PrefetchRequest
+from repro.prefetchers.ipcp import IPCPPrefetcher
+from repro.prefetchers.spp import SPPPrefetcher
+from repro.sim.engine import (
+    CampaignPoint,
+    RetryPolicy,
+    build_workload_trace,
+    execute_point,
+    single_core_point,
+)
+from repro.sim.multi_core import MultiCoreResult, run_multicore_mix
+from repro.sim.results import SingleCoreResult
+from repro.sim.scenarios import SCHEMES, Scenario, build_scenario
+from repro.sim.single_core import run_single_core
+from repro.stats.metrics import percent_change, speedup_percent
+from repro.traces.store import TraceStore
+from repro.traces.trace import Trace
+from repro.workloads import GAP_KERNELS, gap_trace, spec_like_trace
+
+__all__ = [
+    # Entry points
+    "load_trace",
+    "simulate_point",
+    "run_sweep",
+    "run_figure",
+    "run_campaign",
+    # Sweep description
+    "SweepSpec",
+    "SingleCoreSweep",
+    "MultiCoreSweep",
+    "SweepResults",
+    # Results and configuration
+    "SingleCoreResult",
+    "MultiCoreResult",
+    "CampaignPoint",
+    "CampaignCache",
+    "ExperimentConfig",
+    "RetryPolicy",
+    "SCHEMES",
+    "Scenario",
+    "build_scenario",
+    "Trace",
+    "TraceStore",
+    "CacheConfig",
+    "CoreConfig",
+    "DRAMConfig",
+    "SystemConfig",
+    "cascade_lake_single_core",
+    "cascade_lake_multi_core",
+    # Direct simulation drivers (stable, but prefer the cached entry
+    # points above for anything larger than a one-off run)
+    "run_single_core",
+    "run_multicore_mix",
+    "MemoryHierarchy",
+    # Extension surface: plug custom prefetchers/filters into a hierarchy
+    "PrefetchFilter",
+    "FilterDecision",
+    "PrefetchRequest",
+    "IPCPPrefetcher",
+    "SPPPrefetcher",
+    "SecondLevelPerceptron",
+    # Workload generators and reporting helpers
+    "gap_trace",
+    "spec_like_trace",
+    "GAP_KERNELS",
+    "percent_change",
+    "speedup_percent",
+]
+
+
+def load_trace(
+    workload: str,
+    memory_accesses: int = 40_000,
+    gap_scale: str = "medium",
+    trace_store: Optional[TraceStore] = None,
+) -> Trace:
+    """Build (or load) the trace of a named workload.
+
+    ``workload`` is a catalog name: ``<kernel>.<graph>`` for the GAP suite
+    (e.g. ``bfs.urand``), ``spec.<name>`` for the SPEC-like generators, or
+    ``imported.<name>`` for a trace ingested with ``repro trace import``.
+    With a ``trace_store`` the generator runs only on a store miss and the
+    trace comes back memory-mapped.
+    """
+    return build_workload_trace(
+        workload, memory_accesses, gap_scale, trace_store=trace_store
+    )
+
+
+def simulate_point(
+    workload: str,
+    scheme: str,
+    l1d_prefetcher: str = "ipcp",
+    memory_accesses: int = 40_000,
+    warmup_fraction: float = 0.2,
+    gap_scale: str = "medium",
+    system: Optional[SystemConfig] = None,
+    core: Optional[str] = None,
+    trace_store: Optional[TraceStore] = None,
+) -> SingleCoreResult:
+    """Simulate one (workload, scheme, prefetcher) single-core point.
+
+    The one-shot entry point: builds the trace, runs the simulation, and
+    returns the :class:`SingleCoreResult` -- no persistent caching.  For
+    repeated or overlapping runs, go through :func:`run_sweep` /
+    :func:`run_figure` / :func:`run_campaign`, which share the campaign
+    engine's result cache.
+
+    ``scheme`` is one of :data:`SCHEMES` (``baseline``, ``hermes``,
+    ``tlp``, ...); ``core`` selects the simulator core implementation
+    ("scalar" or "batch", bit-identical).
+    """
+    point = single_core_point(
+        workload,
+        scheme,
+        l1d_prefetcher,
+        memory_accesses,
+        warmup_fraction,
+        gap_scale=gap_scale,
+        system=system,
+        trace_store=trace_store,
+    )
+    return execute_point(point, trace_store=trace_store, sim_core=core)
+
+
+def _campaign(
+    config: Optional[ExperimentConfig],
+    cache: Optional[CampaignCache],
+    core: Optional[str],
+    use_result_cache: bool,
+    trace_store: Optional[TraceStore],
+) -> CampaignCache:
+    if cache is not None:
+        return cache
+    return CampaignCache(
+        config,
+        use_result_cache=use_result_cache,
+        trace_store=trace_store,
+        sim_core=core,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    jobs: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    core: Optional[str] = None,
+    use_result_cache: bool = True,
+    trace_store: Optional[TraceStore] = None,
+) -> SweepResults:
+    """Compile and execute a user-defined sweep; return the results view.
+
+    ``spec`` describes the point grid declaratively (see
+    :class:`SweepSpec` / :class:`SingleCoreSweep` / :class:`MultiCoreSweep`);
+    it is compiled against ``config`` (the default experiment configuration
+    when None) and pushed through the campaign engine in one fan-out of
+    ``jobs`` worker processes.  The returned :class:`SweepResults` resolves
+    per-point lookups (``results.single_core(workload, scheme, ...)``).
+
+    Pass an existing ``cache`` (any :class:`CampaignCache`) to share its
+    in-process memo and engine across several sweeps/figures; otherwise one
+    is built here (``core`` and ``trace_store`` configure it and are
+    ignored when ``cache`` is given).
+    """
+    campaign = _campaign(config, cache, core, use_result_cache, trace_store)
+    points = spec.compile(
+        campaign.config, trace_store=campaign.engine.trace_store
+    )
+    results = campaign.run_points(points, jobs=jobs, policy=policy)
+    return SweepResults(
+        campaign.config, results, trace_store=campaign.engine.trace_store
+    )
+
+
+def run_figure(
+    name: str,
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    jobs: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    core: Optional[str] = None,
+    use_result_cache: bool = True,
+    trace_store: Optional[TraceStore] = None,
+    **params,
+):
+    """Execute one registered paper figure end to end; return its result.
+
+    ``name`` is a figure id from the experiment registry (``fig01`` ...
+    ``fig17``, ``table02``).  Extra keyword ``params`` are forwarded to the
+    figure's sweep builder and reducer (e.g. Figure 16's bandwidth points).
+    The returned object is the figure's reduced result; render it with the
+    spec's ``format_table`` or consume its fields directly.
+    """
+    from repro.experiments.spec import get_experiment, run_experiment
+
+    campaign = _campaign(config, cache, core, use_result_cache, trace_store)
+    return run_experiment(
+        get_experiment(name), cache=campaign, jobs=jobs, policy=policy, **params
+    )
+
+
+def run_campaign(
+    schemes: Optional[tuple[str, ...]] = None,
+    include_multicore: bool = False,
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[CampaignCache] = None,
+    jobs: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    core: Optional[str] = None,
+    use_result_cache: bool = True,
+    trace_store: Optional[TraceStore] = None,
+) -> CampaignCache:
+    """Simulate the paper's point set and return the populated campaign.
+
+    Enumerates every (workload, scheme, prefetcher) point of the campaign
+    (all schemes when ``schemes`` is None; plus the multi-core mixes with
+    ``include_multicore``), fans them out across ``jobs`` workers, and
+    returns the :class:`CampaignCache` -- query it with
+    ``campaign.single_core(workload, scheme)`` / ``campaign.multi_core`` or
+    hand it back to :func:`run_figure` for cache-hit figure rendering.
+    """
+    campaign = _campaign(config, cache, core, use_result_cache, trace_store)
+    campaign.run_campaign(
+        schemes, include_multicore=include_multicore, jobs=jobs, policy=policy
+    )
+    return campaign

@@ -170,7 +170,10 @@ def _cache_from_config(
     else:
         result_cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
     engine = CampaignEngine(
-        result_cache=result_cache, jobs=args.jobs, trace_store=trace_store
+        result_cache=result_cache,
+        jobs=args.jobs,
+        trace_store=trace_store,
+        sim_core=getattr(args, "core", None),
     )
     return CampaignCache(config, engine=engine)
 
@@ -459,7 +462,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         try:
             workload, key, trace = import_champsim_trace(
                 args.path,
-                store=store,
+                trace_store=store,
                 name=args.name,
                 compute_per_access=args.compute_per_access,
                 max_records=args.max_records,
@@ -793,6 +796,8 @@ def _fabric_worker_args(args: argparse.Namespace) -> list[str]:
         argv += ["--retries", str(args.retries)]
     if args.timeout_s is not None:
         argv += ["--timeout-s", f"{args.timeout_s:g}"]
+    if getattr(args, "core", None):
+        argv += ["--core", args.core]
     return argv
 
 
@@ -917,6 +922,7 @@ def _cmd_fabric_worker(args: argparse.Namespace) -> int:
         policy=_policy_from_args(args),
         heartbeat_s=args.heartbeat_s,
         max_points=args.max_points,
+        sim_core=getattr(args, "core", None),
     )
     report = worker.run()
     note = " (drained)" if worker.drained else ""
@@ -998,6 +1004,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--no-trace-store", action="store_true",
                                 help="regenerate traces per process instead of "
                                      "memory-mapping the shared trace store")
+        sub_parser.add_argument("--core", choices=("scalar", "batch"),
+                                default=None,
+                                help="simulator core implementation: 'batch' "
+                                     "runs the chunk-vectorized fused loop "
+                                     "(bit-identical results, faster); "
+                                     "default: scalar")
         sub_parser.add_argument("--include-imported", action="store_true",
                                 help="also sweep every trace imported into the "
                                      "store ('repro trace import')")
@@ -1123,6 +1135,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--include-imported", action="store_true",
                                  help="also simulate every trace imported into "
                                       "the store ('repro trace import')")
+    campaign_parser.add_argument("--core", choices=("scalar", "batch"),
+                                 default=None,
+                                 help="simulator core implementation: 'batch' "
+                                      "runs the chunk-vectorized fused loop "
+                                      "(bit-identical results, faster); "
+                                      "default: scalar")
     add_robustness_flags(campaign_parser)
     campaign_parser.set_defaults(func=_cmd_campaign)
 
@@ -1196,6 +1214,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="in-worker retries per point (default: 2)")
     fabric_worker.add_argument("--timeout-s", type=float, default=None,
                                help="per-point timeout in seconds")
+    fabric_worker.add_argument("--core", choices=("scalar", "batch"),
+                               default=None,
+                               help="simulator core implementation "
+                                    "(default: scalar)")
     fabric_worker.set_defaults(func=_cmd_fabric, strict=False)
 
     fabric_status = fabric_sub.add_parser(

@@ -101,6 +101,18 @@ class SystemConfig:
     )
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     num_cores: int = 1
+    #: Simulator core implementation: ``"scalar"`` steps one record at a
+    #: time (the pinned reference path), ``"batch"`` runs the chunked
+    #: fused loop of :mod:`repro.sim.batch`.  The two are bit-identical,
+    #: so this field does not participate in result-cache keys (see
+    #: :func:`system_config_to_dict`).
+    sim_core: str = "scalar"
+
+    def __post_init__(self) -> None:
+        if self.sim_core not in ("scalar", "batch"):
+            raise ValueError(
+                f"sim_core must be 'scalar' or 'batch', got {self.sim_core!r}"
+            )
 
     def scaled_llc(self) -> CacheConfig:
         """LLC configuration scaled to the number of cores (1.375MB/core)."""
@@ -126,8 +138,14 @@ def system_config_to_dict(config: SystemConfig) -> dict:
 
     Used by the campaign engine both to hash a configuration into a result
     cache key and to ship configurations to worker processes.
+
+    ``sim_core`` is deliberately excluded: the batch core is bit-identical
+    to the scalar reference, so results computed by either implementation
+    share one cache entry (and old caches stay valid).
     """
-    return asdict(config)
+    payload = asdict(config)
+    payload.pop("sim_core", None)
+    return payload
 
 
 def system_config_from_dict(payload: dict) -> SystemConfig:
@@ -140,6 +158,7 @@ def system_config_from_dict(payload: dict) -> SystemConfig:
         llc=CacheConfig(**payload["llc"]),
         dram=DRAMConfig(**payload["dram"]),
         num_cores=payload["num_cores"],
+        sim_core=payload.get("sim_core", "scalar"),
     )
 
 

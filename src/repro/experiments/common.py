@@ -152,6 +152,7 @@ class CampaignCache:
         jobs: Optional[int] = None,
         use_result_cache: bool = True,
         trace_store=None,
+        sim_core: Optional[str] = None,
     ) -> None:
         self.config = config if config is not None else default_experiment_config()
         if engine is None:
@@ -159,6 +160,7 @@ class CampaignCache:
                 result_cache=ResultCache() if use_result_cache else None,
                 jobs=jobs if jobs is not None else 1,
                 trace_store=trace_store,
+                sim_core=sim_core,
             )
         self.engine = engine
         self._single_core: dict[tuple, SingleCoreResult] = {}

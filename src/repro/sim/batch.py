@@ -1,0 +1,706 @@
+"""Batch-vectorized simulator core (opt-in, bit-identical to the scalar path).
+
+The scalar reference path steps one trace record at a time through
+:meth:`repro.cpu.core.CoreRunner.run_trace`, calling
+:meth:`repro.memory.hierarchy.MemoryHierarchy.demand_access` per memory
+record.  That per-record call chain (core -> hierarchy -> predictor ->
+feature extractors -> hash memos -> cache -> DRAM) is the dominant
+simulation cost now that traces are columnar.
+
+This module restructures the hot path around trace *chunks*:
+
+1. **Vectorized precompute** -- everything about a chunk that is a pure
+   function of the demand ``(pc, vaddr)`` stream is computed with numpy
+   before any state advances: the off-chip predictor's five feature values,
+   their Jenkins/folded-XOR weight-table indices
+   (:func:`repro.common.hashing.table_index_np`), the page-buffer
+   first-access bits and the last-4-PC window hashes.  This is sound
+   because the FLP/Hermes feature history observes the demand stream only
+   -- it does not depend on cache contents, timing or training state
+   (weights *do*, so weight sums stay in the serialized loop below).
+
+2. **Fused serialized loop** -- the stateful remainder (core dispatch/ROB
+   timing, page translation, the L1D->L2C->LLC->DRAM walk with per-set LRU
+   updates, speculative DRAM requests, perceptron weight sums and
+   saturating training) runs in one Python loop with the per-record bodies
+   of ``CoreRunner.step_values``, ``MemoryHierarchy.demand_access``,
+   ``MemoryHierarchy._walk_below_l1d``, ``Cache.lookup``, ``LRUPolicy``,
+   ``DRAMModel.access`` and ``HashedPerceptron.predict``/``train`` inlined
+   over the precomputed index columns.  Pure counters accumulate in locals
+   and flush once per chunk.  Prefetchers, prefetch filters (SLP/PPF) and
+   cache fills/evictions are *serialization points*: they interleave
+   order-dependent state machines (candidate generation, filter training,
+   victim selection, eviction listeners), so the loop calls straight into
+   the existing objects for them, guaranteeing identical behaviour.
+
+3. **Chunk scheduler with scalar fallback** -- chunks only run fused when
+   every component is one the fused loop models exactly (stock
+   :class:`MemoryHierarchy`/:class:`Cache` with LRU sets, and a Null /
+   Hermes / FLP off-chip predictor over the Table I feature set).
+   Anything else -- custom subclasses, SRRIP, exotic predictors, and the
+   per-instruction multi-core interleave -- drops to the pinned scalar
+   reference path.
+
+The batch core is selected with ``SystemConfig(sim_core="batch")`` /
+``--core batch`` and is bit-identical to the scalar path by construction:
+every counter, weight, stamp and cycle is updated in the same order with
+the same arithmetic, which the batch-vs-scalar equivalence suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.addresses import PAGE_BITS
+from repro.common.hashing import hash_combine, hash_combine_np, table_index_np
+from repro.common.types import MemLevel
+from repro.core.flp import FirstLevelPerceptron
+from repro.cpu.core import CoreRunner
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.replacement import LRUPolicy
+from repro.predictors.base import NullOffChipPredictor
+from repro.predictors.hermes import HermesPredictor
+from repro.traces.trace import KIND_NON_MEM
+
+#: Records per fused chunk.  Large enough to amortize the vectorized
+#: precompute, small enough to keep the index columns cache-resident.
+DEFAULT_CHUNK_RECORDS = 8192
+
+#: Feature layout the vectorized precompute reproduces (Table I order).
+_LEGACY_FEATURE_NAMES = (
+    "pc_xor_cacheline_offset",
+    "pc_xor_byte_offset",
+    "pc_plus_first_access",
+    "offset_plus_first_access",
+    "last_four_load_pcs",
+)
+
+_PK_NULL = 0
+_PK_HERMES = 1
+_PK_FLP = 2
+
+
+def _cache_is_fusible(cache: Cache) -> bool:
+    """The fused loop inlines Cache.lookup + LRU; require the stock shapes."""
+    return type(cache) is Cache and all(
+        type(policy) is LRUPolicy for policy in cache._policies
+    )
+
+
+def batch_supported(hierarchy: MemoryHierarchy) -> bool:
+    """True when ``hierarchy`` can run on the fused batch path.
+
+    Anything this function rejects still simulates correctly -- the batch
+    runner silently falls back to the scalar reference path.
+    """
+    if type(hierarchy) is not MemoryHierarchy:
+        return False
+    if not (_cache_is_fusible(hierarchy.l1d) and _cache_is_fusible(hierarchy.l2c)
+            and _cache_is_fusible(hierarchy.llc)):
+        return False
+    predictor = hierarchy.offchip_predictor
+    if type(predictor) is NullOffChipPredictor:
+        return True
+    if type(predictor) in (HermesPredictor, FirstLevelPerceptron):
+        names = tuple(spec.name for spec in predictor.perceptron.features)
+        return (
+            names == _LEGACY_FEATURE_NAMES
+            and predictor.history.pc_history_length == 4
+        )
+    return False
+
+
+def _precompute_offchip_indices(
+    predictor, pcs: np.ndarray, vaddrs: np.ndarray
+) -> list[list[int]]:
+    """Vectorized per-chunk feature hashing for a Hermes/FLP predictor.
+
+    Replays the predictor's :class:`FeatureHistory` over the chunk's demand
+    stream (advancing the live page buffer and PC history to their
+    end-of-chunk state -- the fused loop consumes the precomputed rows
+    instead of calling ``context()``/``observe()``), and returns one index
+    column per Table I feature, exactly what the scalar
+    ``HashedPerceptron._compute`` would have produced access by access.
+    """
+    history = predictor.history
+    n = len(pcs)
+
+    # First-access bits: exact replay of the page-buffer LRU.
+    page_buffer = history._page_buffer
+    capacity = history.page_buffer_entries
+    move_to_end = page_buffer.move_to_end
+    popitem = page_buffer.popitem
+    first_bits: list[int] = []
+    append_first = first_bits.append
+    for page in (vaddrs >> PAGE_BITS).tolist():
+        if page in page_buffer:
+            append_first(0)
+            move_to_end(page)
+        else:
+            append_first(1)
+            page_buffer[page] = None
+            if len(page_buffer) > capacity:
+                popitem(last=False)
+    first = np.asarray(first_bits, dtype=np.uint64)
+
+    # Last-4-PC window hashes: the context for access i folds the four PCs
+    # observed before it, i.e. a sliding window over (prior history + chunk).
+    prior = list(history._pc_history)
+    len0 = len(prior)
+    window = history.pc_history_length
+    if len0:
+        merged = np.concatenate([np.asarray(prior, dtype=np.int64), pcs])
+    else:
+        merged = pcs
+    pcs_hash = np.empty(n, dtype=np.uint64)
+    lead = max(0, window - len0)
+    for i in range(min(lead, n)):
+        short = merged[max(0, i + len0 - window): i + len0].tolist()
+        pcs_hash[i] = hash_combine(*short) if short else 0
+    if n > lead:
+        base = lead + len0 - window
+        count = n - lead
+        pcs_hash[lead:] = hash_combine_np(
+            *(merged[base + k: base + k + count] for k in range(window))
+        )
+    history._pc_history.extend(pcs.tolist())
+    history._pcs_tuple = None
+    history._pcs_hash = None
+
+    # Feature values (Table I) and their table indices.
+    upcs = pcs.astype(np.uint64)
+    uvas = vaddrs.astype(np.uint64)
+    cacheline_offset = (uvas >> np.uint64(6)) & np.uint64(63)
+    values = (
+        upcs ^ (cacheline_offset << np.uint64(2)),
+        upcs ^ ((uvas & np.uint64(63)) << np.uint64(2)),
+        hash_combine_np(upcs, first),
+        hash_combine_np(cacheline_offset, first),
+        pcs_hash,
+    )
+    columns: list[list[int]] = []
+    for value, (_, bits, entries, _, _) in zip(values, predictor.perceptron._plan):
+        indices = table_index_np(value, bits) % np.uint64(entries)
+        columns.append(indices.astype(np.int64).tolist())
+    return columns
+
+
+def run_core_trace_batched(
+    runner: CoreRunner,
+    trace,
+    hierarchy: MemoryHierarchy,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+) -> bool:
+    """Step ``trace`` through ``runner``/``hierarchy`` in fused chunks.
+
+    Semantically identical to ``runner.run_trace(trace)`` with the runner's
+    memory callback bound to ``hierarchy.demand_access``.  Returns True when
+    the fused path ran, False when it fell back to the scalar reference.
+    """
+    if not batch_supported(hierarchy):
+        runner.run_trace(trace)
+        return False
+
+    pc_col, vaddr_col, kind_col = trace.columns()
+    total_records = len(pc_col)
+
+    predictor = hierarchy.offchip_predictor
+    if type(predictor) is NullOffChipPredictor:
+        predictor_kind = _PK_NULL
+    elif type(predictor) is HermesPredictor:
+        predictor_kind = _PK_HERMES
+    else:
+        predictor_kind = _PK_FLP
+
+    # ---- immutable-for-the-run bindings ------------------------------
+    l1d = hierarchy.l1d
+    l2c = hierarchy.l2c
+    llc = hierarchy.llc
+    dram = hierarchy.dram
+    page_table = hierarchy.page_table
+    page_map = page_table._mapping
+    allocate_frame = page_table._allocate_frame
+    l1_sets, l1_ways, l1_policies = l1d._sets, l1d._ways, l1d._policies
+    l1_num_sets, l1_latency = l1d.num_sets, l1d.latency
+    l2_sets, l2_ways, l2_policies = l2c._sets, l2c._ways, l2c._policies
+    l2_num_sets, l2_latency = l2c.num_sets, l2c.latency
+    llc_sets, llc_ways, llc_policies = llc._sets, llc._ways, llc._policies
+    llc_num_sets, llc_latency = llc.num_sets, llc.latency
+    l1_fill = l1d.fill
+    l2_fill = l2c.fill
+    llc_fill = llc.fill
+    record_location = hierarchy._record_offchip_prediction_location
+    resolve_l1_prefetch_use = hierarchy._resolve_l1d_prefetch_use
+    resolve_l2_prefetch_use = hierarchy._resolve_l2c_prefetch_use
+    run_l2_prefetcher = hierarchy._run_l2_prefetcher
+    issue_l1d_prefetch = hierarchy._issue_l1d_prefetch
+    prefetcher = hierarchy.l1d_prefetcher
+    on_demand_access = (
+        prefetcher.on_demand_access if prefetcher is not None else None
+    )
+    predictor_latency = hierarchy._predictor_latency
+    cycles_per_transaction = dram._cycles_per_transaction
+    dram_access_latency = dram.config.access_latency
+    LEVEL_L1D = MemLevel.L1D
+    LEVEL_L2C = MemLevel.L2C
+    LEVEL_LLC = MemLevel.LLC
+    LEVEL_DRAM = MemLevel.DRAM
+    KIND_COMPUTE = KIND_NON_MEM
+
+    if predictor_kind != _PK_NULL:
+        perceptron = predictor.perceptron
+        table_0, table_1, table_2, table_3, table_4 = perceptron._tables
+        limits = perceptron._weight_limits
+        (lo0, hi0), (lo1, hi1), (lo2, hi2), (lo3, hi3), (lo4, hi4) = limits
+        training_threshold = perceptron.training_threshold
+        last_prediction = bool(predictor.last_prediction)
+    else:
+        last_prediction = False
+    if predictor_kind == _PK_HERMES:
+        activation_threshold = predictor.activation_threshold
+    elif predictor_kind == _PK_FLP:
+        tau_high = predictor.tau_high
+        tau_low = predictor.tau_low
+        selective_delay = predictor.selective_delay
+
+    # ---- core-runner state (carried across chunks) -------------------
+    retire_times = runner._retire_times
+    rob_size = runner.rob_size
+    dispatch_interval = runner.dispatch_interval
+    dispatch_cycle = runner._dispatch_cycle
+    last_retire = runner._last_retire
+    popleft = retire_times.popleft
+    append_retire = retire_times.append
+    instructions = loads = stores = 0
+    total_load_latency = 0.0
+
+    for start in range(0, total_records, chunk_records):
+        stop = min(start + chunk_records, total_records)
+        pcs_chunk = pc_col[start:stop]
+        vaddrs_chunk = vaddr_col[start:stop]
+        kinds_chunk = kind_col[start:stop]
+        pcs = pcs_chunk.tolist()
+        vaddrs = vaddrs_chunk.tolist()
+        kinds = kinds_chunk.tolist()
+
+        # Vectorized precompute of the off-chip feature indices for every
+        # demand record of this chunk.
+        if predictor_kind != _PK_NULL:
+            demand_mask = kinds_chunk != KIND_COMPUTE
+            idx0, idx1, idx2, idx3, idx4 = _precompute_offchip_indices(
+                predictor, pcs_chunk[demand_mask], vaddrs_chunk[demand_mask]
+            )
+            predictions = positive = 0
+            training_events = correct = weight_updates = 0
+            flp_immediate = flp_delayed = flp_negative = 0
+        demand_cursor = 0
+
+        # Per-chunk stats bindings (reset_stats replaces these objects
+        # between the warm-up and measured phases).  Pure counters
+        # accumulate in locals below and flush once per chunk; the
+        # delegated calls never touch these specific fields (demand
+        # lookups happen only at the sites inlined here).
+        hstats = hierarchy.stats
+        l1_stats = l1d.stats
+        l2_stats = l2c.stats
+        llc_stats = llc.stats
+        dram_stats = dram.stats
+        demand_loads = demand_stores = offchip_predictions = 0
+        speculative_requests = delayed_speculative = delayed_saved = 0
+        prefetch_candidates = 0
+        served_l1d = served_l2c = served_llc = served_dram = 0
+        l1_accesses = l1_hits = l1_misses = l1_pf_hits = 0
+        l2_accesses = l2_hits = l2_misses = l2_pf_hits = 0
+        llc_accesses = llc_hits = llc_misses = llc_pf_hits = 0
+        dram_transactions = dram_demand = dram_speculative = 0
+        dram_queue_cycles = dram_max_queue = 0
+
+        # ---- fused serialized loop -----------------------------------
+        for pc, vaddr, kind in zip(pcs, vaddrs, kinds):
+            dispatch = dispatch_cycle
+            if len(retire_times) >= rob_size:
+                rob_constraint = popleft()
+                if rob_constraint > dispatch:
+                    dispatch = rob_constraint
+
+            if kind == KIND_COMPUTE:
+                latency = 1
+            else:
+                cycle = int(dispatch)
+                is_write = kind == 1
+
+                # -- page translation (PageTable.translate inlined) --
+                vpage = vaddr >> 12
+                frame = page_map.get(vpage)
+                if frame is None:
+                    frame = allocate_frame(vpage)
+                paddr = (frame << 12) | (vaddr & 4095)
+                block = paddr >> 6
+                if is_write:
+                    demand_stores += 1
+                else:
+                    demand_loads += 1
+
+                # -- off-chip prediction (predictor.predict inlined) --
+                if predictor_kind == _PK_NULL:
+                    action = 0
+                    predicted_offchip = False
+                else:
+                    i0 = idx0[demand_cursor]
+                    i1 = idx1[demand_cursor]
+                    i2 = idx2[demand_cursor]
+                    i3 = idx3[demand_cursor]
+                    i4 = idx4[demand_cursor]
+                    demand_cursor += 1
+                    confidence = (
+                        table_0[i0] + table_1[i1] + table_2[i2]
+                        + table_3[i3] + table_4[i4]
+                    )
+                    predictions += 1
+                    if confidence >= 0:
+                        positive += 1
+                    if predictor_kind == _PK_HERMES:
+                        predicted_offchip = confidence >= activation_threshold
+                        action = 1 if predicted_offchip else 0
+                    elif confidence > tau_high:
+                        action = 1
+                        predicted_offchip = True
+                        flp_immediate += 1
+                    elif confidence >= tau_low:
+                        predicted_offchip = True
+                        if selective_delay:
+                            action = 2
+                            flp_delayed += 1
+                        else:
+                            action = 1
+                            flp_immediate += 1
+                    else:
+                        action = 0
+                        predicted_offchip = False
+                        flp_negative += 1
+                    last_prediction = predicted_offchip
+                if predicted_offchip:
+                    offchip_predictions += 1
+
+                # -- immediate speculative DRAM request --
+                speculative_ready = None
+                if action == 1:
+                    speculative_requests += 1
+                    record_location(block)
+                    issue_at = cycle + predictor_latency
+                    queue_delay = dram._busy_until - issue_at
+                    if queue_delay < 0.0:
+                        queue_delay = 0.0
+                    dram._busy_until = issue_at + queue_delay + cycles_per_transaction
+                    dram_transactions += 1
+                    dram_speculative += 1
+                    queue_cycles = int(queue_delay)
+                    dram_queue_cycles += queue_cycles
+                    if queue_cycles > dram_max_queue:
+                        dram_max_queue = queue_cycles
+                    speculative_ready = predictor_latency + int(
+                        queue_delay + dram_access_latency
+                    )
+
+                # -- L1D probe + lookup (Cache.lookup + LRU inlined) --
+                latency = l1_latency
+                set_index = block % l1_num_sets
+                resident = l1_sets[set_index].get(block)
+                l1_accesses += 1
+                if resident is None:
+                    prefetch_hit = False
+                    l1d_hit = False
+                    l1_misses += 1
+                else:
+                    prefetch_hit = resident.prefetched and not resident.prefetch_useful
+                    ready = resident.ready_cycle
+                    if ready > cycle and ready - cycle > latency:
+                        latency = ready - cycle
+                    l1d_hit = True
+                    l1_hits += 1
+                    if prefetch_hit:
+                        resident.prefetch_useful = True
+                        l1_pf_hits += 1
+                    if is_write:
+                        resident.dirty = True
+                    policy = l1_policies[set_index]
+                    policy._clock += 1
+                    policy._stamps[l1_ways[set_index][block]] = policy._clock
+                    if prefetch_hit:
+                        resolve_l1_prefetch_use(block)
+
+                # -- L1D prefetcher (serialization point: object call) --
+                if on_demand_access is not None:
+                    candidates = on_demand_access(pc, vaddr, l1d_hit, cycle)
+                    if candidates:
+                        for request in candidates:
+                            prefetch_candidates += 1
+                            issue_l1d_prefetch(request, last_prediction, cycle)
+
+                # -- selective delay (FLP) --
+                if action == 2:
+                    if l1d_hit:
+                        delayed_saved += 1
+                    else:
+                        speculative_requests += 1
+                        delayed_speculative += 1
+                        record_location(block, True)
+                        issue_at = cycle + l1_latency + predictor_latency
+                        queue_delay = dram._busy_until - issue_at
+                        if queue_delay < 0.0:
+                            queue_delay = 0.0
+                        dram._busy_until = (
+                            issue_at + queue_delay + cycles_per_transaction
+                        )
+                        dram_transactions += 1
+                        dram_speculative += 1
+                        queue_cycles = int(queue_delay)
+                        dram_queue_cycles += queue_cycles
+                        if queue_cycles > dram_max_queue:
+                            dram_max_queue = queue_cycles
+                        speculative_ready = l1_latency + predictor_latency + int(
+                            queue_delay + dram_access_latency
+                        )
+
+                if l1d_hit:
+                    served_l1d += 1
+                    went_offchip = False
+                    effective_latency = latency
+                else:
+                    # -- below-L1D walk (_walk_below_l1d inlined; SPP and
+                    #    cache fills stay object calls) --
+                    latency += l2_latency
+                    set_index = block % l2_num_sets
+                    l2_block = l2_sets[set_index].get(block)
+                    l2_accesses += 1
+                    if l2_block is None:
+                        l2_hit = False
+                        l2_misses += 1
+                    else:
+                        l2_prefetch_hit = (
+                            l2_block.prefetched and not l2_block.prefetch_useful
+                        )
+                        ready = l2_block.ready_cycle
+                        if ready > cycle and ready - cycle > latency:
+                            latency = ready - cycle
+                        l2_hit = True
+                        l2_hits += 1
+                        if l2_prefetch_hit:
+                            l2_block.prefetch_useful = True
+                            l2_pf_hits += 1
+                        if is_write:
+                            l2_block.dirty = True
+                        policy = l2_policies[set_index]
+                        policy._clock += 1
+                        policy._stamps[l2_ways[set_index][block]] = policy._clock
+                        if l2_prefetch_hit:
+                            resolve_l2_prefetch_use(block)
+
+                    # SPP observes L2 demand accesses.
+                    run_l2_prefetcher(pc, paddr, l2_hit, cycle)
+
+                    if l2_hit:
+                        l1_fill(block, cycle=cycle, ready_cycle=cycle + latency)
+                        served_l2c += 1
+                        went_offchip = False
+                    else:
+                        latency += llc_latency
+                        set_index = block % llc_num_sets
+                        llc_block = llc_sets[set_index].get(block)
+                        llc_accesses += 1
+                        if llc_block is None:
+                            llc_hit = False
+                            llc_misses += 1
+                        else:
+                            ready = llc_block.ready_cycle
+                            if ready > cycle and ready - cycle > latency:
+                                latency = ready - cycle
+                            llc_hit = True
+                            llc_hits += 1
+                            if llc_block.prefetched and not llc_block.prefetch_useful:
+                                llc_block.prefetch_useful = True
+                                llc_pf_hits += 1
+                            if is_write:
+                                llc_block.dirty = True
+                            policy = llc_policies[set_index]
+                            policy._clock += 1
+                            policy._stamps[llc_ways[set_index][block]] = (
+                                policy._clock
+                            )
+                        if llc_hit:
+                            l1_fill(block, cycle=cycle, ready_cycle=cycle + latency)
+                            l2_fill(block, cycle=cycle, ready_cycle=cycle + latency)
+                            served_llc += 1
+                            went_offchip = False
+                        else:
+                            if speculative_ready is not None:
+                                # Merged with the in-flight speculative fetch
+                                # at the memory controller: no second DRAM
+                                # transaction.
+                                dram_latency = dram_access_latency
+                            else:
+                                issue_at = cycle + latency
+                                queue_delay = dram._busy_until - issue_at
+                                if queue_delay < 0.0:
+                                    queue_delay = 0.0
+                                dram._busy_until = (
+                                    issue_at + queue_delay + cycles_per_transaction
+                                )
+                                dram_transactions += 1
+                                dram_demand += 1
+                                queue_cycles = int(queue_delay)
+                                dram_queue_cycles += queue_cycles
+                                if queue_cycles > dram_max_queue:
+                                    dram_max_queue = queue_cycles
+                                dram_latency = int(
+                                    queue_delay + dram_access_latency
+                                )
+                            latency += dram_latency
+                            ready = cycle + latency
+                            llc_fill(block, cycle=cycle, ready_cycle=ready)
+                            l2_fill(block, cycle=cycle, ready_cycle=ready)
+                            l1_fill(block, cycle=cycle, ready_cycle=ready)
+                            served_dram += 1
+                            went_offchip = True
+
+                    effective_latency = latency
+                    if speculative_ready is not None and went_offchip:
+                        effective_latency = (
+                            speculative_ready
+                            if speculative_ready > l1_latency
+                            else l1_latency
+                        )
+
+                # -- training (predictor.train inlined) --
+                if predictor_kind != _PK_NULL:
+                    training_events += 1
+                    predicted_positive = confidence >= 0
+                    if predicted_positive == went_offchip:
+                        correct += 1
+                    if predicted_positive != went_offchip or (
+                        confidence if confidence >= 0 else -confidence
+                    ) < training_threshold:
+                        if went_offchip:
+                            weight = table_0[i0] + 1
+                            table_0[i0] = weight if weight <= hi0 else hi0
+                            weight = table_1[i1] + 1
+                            table_1[i1] = weight if weight <= hi1 else hi1
+                            weight = table_2[i2] + 1
+                            table_2[i2] = weight if weight <= hi2 else hi2
+                            weight = table_3[i3] + 1
+                            table_3[i3] = weight if weight <= hi3 else hi3
+                            weight = table_4[i4] + 1
+                            table_4[i4] = weight if weight <= hi4 else hi4
+                        else:
+                            weight = table_0[i0] - 1
+                            table_0[i0] = weight if weight >= lo0 else lo0
+                            weight = table_1[i1] - 1
+                            table_1[i1] = weight if weight >= lo1 else lo1
+                            weight = table_2[i2] - 1
+                            table_2[i2] = weight if weight >= lo2 else lo2
+                            weight = table_3[i3] - 1
+                            table_3[i3] = weight if weight >= lo3 else lo3
+                            weight = table_4[i4] - 1
+                            table_4[i4] = weight if weight >= lo4 else lo4
+                        weight_updates += 1
+
+                if kind == 0:
+                    latency = effective_latency
+                    loads += 1
+                    total_load_latency += effective_latency
+                else:
+                    latency = 1
+                    stores += 1
+
+            completion = dispatch + latency
+            retire = last_retire + dispatch_interval
+            if completion > retire:
+                retire = completion
+            append_retire(retire)
+            last_retire = retire
+            dispatch_cycle = dispatch + dispatch_interval
+            instructions += 1
+
+        # ---- chunk flush ---------------------------------------------
+        hstats.demand_loads += demand_loads
+        hstats.demand_stores += demand_stores
+        hstats.offchip_predictions += offchip_predictions
+        hstats.speculative_requests += speculative_requests
+        hstats.delayed_speculative_requests += delayed_speculative
+        hstats.delayed_predictions_saved += delayed_saved
+        hstats.l1d_prefetch_candidates += prefetch_candidates
+        served = hstats.served_by
+        served[LEVEL_L1D] += served_l1d
+        served[LEVEL_L2C] += served_l2c
+        served[LEVEL_LLC] += served_llc
+        served[LEVEL_DRAM] += served_dram
+        l1_stats.demand_accesses += l1_accesses
+        l1_stats.demand_hits += l1_hits
+        l1_stats.demand_misses += l1_misses
+        l1_stats.prefetch_hits += l1_pf_hits
+        l2_stats.demand_accesses += l2_accesses
+        l2_stats.demand_hits += l2_hits
+        l2_stats.demand_misses += l2_misses
+        l2_stats.prefetch_hits += l2_pf_hits
+        llc_stats.demand_accesses += llc_accesses
+        llc_stats.demand_hits += llc_hits
+        llc_stats.demand_misses += llc_misses
+        llc_stats.prefetch_hits += llc_pf_hits
+        dram_stats.total_transactions += dram_transactions
+        dram_stats.demand_transactions += dram_demand
+        dram_stats.speculative_transactions += dram_speculative
+        dram_stats.total_queue_cycles += dram_queue_cycles
+        if dram_max_queue > dram_stats.max_queue_cycles:
+            dram_stats.max_queue_cycles = dram_max_queue
+        if predictor_kind != _PK_NULL:
+            pstats = predictor.perceptron.stats
+            pstats.predictions += predictions
+            pstats.positive_predictions += positive
+            pstats.training_events += training_events
+            pstats.correct_predictions += correct
+            pstats.weight_updates += weight_updates
+            predictor.last_prediction = last_prediction
+            if predictor_kind == _PK_FLP:
+                predictor.immediate_decisions += flp_immediate
+                predictor.delayed_decisions += flp_delayed
+                predictor.negative_decisions += flp_negative
+
+    runner._dispatch_cycle = dispatch_cycle
+    runner._last_retire = last_retire
+    runner.instructions += instructions
+    runner.loads += loads
+    runner.stores += stores
+    runner.total_load_latency += total_load_latency
+    return True
+
+
+def run_single_core_batched(
+    trace,
+    hierarchy: MemoryHierarchy,
+    core_config,
+    warmup_fraction: float,
+    chunk_records: Optional[int] = None,
+) -> CoreRunner:
+    """Warm-up + measured run of one trace on the batch core.
+
+    Mirrors the scalar driver exactly: a fresh runner per phase, statistics
+    reset after warm-up, returns the measured-phase runner (call
+    ``finish()`` for the :class:`~repro.cpu.core.CoreResult`).
+    """
+    chunk = chunk_records if chunk_records else DEFAULT_CHUNK_RECORDS
+
+    def access(pc: int, vaddr: int, cycle: int, is_write: bool):
+        return hierarchy.demand_access(pc, vaddr, cycle, is_write=is_write)
+
+    warmup, measured = trace.split(warmup_fraction)
+    if len(warmup):
+        warmup_runner = CoreRunner(core_config, access)
+        run_core_trace_batched(warmup_runner, warmup, hierarchy, chunk)
+        hierarchy.reset_stats(include_shared=True)
+
+    runner = CoreRunner(core_config, access)
+    run_core_trace_batched(runner, measured, hierarchy, chunk)
+    return runner

@@ -38,7 +38,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
 from repro.sim import faults
@@ -326,6 +326,7 @@ def execute_point(
     point: CampaignPoint,
     traces: Optional[dict[tuple[str, int, str], Trace]] = None,
     trace_store: Optional[TraceStore] = None,
+    sim_core: Optional[str] = None,
 ) -> SingleCoreResult | MultiCoreResult:
     """Run the simulation described by ``point``.
 
@@ -333,6 +334,11 @@ def execute_point(
     used by the in-process execution path; worker processes rebuild traces
     from the workload name (or map them from the shared ``trace_store``),
     which is deterministic, so both paths produce identical results.
+
+    ``sim_core`` overrides the simulator core implementation ("scalar" or
+    "batch") recorded in the point's system config.  Because the batch core
+    is bit-identical to the scalar reference, the override does not affect
+    the point's cache key -- results are shared between both cores.
     """
     def trace_for(workload: str) -> Trace:
         if traces is None:
@@ -350,6 +356,8 @@ def execute_point(
         return cached
 
     system = system_config_from_dict(json.loads(point.system_json))
+    if sim_core is not None and sim_core != system.sim_core:
+        system = replace(system, sim_core=sim_core)
     scenario = build_scenario(point.scheme, l1d_prefetcher=point.l1d_prefetcher)
     if point.kind == "single_core":
         return run_single_core(
@@ -443,7 +451,10 @@ def classify_failure(error: BaseException) -> tuple[bool, str]:
 
 
 def _execute_for_pool(
-    point: CampaignPoint, attempt: int = 0, timeout_s: Optional[float] = None
+    point: CampaignPoint,
+    attempt: int = 0,
+    timeout_s: Optional[float] = None,
+    sim_core: Optional[str] = None,
 ) -> tuple[str, dict, int]:
     """Worker-side entry point: ``(key, serialized result, generator runs)``.
 
@@ -457,7 +468,9 @@ def _execute_for_pool(
     before = _generator_invocations
     with _point_deadline(timeout_s):
         faults.inject_before(point.key(), point.label, attempt)
-        result = execute_point(point, trace_store=_worker_trace_store)
+        result = execute_point(
+            point, trace_store=_worker_trace_store, sim_core=sim_core
+        )
     payload = result_to_dict(result)
     payload = faults.corrupt_payload(point.key(), point.label, attempt, payload)
     return point.key(), payload, _generator_invocations - before
@@ -694,10 +707,15 @@ class CampaignEngine:
         result_cache: Optional[ResultCache] = None,
         jobs: Optional[int] = None,
         trace_store: Optional[TraceStore] = None,
+        sim_core: Optional[str] = None,
     ) -> None:
         self.result_cache = result_cache
         self.trace_store = trace_store
         self.jobs = jobs
+        #: Simulator core implementation override ("scalar"/"batch", None
+        #: keeps each point's own setting).  Does not affect cache keys:
+        #: both cores are bit-identical, so their results are shared.
+        self.sim_core = sim_core
         self.simulations_run = 0
         self.cache_hits = 0
         #: Report of the most recent :meth:`run` batch.
@@ -748,7 +766,8 @@ class CampaignEngine:
                 self.cache_hits += 1
                 return cached
         result = execute_point(
-            point, traces=self._traces, trace_store=self.trace_store
+            point, traces=self._traces, trace_store=self.trace_store,
+            sim_core=self.sim_core,
         )
         self.simulations_run += 1
         if self.result_cache is not None:
@@ -903,6 +922,7 @@ class CampaignEngine:
                         result = execute_point(
                             point, traces=self._traces,
                             trace_store=self.trace_store,
+                            sim_core=self.sim_core,
                         )
                 except Exception as error:  # noqa: BLE001 -- supervised boundary
                     transient, kind = classify_failure(error)
@@ -1006,6 +1026,7 @@ class CampaignEngine:
                             point_state.point,
                             point_state.attempts,
                             policy.timeout_s,
+                            self.sim_core,
                         )
                     except (BrokenProcessPool, RuntimeError):
                         # The pool broke between our draining it and this

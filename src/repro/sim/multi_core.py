@@ -49,7 +49,13 @@ def run_multicore_mix(
     warmup_fraction: float = 0.2,
     mix_name: Optional[str] = None,
 ) -> MultiCoreResult:
-    """Simulate one multi-core mix (one trace per core)."""
+    """Simulate one multi-core mix (one trace per core).
+
+    Always runs on the scalar reference path regardless of
+    ``config.sim_core``: the cores interleave per instruction on the shared
+    LLC/DRAM back-end, so there is no chunk of accesses free of cross-core
+    dependencies for the batch core of :mod:`repro.sim.batch` to fuse.
+    """
     if not traces:
         raise ValueError("a multi-core mix needs at least one trace")
     if not 0.0 <= warmup_fraction < 1.0:

@@ -18,6 +18,7 @@ from typing import Optional
 from repro.common.config import SystemConfig, cascade_lake_single_core
 from repro.cpu.core import OutOfOrderCore
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.sim.batch import run_single_core_batched
 from repro.sim.results import SingleCoreResult, collect_single_core_result
 from repro.sim.scenarios import Scenario, build_hierarchy
 from repro.traces.trace import Trace
@@ -41,6 +42,12 @@ def run_single_core(
             predictors before statistics are reset.
         hierarchy: optionally, a pre-built hierarchy (used by tests that want
             to inspect or instrument specific components).
+
+    When ``config.sim_core == "batch"``, the trace is stepped through the
+    chunked fused loop of :mod:`repro.sim.batch` instead of the per-record
+    scalar path.  Both produce bit-identical results; the batch core merely
+    gets there faster (and silently drops back to the scalar path for
+    component combinations it does not model).
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
@@ -50,17 +57,24 @@ def run_single_core(
         if hierarchy is not None
         else build_hierarchy(scenario, config=system)
     )
-    core = OutOfOrderCore(system.core)
 
-    def access(pc: int, vaddr: int, cycle: int, is_write: bool):
-        return memory.demand_access(pc, vaddr, cycle, is_write=is_write)
+    if system.sim_core == "batch":
+        runner = run_single_core_batched(
+            trace, memory, system.core, warmup_fraction
+        )
+        result = runner.finish()
+    else:
+        core = OutOfOrderCore(system.core)
 
-    warmup, measured = trace.split(warmup_fraction)
-    if len(warmup):
-        core.run(warmup, access)
-        memory.reset_stats(include_shared=True)
+        def access(pc: int, vaddr: int, cycle: int, is_write: bool):
+            return memory.demand_access(pc, vaddr, cycle, is_write=is_write)
 
-    result = core.run(measured, access)
+        warmup, measured = trace.split(warmup_fraction)
+        if len(warmup):
+            core.run(warmup, access)
+            memory.reset_stats(include_shared=True)
+
+        result = core.run(measured, access)
     memory.finalize()
     return collect_single_core_result(
         workload=trace.name,

@@ -1,0 +1,371 @@
+"""Batch core equivalence: the chunked fused loop vs. the scalar reference.
+
+The batch core of :mod:`repro.sim.batch` is an optimization, not a model
+change: for every supported component combination it must produce results
+**bit-identical** to the record-at-a-time scalar path, and it must silently
+fall back to that path for combinations it does not model.  These tests pin
+both properties across every scheme, every L1D prefetcher, every trace
+family (GAP generator, SPEC-like generator, imported ChampSim fixture), the
+vectorized hashing/perceptron primitives the batch core is built from, and
+the plumbing that routes ``core="batch"`` through configs and the API
+facade without perturbing cache keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import warnings
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.common.config import (
+    SystemConfig,
+    cascade_lake_multi_core,
+    cascade_lake_single_core,
+    system_config_from_dict,
+    system_config_to_dict,
+)
+from repro.common.hashing import (
+    fold_xor,
+    fold_xor_np,
+    hash_combine,
+    hash_combine_np,
+    jenkins32,
+    jenkins32_np,
+    table_index,
+    table_index_np,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.predictors.features import FeatureSpec
+from repro.predictors.perceptron import HashedPerceptron
+from repro.sim.batch import (
+    batch_supported,
+    run_single_core_batched,
+)
+from repro.sim.engine import single_core_point
+from repro.sim.multi_core import run_multicore_mix
+from repro.sim.scenarios import SCHEMES, build_hierarchy, build_scenario
+from repro.sim.single_core import run_single_core
+from repro.traces.ingest import import_champsim_trace, read_champsim_trace
+from repro.traces.store import TraceStore
+from repro.workloads import gap_trace, spec_like_trace
+from repro.workloads.catalog import default_catalog
+
+FIXTURES = Path(__file__).parent / "fixtures"
+CHAMPSIM_FIXTURE = FIXTURES / "champsim_small.trace"
+
+L1D_PREFETCHERS = ("ipcp", "berti", "next_line", "stride", "none")
+
+ACCESSES = 1_500
+
+
+def _system(core: str) -> SystemConfig:
+    return dataclasses.replace(cascade_lake_single_core(), sim_core=core)
+
+
+def _run_pair(trace, scheme: str, l1d_prefetcher: str = "ipcp"):
+    scenario = build_scenario(scheme, l1d_prefetcher=l1d_prefetcher)
+    scalar = run_single_core(trace, scenario, config=_system("scalar"))
+    batch = run_single_core(trace, scenario, config=_system("batch"))
+    return scalar, batch
+
+
+def _assert_identical(scalar, batch) -> None:
+    assert dataclasses.asdict(batch) == dataclasses.asdict(scalar)
+
+
+@pytest.fixture(scope="module")
+def gap_bfs_trace():
+    return gap_trace("bfs", graph="urand", scale="medium",
+                     max_memory_accesses=ACCESSES)
+
+
+@pytest.fixture(scope="module")
+def spec_mcf_trace():
+    return spec_like_trace("mcf_like", num_memory_accesses=ACCESSES)
+
+
+class TestSchemePrefetcherEquivalence:
+    """Every scheme x every L1D prefetcher: batch == scalar, bit for bit.
+
+    Schemes whose components the batch core does not model (e.g.
+    ``delayed_tsp``'s always-delay predictor subclass) exercise the silent
+    scalar fallback here -- the equality then pins that the fallback is
+    complete, not partial.
+    """
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("l1d_prefetcher", L1D_PREFETCHERS)
+    def test_bit_identical(self, gap_bfs_trace, scheme, l1d_prefetcher):
+        scalar, batch = _run_pair(gap_bfs_trace, scheme, l1d_prefetcher)
+        _assert_identical(scalar, batch)
+
+
+class TestTraceFamilyEquivalence:
+    """Batch == scalar on every trace family the repo can produce."""
+
+    @pytest.mark.parametrize("scheme", ("baseline", "hermes", "tlp"))
+    def test_spec_like_generator(self, spec_mcf_trace, scheme):
+        scalar, batch = _run_pair(spec_mcf_trace, scheme)
+        _assert_identical(scalar, batch)
+
+    def test_gap_generator_all_kernels_tlp(self):
+        for kernel in ("bfs", "pr", "sssp"):
+            trace = gap_trace(kernel, graph="kron", scale="medium",
+                              max_memory_accesses=1_000)
+            scalar, batch = _run_pair(trace, "tlp")
+            _assert_identical(scalar, batch)
+
+    def test_champsim_fixture(self):
+        trace = read_champsim_trace(CHAMPSIM_FIXTURE, name="fixture")
+        scalar, batch = _run_pair(trace, "tlp")
+        _assert_identical(scalar, batch)
+
+    def test_tiny_chunks_hit_every_boundary(self, spec_mcf_trace):
+        """A 7-record chunk forces lead-window/boundary code on every chunk."""
+        scenario = build_scenario("tlp")
+        system = _system("scalar")
+        scalar_hierarchy = build_hierarchy(scenario, config=system)
+        scalar = run_single_core(spec_mcf_trace, scenario, config=system,
+                                 hierarchy=scalar_hierarchy)
+        batch_hierarchy = build_hierarchy(scenario, config=system)
+        runner = run_single_core_batched(
+            spec_mcf_trace, batch_hierarchy, system.core, 0.2, chunk_records=7
+        )
+        result = runner.finish()
+        batch_hierarchy.finalize()
+        assert result.instructions > 0
+        assert batch_hierarchy.stats.demand_loads == (
+            scalar_hierarchy.stats.demand_loads
+        )
+        assert batch_hierarchy.dram.stats.total_transactions == (
+            scalar_hierarchy.dram.stats.total_transactions
+        )
+        assert result.ipc == pytest.approx(scalar.ipc)
+
+
+class TestFallbacks:
+    def test_supported_schemes(self):
+        for scheme in ("baseline", "hermes", "tlp", "flp", "ppf"):
+            hierarchy = build_hierarchy(build_scenario(scheme))
+            assert batch_supported(hierarchy), scheme
+
+    def test_predictor_subclass_falls_back(self):
+        hierarchy = build_hierarchy(build_scenario("delayed_tsp"))
+        assert not batch_supported(hierarchy)
+
+    def test_hierarchy_subclass_falls_back(self):
+        class InstrumentedHierarchy(MemoryHierarchy):
+            pass
+
+        hierarchy = InstrumentedHierarchy(cascade_lake_single_core())
+        assert not batch_supported(hierarchy)
+
+    def test_multicore_runs_scalar_regardless_of_core(self, spec_mcf_trace):
+        traces = [spec_mcf_trace, spec_mcf_trace]
+        scenario = build_scenario("tlp")
+        results = {}
+        for core in ("scalar", "batch"):
+            config = dataclasses.replace(
+                cascade_lake_multi_core(num_cores=2), sim_core=core
+            )
+            results[core] = run_multicore_mix(
+                traces, scenario, config=config, mix_name="mix"
+            )
+        assert dataclasses.asdict(results["batch"]) == (
+            dataclasses.asdict(results["scalar"])
+        )
+
+
+class TestVectorizedHashing:
+    """The numpy hash kernels reproduce the scalar functions bit for bit."""
+
+    def _values(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 1 << 48, size=256, dtype=np.uint64)
+        values[:4] = (0, 1, (1 << 32) - 1, (1 << 48) - 1)
+        return values
+
+    def test_jenkins32(self):
+        values = self._values()
+        expected = [jenkins32(int(v)) for v in values]
+        assert jenkins32_np(values).tolist() == expected
+
+    @pytest.mark.parametrize("bits", (6, 10, 12))
+    def test_fold_xor(self, bits):
+        values = self._values()
+        expected = [fold_xor(int(v), bits) for v in values]
+        assert fold_xor_np(values, bits).tolist() == expected
+
+    def test_hash_combine(self):
+        a, b = self._values(), self._values()[::-1].copy()
+        expected = [hash_combine(int(x), int(y)) for x, y in zip(a, b)]
+        assert hash_combine_np(a, b).tolist() == expected
+
+    @pytest.mark.parametrize("bits", (7, 12))
+    def test_table_index(self, bits):
+        values = self._values()
+        expected = [table_index(int(v), bits) for v in values]
+        assert table_index_np(values, bits).tolist() == expected
+
+
+class TestPerceptronBatchOps:
+    def _perceptron(self) -> HashedPerceptron:
+        return HashedPerceptron(
+            [
+                FeatureSpec("a", lambda c: c.pc, table_entries=64),
+                FeatureSpec("b", lambda c: c.vaddr, table_entries=100),
+            ],
+            training_threshold=8,
+        )
+
+    def test_predict_batch_matches_confidence(self):
+        perceptron = self._perceptron()
+        rng = np.random.default_rng(3)
+        for view in perceptron.weight_views():
+            view[:] = rng.integers(-15, 16, size=view.shape, dtype=np.int32)
+        columns = [
+            rng.integers(0, 64, size=32, dtype=np.int64),
+            rng.integers(0, 100, size=32, dtype=np.int64),
+        ]
+        got = perceptron.predict_batch(columns)
+        expected = [
+            perceptron.confidence([int(i), int(j)])
+            for i, j in zip(columns[0], columns[1])
+        ]
+        assert got.tolist() == expected
+
+    def test_train_batch_matches_sequential(self):
+        rng = np.random.default_rng(5)
+        columns = [
+            # Deliberately collision-heavy: saturating updates on shared
+            # indices are order sensitive, which is exactly what
+            # train_batch must preserve.
+            rng.integers(0, 4, size=64, dtype=np.int64),
+            rng.integers(0, 4, size=64, dtype=np.int64),
+        ]
+        targets = rng.integers(0, 2, size=64).astype(bool)
+        confidences = rng.integers(-40, 41, size=64, dtype=np.int64)
+
+        batched = self._perceptron()
+        batched.train_batch(columns, targets, confidences)
+        sequential = self._perceptron()
+        for i, j, target, confidence in zip(
+            columns[0], columns[1], targets, confidences
+        ):
+            sequential.train([int(i), int(j)], bool(target), int(confidence))
+
+        for got, expected in zip(
+            batched.weight_views(), sequential.weight_views()
+        ):
+            assert got.tolist() == expected.tolist()
+        assert batched.stats.weight_updates == sequential.stats.weight_updates
+
+
+class TestSimCoreConfig:
+    def test_rejects_unknown_core(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(cascade_lake_single_core(), sim_core="simd")
+
+    def test_round_trip_defaults_to_scalar(self):
+        payload = system_config_to_dict(cascade_lake_single_core())
+        assert "sim_core" not in payload
+        assert system_config_from_dict(payload).sim_core == "scalar"
+
+    def test_cache_keys_shared_between_cores(self):
+        """core="batch" is bit-identical, so it must not fork the cache."""
+        points = {
+            core: single_core_point(
+                "bfs.urand", "tlp", "ipcp", 1_000, 0.2, system=_system(core)
+            )
+            for core in ("scalar", "batch")
+        }
+        assert points["scalar"].key() == points["batch"].key()
+        assert json.loads(points["scalar"].system_json) == (
+            json.loads(points["batch"].system_json)
+        )
+
+
+class TestTraceStoreKeywordRename:
+    def test_catalog_build_store_alias_warns(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        catalog = default_catalog()
+        with pytest.warns(DeprecationWarning, match="trace_store"):
+            via_alias = catalog.build("spec.mcf_like", 400, store=store)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            canonical = catalog.build("spec.mcf_like", 400, trace_store=store)
+        assert via_alias.as_lists() == canonical.as_lists()
+
+    def test_catalog_build_rejects_both_keywords(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        with pytest.raises(TypeError):
+            default_catalog().build(
+                "spec.mcf_like", 400, trace_store=store, store=store
+            )
+
+    def test_import_champsim_store_alias_warns(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        with pytest.warns(DeprecationWarning, match="trace_store"):
+            workload, _, _ = import_champsim_trace(
+                CHAMPSIM_FIXTURE, store=store, name="alias"
+            )
+        assert workload == "imported.alias"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            workload, _, _ = import_champsim_trace(
+                CHAMPSIM_FIXTURE, trace_store=store, name="canonical"
+            )
+        assert workload == "imported.canonical"
+
+
+class TestApiFacade:
+    def test_all_names_resolve(self):
+        from repro import api
+
+        missing = [name for name in api.__all__ if not hasattr(api, name)]
+        assert not missing
+
+    def test_simulate_point_cores_identical(self):
+        from repro import api
+
+        results = {
+            core: api.simulate_point(
+                "spec.mcf_like", "tlp", memory_accesses=1_000, core=core
+            )
+            for core in ("scalar", "batch")
+        }
+        assert dataclasses.asdict(results["batch"]) == (
+            dataclasses.asdict(results["scalar"])
+        )
+
+    def test_run_sweep_smoke(self):
+        from repro import api
+
+        spec = api.SweepSpec(
+            single_core=(
+                api.SingleCoreSweep(
+                    workloads=("spec.mcf_like",),
+                    schemes=("baseline", "tlp"),
+                    l1d_prefetchers=("ipcp",),
+                ),
+            )
+        )
+        config = api.ExperimentConfig(memory_accesses=1_000)
+        results = api.run_sweep(
+            spec, config=config, core="batch", use_result_cache=False, jobs=1
+        )
+        tlp = results.single_core("spec.mcf_like", "tlp", l1d_prefetcher="ipcp")
+        baseline = results.single_core(
+            "spec.mcf_like", "baseline", l1d_prefetcher="ipcp"
+        )
+        assert tlp.ipc > 0 and baseline.ipc > 0
+
+    def test_load_trace(self):
+        from repro import api
+
+        trace = api.load_trace("spec.omnetpp_like", memory_accesses=500)
+        assert trace.num_memory_accesses == 500

@@ -278,7 +278,7 @@ class TestChampsimIngestion:
     def test_import_registers_catalog_workload(self, tmp_path):
         store = TraceStore(tmp_path / "store")
         workload, key, trace = import_champsim_trace(
-            CHAMPSIM_FIXTURE, store=store, name="fixture"
+            CHAMPSIM_FIXTURE, trace_store=store, name="fixture"
         )
         assert workload == "imported.fixture"
         assert store.imported_workloads() == {
@@ -296,7 +296,7 @@ class TestChampsimIngestion:
 
     def test_imported_workload_runs_through_engine(self, tmp_path):
         store = TraceStore(tmp_path / "store")
-        import_champsim_trace(CHAMPSIM_FIXTURE_GZ, store=store, name="fixture",
+        import_champsim_trace(CHAMPSIM_FIXTURE_GZ, trace_store=store, name="fixture",
                               compute_per_access=2)
         trace = build_workload_trace(
             "imported.fixture", 100, trace_store=store
@@ -316,10 +316,10 @@ class TestChampsimIngestion:
     def test_max_records_yields_distinct_store_entries(self, tmp_path):
         store = TraceStore(tmp_path / "store")
         _, full_key, full = import_champsim_trace(
-            CHAMPSIM_FIXTURE, store=store, name="full"
+            CHAMPSIM_FIXTURE, trace_store=store, name="full"
         )
         _, head_key, head = import_champsim_trace(
-            CHAMPSIM_FIXTURE, store=store, name="head", max_records=50
+            CHAMPSIM_FIXTURE, trace_store=store, name="head", max_records=50
         )
         assert full_key != head_key
         assert full.num_memory_accesses == 240
@@ -337,7 +337,7 @@ class TestChampsimIngestion:
         store = TraceStore(tmp_path / "store")
         source = tmp_path / "app.trace"
         source.write_text("0x400000 0x1000 R\n0x400004 0x2000 W\n")
-        import_champsim_trace(source, store=store, name="app")
+        import_champsim_trace(source, trace_store=store, name="app")
 
         def point():
             return single_core_point(
@@ -349,7 +349,7 @@ class TestChampsimIngestion:
         assert point().key() == first_key  # deterministic
         # Same name, different trace content.
         source.write_text("0x400000 0x9000 R\n0x400004 0xa000 R\n")
-        import_champsim_trace(source, store=store, name="app")
+        import_champsim_trace(source, trace_store=store, name="app")
         assert point().key() != first_key
 
     def test_generated_point_cache_keys_unchanged_by_trace_keys_field(self):
@@ -386,7 +386,7 @@ class TestChampsimIngestion:
         """An imported trace is a first-class workload for the figure
         harness machinery (CampaignCache.single_core)."""
         store = TraceStore(tmp_path / "store")
-        import_champsim_trace(CHAMPSIM_FIXTURE, store=store, name="fixture",
+        import_champsim_trace(CHAMPSIM_FIXTURE, trace_store=store, name="fixture",
                               compute_per_access=2)
         config = ExperimentConfig(
             gap_workloads=(),
@@ -412,12 +412,12 @@ class TestStoreFastPath:
     def test_catalog_build_hits_store_second_time(self, tmp_path):
         store = TraceStore(tmp_path / "store")
         catalog = default_catalog(gap_scale="tiny")
-        first = catalog.build("spec.mcf_like", 500, store=store)
+        first = catalog.build("spec.mcf_like", 500, trace_store=store)
         # The miss built and persisted the trace, then served the stored
         # copy (one miss, one hit).
         assert store.misses == 1
         hits_after_build = store.hits
-        second = catalog.build("spec.mcf_like", 500, store=store)
+        second = catalog.build("spec.mcf_like", 500, trace_store=store)
         assert store.misses == 1
         assert store.hits == hits_after_build + 1
         assert _is_memory_mapped(second.columns()[0])
@@ -428,10 +428,10 @@ class TestStoreFastPath:
 
     def test_catalog_registers_imported_suite(self, tmp_path):
         store = TraceStore(tmp_path / "store")
-        import_champsim_trace(CHAMPSIM_FIXTURE, store=store, name="fixture")
+        import_champsim_trace(CHAMPSIM_FIXTURE, trace_store=store, name="fixture")
         catalog = default_catalog(gap_scale="tiny", trace_store=store)
         assert "imported.fixture" in catalog.names("imported")
-        trace = catalog.build("imported.fixture", 64, store=store)
+        trace = catalog.build("imported.fixture", 64, trace_store=store)
         assert trace.num_memory_accesses == 64
         assert catalog.get("imported.fixture").suite == "imported"
         assert "imported" in catalog.suites()
@@ -625,7 +625,7 @@ class TestTraceStoreGc:
 
         store = TraceStore(tmp_path / "store")
         _, key, _ = import_champsim_trace(
-            CHAMPSIM_FIXTURE, store=store, name="fixture"
+            CHAMPSIM_FIXTURE, trace_store=store, name="fixture"
         )
         os.utime(store.path(key) / "meta.json", (0, 0))
         store.put(
@@ -685,7 +685,7 @@ class TestXzIngestion:
     def test_xz_registers_catalog_workload(self, tmp_path, xz_fixture):
         store = TraceStore(tmp_path / "store")
         workload, key, trace = import_champsim_trace(
-            xz_fixture, store=store, name="xzfixture"
+            xz_fixture, trace_store=store, name="xzfixture"
         )
         assert workload == "imported.xzfixture"
         assert store.resolve("imported.xzfixture") == key
