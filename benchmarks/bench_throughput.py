@@ -271,6 +271,28 @@ def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0
     }
 
 
+def host_metadata() -> dict:
+    """Where the numbers were measured: interpreter, numpy, CPU, platform.
+
+    Stamped into the report so a ``BENCH_throughput.json`` artifact is
+    interpretable on its own -- throughput comparisons across machines or
+    toolchain upgrades are meaningless without this block.
+    """
+    import os
+    import platform
+
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "platform": platform.platform(),
+    }
+
+
 def load_baseline() -> dict | None:
     """Load the committed reference numbers, if present."""
     try:
@@ -297,6 +319,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = measure(accesses=args.accesses, repeats=args.repeats)
+    report["host"] = host_metadata()
     baseline = load_baseline()
 
     print(f"simulator throughput ({args.accesses} accesses, best of {args.repeats}):")

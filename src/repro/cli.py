@@ -50,6 +50,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import time
 from typing import Sequence
 
@@ -263,6 +264,87 @@ def _progress_from_args(args: argparse.Namespace, label: str):
     return line, campaign_progress(line, label)
 
 
+def _setup_observability(args: argparse.Namespace) -> None:
+    """Configure logging and telemetry from the parsed flags, then install.
+
+    Telemetry flags are exported through the environment so every child
+    process of the run -- engine pool workers and spawned ``repro fabric
+    worker`` processes alike -- inherits the same configuration via
+    ``install_from_env``.  Commands without the flags (``obs``, ``list``,
+    ``fabric worker``) still honour a pre-set environment, which is
+    exactly how fabric workers join the driver's telemetry run.
+    """
+    from repro.obs import profile as obs_profile
+    from repro.obs import sample as obs_sample
+    from repro.obs import tracer as obs_tracer
+    from repro.obs.logs import setup_logging
+
+    setup_logging(getattr(args, "log_level", None))
+    telemetry = getattr(args, "telemetry", None)
+    if telemetry is None and (getattr(args, "profile", None)
+                              or getattr(args, "sample_interval", None)):
+        telemetry = ""  # --profile / --sample-interval imply --telemetry
+    if telemetry is not None:
+        if not telemetry:  # bare --telemetry: a fresh timestamped run dir
+            telemetry = os.path.join(
+                ".repro_telemetry", time.strftime("%Y%m%d-%H%M%S")
+            )
+        os.environ[obs_tracer.TELEMETRY_ENV] = os.path.abspath(telemetry)
+    if getattr(args, "profile", None):
+        os.environ[obs_profile.PROFILE_ENV] = args.profile
+    if getattr(args, "sample_interval", None):
+        os.environ[obs_sample.SAMPLE_ENV] = str(args.sample_interval)
+    obs_tracer.install_from_env()
+    obs_profile.install_from_env()
+
+
+def _finish_telemetry() -> None:
+    """Seal this run's telemetry: snapshot, merge sinks, print pointers.
+
+    No-op unless the tracer is recording.  Emits the supervisor's final
+    metrics snapshot now (so the merged ``run.jsonl`` is complete without
+    waiting for interpreter exit), folds every per-process sink into
+    ``run.jsonl``, and -- when profiling -- dumps and renders the hotspot
+    table across all recorded profiles.
+    """
+    from repro.obs import profile as obs_profile
+    from repro.obs import tracer as obs_tracer
+
+    directory = obs_tracer.directory()
+    if directory is None:
+        return
+    obs_profile.dump()
+    obs_tracer.shutdown()
+    merged = obs_tracer.merge_run(directory)
+    print(f"telemetry: {merged} "
+          f"(analyze with 'repro obs report {directory}')")
+    profiles = obs_profile.profile_files(directory)
+    if profiles:
+        print(f"profile: {len(profiles)} process dump(s)")
+        print(obs_profile.hotspot_table(profiles, top=15), end="")
+
+
+def _telemetry_metrics() -> dict:
+    """Run-total metric snapshot for ``--report`` (empty when disabled).
+
+    Folds the supervisor's live registry with the snapshot records the
+    worker processes appended to their sinks at shutdown.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracer as obs_tracer
+
+    if not obs_tracer.enabled():
+        return {}
+    obs_tracer.flush()
+    snapshots = [obs_metrics.registry().snapshot()]
+    for record in obs_tracer.load_run(obs_tracer.directory()):
+        if (record.get("type") == "metrics"
+                and isinstance(record.get("snapshot"), dict)):
+            snapshots.append(record["snapshot"])
+    merged = obs_metrics.merge_snapshots(snapshots)
+    return merged if any(merged.values()) else {}
+
+
 def _merged_report(engine):
     """Every engine run of this invocation folded into one report, or None."""
     from repro.sim.engine import CampaignReport
@@ -292,13 +374,18 @@ def _finish_run(args: argparse.Namespace, engine) -> int:
             print(f"  [{detail}] {outcome.label} "
                   f"after {outcome.attempts} attempts: {outcome.error}")
     if args.report:
-        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        report_dict = report.to_dict()
+        metrics = _telemetry_metrics()
+        if metrics:
+            report_dict["metrics"] = metrics
+        payload = json.dumps(report_dict, indent=2, sort_keys=True)
         if args.report == "-":
             print(payload)
         else:
             with open(args.report, "w", encoding="utf-8") as fh:
                 fh.write(payload + "\n")
             print(f"report written to {args.report}")
+    _finish_telemetry()
     if quarantined and args.strict:
         return 1
     return 0
@@ -871,6 +958,7 @@ def _cmd_fabric_run(args: argparse.Namespace) -> int:
             with open(args.report, "w", encoding="utf-8") as fh:
                 fh.write(payload + "\n")
             print(f"report written to {args.report}")
+    _finish_telemetry()
 
     if not result.settled:
         print("fabric run did not settle every point (out of worker "
@@ -967,11 +1055,116 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
     return _cmd_fabric_run(args)
 
 
+def _load_obs_run(run: str):
+    """Records of a recorded run (directory or JSONL file); None if absent."""
+    import pathlib
+
+    from repro.obs import tracer as obs_tracer
+
+    target = pathlib.Path(run)
+    if not target.exists():
+        print(f"no telemetry at {run} (record a run with --telemetry)")
+        return None
+    if target.is_dir() and any(target.glob("events-*.jsonl")):
+        # Refresh the merged view: idempotent, and it picks up sinks that
+        # workers flushed after the recording run's own merge.
+        obs_tracer.merge_run(target)
+    records = obs_tracer.load_run(target)
+    if not records:
+        print(f"no telemetry records in {run}")
+        return None
+    return records
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import analyze
+
+    records = _load_obs_run(args.run)
+    if records is None:
+        return 2
+    summary = analyze.summarize(records)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(analyze.format_report(summary, title=str(args.run)))
+    return 0
+
+
+def _cmd_obs_export_chrome(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs import timeline
+
+    records = _load_obs_run(args.run)
+    if records is None:
+        return 2
+    target = pathlib.Path(args.run)
+    if args.output:
+        out = pathlib.Path(args.output)
+    elif target.is_dir():
+        out = target / "trace.json"
+    else:
+        out = target.with_suffix(".trace.json")
+    trace = timeline.chrome_trace(records)
+    with out.open("w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+        fh.write("\n")
+    print(f"chrome trace written to {out} "
+          f"({len(trace['traceEvents'])} events; open in ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_obs_prom(args: argparse.Namespace) -> int:
+    from repro.obs import metrics as obs_metrics
+
+    records = _load_obs_run(args.run)
+    if records is None:
+        return 2
+    snapshots = [
+        record["snapshot"] for record in records
+        if record.get("type") == "metrics"
+        and isinstance(record.get("snapshot"), dict)
+    ]
+    if not snapshots:
+        print(f"no metrics snapshots recorded in {args.run}")
+        return 2
+    print(obs_metrics.to_prometheus(obs_metrics.merge_snapshots(snapshots)),
+          end="")
+    return 0
+
+
+def _cmd_obs_hotspots(args: argparse.Namespace) -> int:
+    from repro.obs import profile as obs_profile
+
+    profiles = obs_profile.profile_files(args.run)
+    if not profiles:
+        print(f"no profile dumps under {args.run} "
+              f"(record a run with --profile cprofile)")
+        return 2
+    print(obs_profile.hotspot_table(profiles, top=args.top, sort=args.sort),
+          end="")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    if args.obs_command == "export-chrome":
+        return _cmd_obs_export_chrome(args)
+    if args.obs_command == "prom":
+        return _cmd_obs_prom(args)
+    return _cmd_obs_hotspots(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the CLI argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro", description="TLP (HPCA 2024) reproduction toolkit"
     )
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="verbosity of the repro.* loggers on stderr "
+                             "(default: $REPRO_LOG or warning)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="list workloads, schemes and figures")
@@ -1045,6 +1238,22 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="stream a live points/ok/quarantined/ETA "
                                      "line to stderr while the campaign runs "
                                      "(default: on when stderr is a terminal)")
+        sub_parser.add_argument("--telemetry", nargs="?", const="",
+                                default=None, metavar="DIR",
+                                help="record structured spans/events/metrics "
+                                     "to per-process JSONL sinks under DIR "
+                                     "(default: .repro_telemetry/<timestamp>); "
+                                     "analyze with 'repro obs report DIR'")
+        sub_parser.add_argument("--profile", choices=("cprofile",),
+                                default=None,
+                                help="accumulate a cProfile across per-point "
+                                     "execution in every process and print a "
+                                     "hotspot table (implies --telemetry)")
+        sub_parser.add_argument("--sample-interval", type=int, default=None,
+                                metavar="N",
+                                help="with --telemetry, emit an IPC/MPKI/"
+                                     "predictor snapshot every N memory "
+                                     "accesses of each simulated point")
 
     figure_parser = subparsers.add_parser(
         "figure",
@@ -1227,6 +1436,49 @@ def build_parser() -> argparse.ArgumentParser:
                                help="queue directory to inspect")
     fabric_status.set_defaults(func=_cmd_fabric)
 
+    obs_parser = subparsers.add_parser(
+        "obs", help="analyze telemetry recorded by --telemetry runs"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="summarize a recorded run: worker utilization, straggler "
+             "percentiles, cache-hit rate, retries",
+    )
+    obs_report.add_argument("run", help="telemetry directory or merged "
+                                        "run.jsonl file")
+    obs_report.add_argument("--json", action="store_true",
+                            help="emit the machine-readable summary instead "
+                                 "of the text report")
+    obs_chrome = obs_sub.add_parser(
+        "export-chrome",
+        help="convert a recorded run to Chrome trace-event JSON "
+             "(open in ui.perfetto.dev or chrome://tracing)",
+    )
+    obs_chrome.add_argument("run", help="telemetry directory or merged "
+                                        "run.jsonl file")
+    obs_chrome.add_argument("-o", "--output", default=None, metavar="PATH",
+                            help="output file (default: <run>/trace.json)")
+    obs_prom = obs_sub.add_parser(
+        "prom",
+        help="print a run's merged metrics in Prometheus text format",
+    )
+    obs_prom.add_argument("run", help="telemetry directory or merged "
+                                      "run.jsonl file")
+    obs_hotspots = obs_sub.add_parser(
+        "hotspots",
+        help="merge a run's cProfile dumps (--profile cprofile) and print "
+             "the top-N hotspot table",
+    )
+    obs_hotspots.add_argument("run", help="telemetry directory holding "
+                                          "profile-*.prof dumps")
+    obs_hotspots.add_argument("--top", type=int, default=20,
+                              help="rows to print (default 20)")
+    obs_hotspots.add_argument("--sort", default="cumulative",
+                              choices=("cumulative", "tottime", "calls"),
+                              help="pstats sort key (default cumulative)")
+    obs_parser.set_defaults(func=_cmd_obs)
+
     cache_parser = subparsers.add_parser(
         "cache", help="manage the persistent result cache"
     )
@@ -1303,6 +1555,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _setup_observability(args)
     return args.func(args)
 
 

@@ -35,6 +35,7 @@ from repro.fabric.queue import (
     QueueCounts,
     TaskQueue,
 )
+from repro.obs import metrics as obs_metrics
 from repro.sim.engine import CampaignPoint, CampaignReport, PointOutcome
 
 
@@ -64,6 +65,9 @@ class FabricRunResult:
     leases_reclaimed: int = 0
     lease_quarantined: int = 0
     elapsed_s: float = 0.0
+    #: Merged per-worker telemetry metric snapshots (empty without
+    #: ``--telemetry``; see :mod:`repro.obs.metrics`).
+    metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         payload = self.report.to_dict()
@@ -78,6 +82,8 @@ class FabricRunResult:
             "quarantined": self.counts.quarantined,
             "elapsed_s": round(self.elapsed_s, 6),
         }
+        if self.metrics:
+            payload["metrics"] = self.metrics
         return payload
 
 
@@ -119,6 +125,8 @@ class FabricDriver:
         self._spawned = 0
         self._wall_samples: list[float] = []
         self._seen_done: set[str] = set()
+        self._cached_points = 0
+        self._point_retries = 0
 
     # ------------------------------------------------------------------
     # Worker process management
@@ -200,6 +208,9 @@ class FabricDriver:
             payload = read_json(self.queue._entry("done", key))
             if payload is not None:
                 self._wall_samples.append(float(payload.get("wall_s", 0.0)))
+                if payload.get("status") == "cached":
+                    self._cached_points += 1
+                self._point_retries += int(payload.get("retries", 0) or 0)
 
     def _eta_s(self, counts: QueueCounts) -> Optional[float]:
         executed = sorted(w for w in self._wall_samples if w > 0)
@@ -220,6 +231,11 @@ class FabricDriver:
         ]
         if counts.quarantined:
             parts.append(f"{counts.quarantined} quarantined")
+        if counts.done:
+            hit_rate = self._cached_points / counts.done
+            parts.append(f"hit {hit_rate:.0%}")
+        if self._point_retries:
+            parts.append(f"{self._point_retries} retries")
         parts.append(f"workers {len(self._children)}")
         parts.append(f"eta {format_eta(self._eta_s(counts))}")
         self.progress.update(" | ".join(parts), force=force)
@@ -282,8 +298,20 @@ class FabricDriver:
         if self.progress is not None:
             self.progress.finish()
         result.report = self._merged_report()
+        result.metrics = self._merged_metrics()
         result.elapsed_s = time.perf_counter() - start
         return result
+
+    def _merged_metrics(self) -> dict:
+        """Fold the workers' telemetry metric snapshots into run totals."""
+        snapshots = [
+            payload["metrics"]
+            for payload in self.queue.worker_reports()
+            if isinstance(payload.get("metrics"), dict)
+        ]
+        if not snapshots:
+            return {}
+        return obs_metrics.merge_snapshots(snapshots)
 
     def _merged_report(self) -> CampaignReport:
         """Worker reports (the counters) + queue records (the truth).

@@ -110,6 +110,11 @@ def campaign_progress(line: ProgressLine, label: str = "campaign"):
             parts.append(f"{report.cached} cached")
         if report.quarantined:
             parts.append(f"{report.quarantined} quarantined")
+        if done:
+            parts.append(f"hit {report.cached / done:.0%}")
+        retries = report.total_retries
+        if retries:
+            parts.append(f"{retries} retries")
         parts.append(
             f"eta {format_eta(campaign_eta_s(report, total, report.jobs))}"
         )

@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.common.fsutil import atomic_write_json, read_json
+from repro.obs import tracer as obs_tracer
 from repro.sim.engine import CampaignPoint, point_from_dict
 
 #: Default lease time-to-live: a lease whose deadline is this far past its
@@ -246,6 +247,10 @@ class TaskQueue:
                 heartbeat_s=heartbeat_s,
             )
             self.renew(task)
+            obs_tracer.event(
+                "lease_acquire", key=key, owner=owner, attempts=task.attempts,
+                lease_losses=task.lease_losses,
+            )
             return task
         return None
 
@@ -392,6 +397,10 @@ class TaskQueue:
             return  # the presumed-dead worker finished after all
         attempts = int(token.get("attempts", 0))
         losses = int(token.get("lease_losses", 0)) + 1
+        obs_tracer.event(
+            "lease_lost", key=key, owner=token.get("owner"), losses=losses,
+            quarantined=losses > lease_loss_budget,
+        )
         if losses > lease_loss_budget:
             record = self.task_record(key) or {}
             atomic_write_json(

@@ -28,6 +28,8 @@ import time
 from typing import Optional
 
 from repro.fabric.queue import DEFAULT_HEARTBEAT_S, LeasedTask, TaskQueue
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs_tracer
 from repro.sim import faults
 from repro.sim.engine import CampaignEngine, CampaignReport, RetryPolicy
 from repro.sim.result_cache import ResultCache
@@ -101,6 +103,9 @@ class FabricWorker:
             if task is not None:
                 try:
                     self.queue.renew(task)
+                    obs_tracer.event(
+                        "lease_renew", key=task.key, owner=self.owner
+                    )
                 except OSError:
                     pass  # shared directory hiccup; retry next beat
 
@@ -163,6 +168,12 @@ class FabricWorker:
                         break
                     time.sleep(0.1)
                     continue
+                if idle_since is not None and obs_tracer.enabled():
+                    idle_s = time.monotonic() - idle_since
+                    obs_tracer.event(
+                        "worker_idle", owner=self.owner, idle_s=idle_s
+                    )
+                    obs_metrics.registry().counter("worker.idle_s", idle_s)
                 idle_since = None
                 self._execute(task)
                 task = None
@@ -192,7 +203,11 @@ class FabricWorker:
             faults.inject_after_lease(
                 task.key, task.point.label, task.attempts - 1
             )
-            self.engine.run([task.point], jobs=1, policy=self.policy)
+            with obs_tracer.span(
+                "lease", key=task.key, point=task.point.label,
+                owner=self.owner, attempts=task.attempts,
+            ):
+                self.engine.run([task.point], jobs=1, policy=self.policy)
             outcome = self.engine.last_report.outcomes[-1]
         finally:
             with self._lock:
@@ -211,6 +226,8 @@ class FabricWorker:
         payload = report.to_dict()
         payload["owner"] = self.owner
         payload["drained"] = self.drained
+        if obs_tracer.enabled():
+            payload["metrics"] = obs_metrics.registry().snapshot()
         try:
             self.queue.write_worker_report(self.owner, payload)
         except OSError:

@@ -1,0 +1,63 @@
+"""repro.obs: the end-to-end telemetry layer.
+
+Everything under this package is *off by default* and bit-neutral: with
+telemetry disabled the tracer's ``span``/``event`` calls are single-branch
+no-ops, the metrics registry is never touched by the hot paths, and no
+simulation metric changes either way (``CACHE_SCHEMA_VERSION`` is
+untouched -- spans, events and interval samples ride in side-channel JSONL
+sinks, never in cached results).
+
+Layout:
+
+``tracer``
+    Process-local structured spans and events appended to a per-process
+    JSONL sink; enabled by ``--telemetry`` / ``REPRO_TELEMETRY=<dir>``.
+``metrics``
+    Named counters/gauges/histograms with snapshot + merge (per-worker
+    snapshots sum to run totals) and Prometheus text exposition.
+``timeline``
+    Merged run JSONL -> Chrome trace-event JSON (Perfetto/chrome://tracing).
+``analyze``
+    Worker utilization, straggler percentiles and cache-hit summaries for
+    ``repro obs report``.
+``profile``
+    Optional cProfile accumulation around per-point execution
+    (``--profile cprofile``) with merged top-N hotspot tables.
+``sample``
+    Opt-in per-N-accesses simulator interval snapshots
+    (``REPRO_SIM_SAMPLE=<N>``), emitted as telemetry events.
+``logs``
+    ``repro.*`` named-logger setup behind ``--log-level`` / ``REPRO_LOG``.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics, profile, sample, tracer
+from repro.obs.logs import get_logger, setup_logging
+from repro.obs.metrics import merge_snapshots, registry, to_prometheus
+from repro.obs.tracer import (
+    TELEMETRY_ENV,
+    enabled,
+    event,
+    install_from_env,
+    merge_run,
+    span,
+)
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "enabled",
+    "event",
+    "span",
+    "install_from_env",
+    "merge_run",
+    "registry",
+    "merge_snapshots",
+    "to_prometheus",
+    "setup_logging",
+    "get_logger",
+    "metrics",
+    "tracer",
+    "profile",
+    "sample",
+]

@@ -1,0 +1,221 @@
+"""Named counters, gauges and histograms with snapshot + merge.
+
+A :class:`MetricsRegistry` is process-local and lock-protected; the
+module-level :func:`registry` singleton is what instrumentation sites
+use.  Workers serialize ``registry().snapshot()`` into their report
+payloads (and their telemetry sink's final ``metrics`` record);
+:func:`merge_snapshots` folds any number of per-process snapshots into
+run totals — counters and histogram counts/sums add, gauges keep the
+last-written value, histogram mins/maxes widen.  :func:`to_prometheus`
+renders a snapshot in the Prometheus text exposition format.
+
+Snapshots are plain JSON-serializable dicts::
+
+    {"counters":   {"cache.hits": 12, ...},
+     "gauges":     {"pool.workers": 4.0, ...},
+     "histograms": {"point.simulate_s": {"count": 9, "sum": 1.2,
+                    "min": 0.05, "max": 0.4,
+                    "buckets": {"0.1": 3, "1": 9, ...}}}}
+
+Histogram buckets are cumulative (Prometheus convention) over a fixed
+duration-oriented ladder; ``+Inf`` is implied by ``count``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional
+
+#: Cumulative bucket upper bounds (seconds-oriented, but unitless).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket cumulative histogram (count/sum/min/max + buckets)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS):
+        self.bounds = tuple(sorted(bounds))
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {
+                repr(bound): count
+                for bound, count in zip(self.bounds, self.bucket_counts)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, increment: float = 1.0) -> None:
+        """Add ``increment`` to the named counter (created at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + increment
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge to ``value`` (last write wins on merge)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created on first use.
+
+        The returned object is shared; ``observe`` on it is not itself
+        locked, which is fine for the single-writer-per-process pattern
+        every instrumentation site here follows.
+        """
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand for ``histogram(name).observe(value)``."""
+        self.histogram(name).observe(value)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable copy of every metric's current state."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    name: hist.to_dict()
+                    for name, hist in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop all metrics (tests and between-run isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry all instrumentation sites share."""
+    return _registry
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Fold per-process snapshots into run totals.
+
+    Counters sum; gauges take the last snapshot's value; histograms sum
+    counts/sums/buckets and widen min/max.  Snapshot order only matters
+    for gauges.  Unknown or malformed entries are skipped, so partially
+    written worker snapshots degrade gracefully.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, dict] = {}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for name, value in (snap.get("counters") or {}).items():
+            if isinstance(value, (int, float)):
+                counters[name] = counters.get(name, 0.0) + value
+        for name, value in (snap.get("gauges") or {}).items():
+            if isinstance(value, (int, float)):
+                gauges[name] = float(value)
+        for name, hist in (snap.get("histograms") or {}).items():
+            if not isinstance(hist, dict):
+                continue
+            merged = histograms.setdefault(
+                name,
+                {"count": 0, "sum": 0.0, "min": None, "max": None, "buckets": {}},
+            )
+            merged["count"] += hist.get("count", 0) or 0
+            merged["sum"] += hist.get("sum", 0.0) or 0.0
+            for stat, pick in (("min", min), ("max", max)):
+                value = hist.get(stat)
+                if value is not None:
+                    merged[stat] = (
+                        value if merged[stat] is None else pick(merged[stat], value)
+                    )
+            for bound, count in (hist.get("buckets") or {}).items():
+                merged["buckets"][bound] = (
+                    merged["buckets"].get(bound, 0) + (count or 0)
+                )
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "repro_" + cleaned
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: dict) -> str:
+    """Render a (possibly merged) snapshot as Prometheus text exposition."""
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters") or {}):
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges") or {}):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms") or {}):
+        hist = snapshot["histograms"][name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        buckets = hist.get("buckets") or {}
+
+        def _bound_key(item):
+            try:
+                return float(item[0])
+            except ValueError:
+                return float("inf")
+
+        for bound, count in sorted(buckets.items(), key=_bound_key):
+            lines.append(f'{prom}_bucket{{le="{bound}"}} {_fmt(float(count))}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {_fmt(float(hist.get("count", 0)))}')
+        lines.append(f"{prom}_sum {_fmt(float(hist.get('sum', 0.0)))}")
+        lines.append(f"{prom}_count {_fmt(float(hist.get('count', 0)))}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -193,12 +193,21 @@ def run_core_trace_batched(
     trace,
     hierarchy: MemoryHierarchy,
     chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    sample_hook=None,
+    sample_interval: Optional[int] = None,
 ) -> bool:
     """Step ``trace`` through ``runner``/``hierarchy`` in fused chunks.
 
     Semantically identical to ``runner.run_trace(trace)`` with the runner's
     memory callback bound to ``hierarchy.demand_access``.  Returns True when
     the fused path ran, False when it fell back to the scalar reference.
+
+    ``sample_hook(accesses, instructions, cycles)``, when given with a
+    positive ``sample_interval``, is invoked at the first chunk boundary
+    after every ``sample_interval`` cumulative demand accesses.  The hook
+    only *reads* state, so it cannot perturb simulation metrics; callers
+    wanting per-N-accesses granularity should also shrink
+    ``chunk_records`` (chunking is result-invariant).
     """
     if not batch_supported(hierarchy):
         runner.run_trace(trace)
@@ -276,6 +285,11 @@ def run_core_trace_batched(
     append_retire = retire_times.append
     instructions = loads = stores = 0
     total_load_latency = 0.0
+    next_sample = (
+        sample_interval
+        if sample_hook is not None and sample_interval
+        else None
+    )
 
     for start in range(0, total_records, chunk_records):
         stop = min(start + chunk_records, total_records)
@@ -668,6 +682,14 @@ def run_core_trace_batched(
                 predictor.delayed_decisions += flp_delayed
                 predictor.negative_decisions += flp_negative
 
+        if next_sample is not None:
+            accesses = hstats.demand_loads + hstats.demand_stores
+            if accesses >= next_sample:
+                sample_hook(
+                    accesses, runner.instructions + instructions, last_retire
+                )
+                next_sample = (accesses // sample_interval + 1) * sample_interval
+
     runner._dispatch_cycle = dispatch_cycle
     runner._last_retire = last_retire
     runner.instructions += instructions
@@ -683,12 +705,20 @@ def run_single_core_batched(
     core_config,
     warmup_fraction: float,
     chunk_records: Optional[int] = None,
+    sample_hook=None,
+    sample_interval: Optional[int] = None,
 ) -> CoreRunner:
     """Warm-up + measured run of one trace on the batch core.
 
     Mirrors the scalar driver exactly: a fresh runner per phase, statistics
     reset after warm-up, returns the measured-phase runner (call
     ``finish()`` for the :class:`~repro.cpu.core.CoreResult`).
+
+    ``sample_hook``/``sample_interval`` apply to the measured phase only
+    (warm-up statistics are discarded); with sampling active the chunk
+    size is capped near the interval so snapshots land close to every
+    ``sample_interval`` demand accesses.  Chunking is result-invariant,
+    so sampling never changes metrics.
     """
     chunk = chunk_records if chunk_records else DEFAULT_CHUNK_RECORDS
 
@@ -701,6 +731,12 @@ def run_single_core_batched(
         run_core_trace_batched(warmup_runner, warmup, hierarchy, chunk)
         hierarchy.reset_stats(include_shared=True)
 
+    measured_chunk = chunk
+    if sample_hook is not None and sample_interval:
+        measured_chunk = max(1024, min(chunk, sample_interval))
     runner = CoreRunner(core_config, access)
-    run_core_trace_batched(runner, measured, hierarchy, chunk)
+    run_core_trace_batched(
+        runner, measured, hierarchy, measured_chunk,
+        sample_hook=sample_hook, sample_interval=sample_interval,
+    )
     return runner

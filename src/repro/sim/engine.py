@@ -41,6 +41,9 @@ from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import profile as obs_profile
+from repro.obs import tracer as obs_tracer
 from repro.sim import faults
 
 from repro.common.config import (
@@ -299,6 +302,21 @@ def build_workload_trace(
     *only* in a store (they were ingested from external trace files) and are
     truncated to the requested memory-access budget.
     """
+    with obs_tracer.span(
+        "trace_load", metric="point.trace_load_s", workload=workload,
+        budget=memory_accesses,
+    ):
+        return _build_workload_trace(
+            workload, memory_accesses, gap_scale, trace_store
+        )
+
+
+def _build_workload_trace(
+    workload: str,
+    memory_accesses: int,
+    gap_scale: str,
+    trace_store: Optional[TraceStore],
+) -> Trace:
     if workload.startswith(IMPORTED_PREFIX):
         store = trace_store if trace_store is not None else TraceStore.default()
         trace = store.load_imported(workload)
@@ -360,20 +378,30 @@ def execute_point(
         system = replace(system, sim_core=sim_core)
     scenario = build_scenario(point.scheme, l1d_prefetcher=point.l1d_prefetcher)
     if point.kind == "single_core":
-        return run_single_core(
-            trace_for(point.workloads[0]),
-            scenario,
-            config=system,
-            warmup_fraction=point.warmup_fraction,
-        )
+        trace = trace_for(point.workloads[0])
+        with obs_tracer.span(
+            "simulate", metric="point.simulate_s", point=point.label,
+            kind=point.kind, core=system.sim_core,
+        ):
+            return run_single_core(
+                trace,
+                scenario,
+                config=system,
+                warmup_fraction=point.warmup_fraction,
+            )
     if point.kind == "multi_core":
-        return run_multicore_mix(
-            [trace_for(workload) for workload in point.workloads],
-            scenario,
-            config=system,
-            warmup_fraction=point.warmup_fraction,
-            mix_name=point.mix_name,
-        )
+        traces_for_mix = [trace_for(workload) for workload in point.workloads]
+        with obs_tracer.span(
+            "simulate", metric="point.simulate_s", point=point.label,
+            kind=point.kind, core=system.sim_core,
+        ):
+            return run_multicore_mix(
+                traces_for_mix,
+                scenario,
+                config=system,
+                warmup_fraction=point.warmup_fraction,
+                mix_name=point.mix_name,
+            )
     raise ValueError(f"unknown campaign point kind {point.kind!r}")
 
 
@@ -394,6 +422,8 @@ def _init_pool_worker(trace_store_dir: Optional[str]) -> None:
         TraceStore(trace_store_dir) if trace_store_dir is not None else None
     )
     faults.install_from_env()
+    obs_tracer.install_from_env()
+    obs_profile.install_from_env()
 
 
 class PointTimeoutError(RuntimeError):
@@ -468,9 +498,10 @@ def _execute_for_pool(
     before = _generator_invocations
     with _point_deadline(timeout_s):
         faults.inject_before(point.key(), point.label, attempt)
-        result = execute_point(
-            point, trace_store=_worker_trace_store, sim_core=sim_core
-        )
+        with obs_profile.profiled_point():
+            result = execute_point(
+                point, trace_store=_worker_trace_store, sim_core=sim_core
+            )
     payload = result_to_dict(result)
     payload = faults.corrupt_payload(point.key(), point.label, attempt, payload)
     return point.key(), payload, _generator_invocations - before
@@ -829,12 +860,18 @@ class CampaignEngine:
                     if cached is not None:
                         self.cache_hits += 1
                         report.cache_hits += 1
+                        if obs_tracer.enabled():
+                            obs_metrics.registry().counter("cache.hits")
+                            obs_tracer.event("cache_hit", point=point.label)
                         results[key] = cached
                         report.outcomes.append(
                             PointOutcome(key, point.label, "cached", attempts=0)
                         )
                         self._notify_progress()
                         continue
+                    if obs_tracer.enabled():
+                        obs_metrics.registry().counter("cache.misses")
+                        obs_tracer.event("cache_miss", point=point.label)
                 missing.append((key, point))
 
             effective_jobs = self.resolve_jobs(jobs)
@@ -872,7 +909,12 @@ class CampaignEngine:
         """Count and persist one freshly simulated result immediately."""
         self.simulations_run += 1
         if self.result_cache is not None:
-            self.result_cache.put(key, result, point=asdict(point))
+            with obs_tracer.span(
+                "cache_put", metric="point.cache_put_s", point=point.label
+            ):
+                self.result_cache.put(key, result, point=asdict(point))
+            if obs_tracer.enabled():
+                obs_metrics.registry().counter("cache.puts")
         results[key] = result
 
     @staticmethod
@@ -919,11 +961,12 @@ class CampaignEngine:
                 try:
                     with _point_deadline(policy.timeout_s):
                         faults.inject_before(key, point.label, attempt)
-                        result = execute_point(
-                            point, traces=self._traces,
-                            trace_store=self.trace_store,
-                            sim_core=self.sim_core,
-                        )
+                        with obs_profile.profiled_point():
+                            result = execute_point(
+                                point, traces=self._traces,
+                                trace_store=self.trace_store,
+                                sim_core=self.sim_core,
+                            )
                 except Exception as error:  # noqa: BLE001 -- supervised boundary
                     transient, kind = classify_failure(error)
                     failure = (transient, kind, str(error))
@@ -949,6 +992,12 @@ class CampaignEngine:
                     state.transient = transient
                     state.timed_out = state.timed_out or kind == "timeout"
                     if transient and state.attempts <= policy.retries:
+                        if obs_tracer.enabled():
+                            obs_metrics.registry().counter("point.retries")
+                            obs_tracer.event(
+                                "retry", point=point.label,
+                                attempt=state.attempts, kind=kind,
+                            )
                         time.sleep(policy.backoff(state.attempts))
                         continue
                     report.outcomes.append(self._quarantine_outcome(key, state))
@@ -1169,6 +1218,12 @@ class CampaignEngine:
         point_state.transient = transient
         point_state.timed_out = point_state.timed_out or kind == "timeout"
         if transient and point_state.attempts <= policy.retries:
+            if obs_tracer.enabled():
+                obs_metrics.registry().counter("point.retries")
+                obs_tracer.event(
+                    "retry", point=point_state.point.label,
+                    attempt=point_state.attempts, kind=kind,
+                )
             heapq.heappush(
                 waiting,
                 (

@@ -198,6 +198,14 @@ def install_from_env() -> FaultSpec:
         return _active
     _active = parse_fault_spec(raw) if raw else NO_FAULTS
     _active_source = raw
+    if _active.rules:
+        from repro.obs.logs import get_logger
+
+        get_logger("faults").info(
+            "fault injection active: %d rule(s) from %s",
+            len(_active.rules),
+            FAULT_SPEC_ENV,
+        )
     return _active
 
 

@@ -25,13 +25,15 @@ import dataclasses
 import json
 import os
 import uuid
-import warnings
 from pathlib import Path
 from typing import Optional
 
 from repro.common.fsutil import atomic_write_json
+from repro.obs.logs import get_logger
 from repro.sim.multi_core import MultiCoreResult
 from repro.sim.results import SingleCoreResult
+
+logger = get_logger("cache")
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -70,12 +72,11 @@ def cache_size_cap_bytes() -> Optional[int]:
     if max_mb <= 0:
         if not _warned_bad_cap:
             _warned_bad_cap = True
-            import warnings
-
-            warnings.warn(
-                f"ignoring invalid {CACHE_MAX_MB_ENV}={raw!r} "
-                f"(expected a positive number of MB); cache is unbounded",
-                stacklevel=2,
+            logger.warning(
+                "ignoring invalid %s=%r (expected a positive number of MB); "
+                "cache is unbounded",
+                CACHE_MAX_MB_ENV,
+                raw,
             )
         return None
     return int(max_mb * 1024 * 1024)
@@ -148,10 +149,12 @@ class ResultCache:
             return
         self.quarantined += 1
         self._approx_size = None
-        warnings.warn(
-            f"quarantined corrupt result-cache entry {path.name} -> "
-            f"{target.name} ({reason}); the point will be re-simulated",
-            stacklevel=3,
+        logger.warning(
+            "quarantined corrupt result-cache entry %s -> %s (%s); "
+            "the point will be re-simulated",
+            path.name,
+            target.name,
+            reason,
         )
 
     def get(self, key: str) -> Optional[SingleCoreResult | MultiCoreResult]:
@@ -325,10 +328,10 @@ class ResultCache:
                 json.loads(payload.decode("utf-8"))
             except (OSError, ValueError) as error:
                 unreadable += 1
-                warnings.warn(
-                    f"skipping unreadable cache entry {entry} during merge: "
-                    f"{error}",
-                    stacklevel=2,
+                logger.warning(
+                    "skipping unreadable cache entry %s during merge: %s",
+                    entry,
+                    error,
                 )
                 continue
             tmp_path = destination.with_name(

@@ -15,13 +15,16 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.common.config import SystemConfig, cascade_lake_single_core
-from repro.cpu.core import OutOfOrderCore
+from repro.cpu.core import CoreRunner, OutOfOrderCore
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs import sample as obs_sample
 from repro.sim.batch import run_single_core_batched
 from repro.sim.results import SingleCoreResult, collect_single_core_result
 from repro.sim.scenarios import Scenario, build_hierarchy
-from repro.traces.trace import Trace
+from repro.traces.trace import KIND_NON_MEM, Trace
 
 
 def run_single_core(
@@ -58,9 +61,28 @@ def run_single_core(
         else build_hierarchy(scenario, config=system)
     )
 
+    # Opt-in per-N-accesses telemetry snapshots (None when off).  The
+    # sampling paths below are stepped restructurings of the plain runs --
+    # state accumulates identically, so metrics stay bit-identical; the
+    # samples themselves go to the tracer sink, never into the result.
+    sample_interval = obs_sample.sample_interval()
+
+    def emit_sample(accesses: int, instructions: int, cycles: float) -> None:
+        obs_sample.emit(
+            trace_name=trace.name,
+            scenario=scenario.name,
+            core=system.sim_core,
+            accesses=accesses,
+            instructions=instructions,
+            cycles=cycles,
+            hierarchy=memory,
+        )
+
     if system.sim_core == "batch":
         runner = run_single_core_batched(
-            trace, memory, system.core, warmup_fraction
+            trace, memory, system.core, warmup_fraction,
+            sample_hook=emit_sample if sample_interval else None,
+            sample_interval=sample_interval,
         )
         result = runner.finish()
     else:
@@ -74,8 +96,21 @@ def run_single_core(
             core.run(warmup, access)
             memory.reset_stats(include_shared=True)
 
-        result = core.run(measured, access)
+        if sample_interval:
+            result = _run_scalar_sampled(
+                core, measured, access, sample_interval, emit_sample
+            )
+        else:
+            result = core.run(measured, access)
     memory.finalize()
+    if sample_interval:
+        # A final snapshot at the end of the measured phase closes the
+        # time series at exactly the reported end-of-run metrics.
+        emit_sample(
+            memory.stats.demand_loads + memory.stats.demand_stores,
+            result.instructions,
+            result.cycles,
+        )
     return collect_single_core_result(
         workload=trace.name,
         scenario=scenario.name,
@@ -84,3 +119,34 @@ def run_single_core(
         average_load_latency=result.average_load_latency,
         hierarchy=memory,
     )
+
+
+def _run_scalar_sampled(
+    core: OutOfOrderCore,
+    measured: Trace,
+    access,
+    interval: int,
+    emit_sample,
+):
+    """Measured-phase scalar run emitting a snapshot every ``interval``
+    memory accesses.
+
+    Bit-identical to ``core.run(measured, access)``: one persistent
+    :class:`CoreRunner` steps zero-copy trace slices cut just after every
+    ``interval``-th load/store, and ``run_trace`` accumulates across
+    slices exactly as it does across one whole trace.
+    """
+    runner = CoreRunner(core.config, access, 0.0)
+    _, _, kind = measured.columns()
+    positions = np.flatnonzero(kind != KIND_NON_MEM)
+    cuts = (positions[interval - 1 :: interval] + 1).tolist()
+    previous = 0
+    accesses = 0
+    for cut in cuts:
+        runner.run_trace(measured[previous:cut])
+        previous = cut
+        accesses += interval
+        emit_sample(accesses, runner.instructions, runner.done_cycles)
+    if previous < len(measured):
+        runner.run_trace(measured[previous:])
+    return runner.finish()

@@ -42,13 +42,15 @@ import os
 import shutil
 import sys
 import uuid
-import warnings
 from pathlib import Path
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.logs import get_logger
 from repro.traces.trace import ADDR_DTYPE, KIND_DTYPE, Trace
+
+logger = get_logger("traces")
 
 #: Environment variable overriding the default trace store directory.
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
@@ -400,10 +402,12 @@ class TraceStore:
             os.replace(entry, target)
         except OSError:
             return
-        warnings.warn(
-            f"quarantined corrupt trace-store entry {key} -> {target.name} "
-            f"({reason}); the trace will be regenerated",
-            stacklevel=3,
+        logger.warning(
+            "quarantined corrupt trace-store entry %s -> %s (%s); "
+            "the trace will be regenerated",
+            key,
+            target.name,
+            reason,
         )
 
     def put(self, key: str, trace: Trace, extra: Optional[dict] = None) -> Path:

@@ -8,6 +8,7 @@ is asserted rather than trusted.
 """
 
 import json
+import logging
 import os
 
 import pytest
@@ -302,38 +303,46 @@ class TestCampaignReport:
 # Storage robustness
 # ----------------------------------------------------------------------
 class TestCorruptStorage:
-    def test_corrupt_cache_entry_is_quarantined_with_warning(self, tmp_path):
+    def test_corrupt_cache_entry_is_quarantined_with_warning(
+        self, tmp_path, caplog
+    ):
         cache = ResultCache(tmp_path)
         point = tiny_point()
         engine = CampaignEngine(result_cache=cache)
         engine.run([point], jobs=1)
         entry = tmp_path / f"{point.key()}.json"
         entry.write_text("{torn", encoding="utf-8")
-        with pytest.warns(UserWarning, match="quarantined corrupt"):
+        with caplog.at_level(logging.WARNING, logger="repro.cache"):
             assert cache.get(point.key()) is None
+        assert "quarantined corrupt" in caplog.text
         assert not entry.exists()
         assert [p.name for p in cache.quarantined_files()] == [
             f"{point.key()}.json.corrupt"
         ]
         # The engine transparently re-simulates a torn point.
         entry.write_text("{torn again", encoding="utf-8")
+        caplog.clear()
         fresh = CampaignEngine(result_cache=ResultCache(tmp_path))
-        with pytest.warns(UserWarning, match="quarantined corrupt"):
+        with caplog.at_level(logging.WARNING, logger="repro.cache"):
             results = fresh.run([point], jobs=1)
+        assert "quarantined corrupt" in caplog.text
         assert point.key() in results and fresh.simulations_run == 1
 
-    def test_merge_skips_unreadable_entries(self, tmp_path):
+    def test_merge_skips_unreadable_entries(self, tmp_path, caplog):
         source = tmp_path / "src"
         source.mkdir()
         engine = CampaignEngine(result_cache=ResultCache(source))
         engine.run([tiny_point()], jobs=1)
         (source / "torn.json").write_text("{", encoding="utf-8")
         destination = ResultCache(tmp_path / "dst")
-        with pytest.warns(UserWarning, match="unreadable"):
+        with caplog.at_level(logging.WARNING, logger="repro.cache"):
             copied, skipped, unreadable, _ = destination.merge_from(source)
+        assert "unreadable" in caplog.text
         assert (copied, skipped, unreadable) == (1, 0, 1)
 
-    def test_truncated_trace_column_regenerates_with_warning(self, tmp_path):
+    def test_truncated_trace_column_regenerates_with_warning(
+        self, tmp_path, caplog
+    ):
         from repro.sim.engine import build_workload_trace
         from repro.traces.store import TraceStore, workload_key
 
@@ -342,13 +351,14 @@ class TestCorruptStorage:
         key = workload_key("bfs.urand", BUDGET, "medium")
         assert store.contains(key)
         (tmp_path / key / "pc.bin").write_bytes(b"\x00" * 8)
-        with pytest.warns(UserWarning, match="quarantined corrupt trace"):
+        with caplog.at_level(logging.WARNING, logger="repro.traces"):
             rebuilt = build_workload_trace("bfs.urand", BUDGET, trace_store=store)
+        assert "quarantined corrupt trace" in caplog.text
         assert rebuilt.num_memory_accesses >= BUDGET
         assert store.contains(key)  # regenerated entry replaces the corrupt one
         assert key not in [p.name for p in store.quarantined_entries()]
 
-    def test_bitrot_detected_by_digest(self, tmp_path):
+    def test_bitrot_detected_by_digest(self, tmp_path, caplog):
         from repro.sim.engine import build_workload_trace
         from repro.traces.store import TraceStore, workload_key
 
@@ -362,8 +372,9 @@ class TestCorruptStorage:
         # A fresh store (a later process) digest-verifies on first load;
         # the instance above would skip the check, having already verified
         # this key once.
-        with pytest.warns(UserWarning, match="digest mismatch"):
+        with caplog.at_level(logging.WARNING, logger="repro.traces"):
             assert TraceStore(tmp_path).get(key) is None
+        assert "digest mismatch" in caplog.text
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,438 @@
+"""Tests for the telemetry layer: tracer, metrics, timeline, analysis, CLI.
+
+The overriding invariant is that telemetry is a pure side channel: with it
+off nothing is recorded and nothing allocates on the hot path; with it on
+(including per-interval sim sampling) every simulated metric stays
+bit-identical to a run without it.
+"""
+
+import dataclasses
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.obs import analyze, metrics, profile, sample, timeline, tracer
+from repro.obs.logs import get_logger, resolve_level
+from repro.sim.engine import CampaignEngine, single_core_point
+from repro.sim.result_cache import ResultCache
+
+#: Tiny trace budget so each simulated point costs ~10ms.
+BUDGET = 800
+
+
+def tiny_point(workload="bfs.urand", scheme="baseline", budget=BUDGET):
+    return single_core_point(
+        workload, scheme, "ipcp", memory_accesses=budget, warmup_fraction=0.25
+    )
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry(monkeypatch):
+    """Keep tracer/metrics/sampling state from leaking across tests."""
+    monkeypatch.delenv(tracer.TELEMETRY_ENV, raising=False)
+    monkeypatch.delenv(profile.PROFILE_ENV, raising=False)
+    monkeypatch.delenv(sample.SAMPLE_ENV, raising=False)
+    tracer.disable()
+    metrics.registry().reset()
+    yield
+    tracer.disable()
+    metrics.registry().reset()
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_is_a_true_noop(self, tmp_path):
+        assert not tracer.enabled()
+        # The disabled span is one shared object -- no per-call allocation.
+        assert tracer.span("simulate") is tracer.span("trace_load")
+        with tracer.span("simulate", metric="point.simulate_s"):
+            pass
+        tracer.event("cache_hit", point="x")
+        tracer.flush()
+        assert metrics.registry().snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert list(tmp_path.iterdir()) == []
+
+    def test_span_event_metrics_roundtrip(self, tmp_path):
+        tracer.configure(tmp_path, proc="t1")
+        with tracer.span("simulate", metric="point.simulate_s", point="p"):
+            pass
+        tracer.event("cache_hit", point="p")
+        metrics.registry().counter("cache.hits")
+        tracer.shutdown()
+        records = tracer.load_run(tmp_path)
+        kinds = [record["type"] for record in records]
+        assert kinds.count("span") == 1
+        assert kinds.count("event") == 1
+        assert kinds.count("metrics") == 1
+        span = next(r for r in records if r["type"] == "span")
+        assert span["name"] == "simulate"
+        assert span["attrs"] == {"point": "p"}
+        assert span["dur"] >= 0.0
+        snapshot = next(r for r in records if r["type"] == "metrics")["snapshot"]
+        assert snapshot["counters"]["cache.hits"] == 1.0
+        assert snapshot["histograms"]["point.simulate_s"]["count"] == 1
+
+    def test_shutdown_emits_the_snapshot_once(self, tmp_path):
+        tracer.configure(tmp_path, proc="t1")
+        metrics.registry().counter("cache.hits")
+        tracer.shutdown()
+        tracer.shutdown()
+        records = tracer.load_run(tmp_path)
+        assert [r["type"] for r in records].count("metrics") == 1
+
+    def test_merge_run_orders_across_sinks(self, tmp_path):
+        (tmp_path / "events-b.jsonl").write_text(
+            json.dumps({"type": "event", "name": "late", "ts": 2.0}) + "\n"
+        )
+        (tmp_path / "events-a.jsonl").write_text(
+            json.dumps({"type": "event", "name": "early", "ts": 1.0}) + "\n"
+        )
+        merged = tracer.merge_run(tmp_path)
+        names = [r["name"] for r in tracer.read_events(merged)]
+        assert names == ["early", "late"]
+
+    def test_read_events_skips_torn_lines(self, tmp_path):
+        sink = tmp_path / "events-x.jsonl"
+        sink.write_text(
+            json.dumps({"type": "event", "name": "ok", "ts": 1.0})
+            + "\n{\"type\": \"ev"
+        )
+        assert [r["name"] for r in tracer.read_events(sink)] == ["ok"]
+
+
+# ----------------------------------------------------------------------
+# Metrics registry and merge
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_worker_snapshot_merge_equals_single_process_totals(self):
+        # One registry observing everything...
+        single = metrics.MetricsRegistry()
+        # ...versus the same observations split over per-worker registries.
+        workers = [metrics.MetricsRegistry() for _ in range(3)]
+        observations = [0.002, 0.04, 0.7, 12.0, 0.0004, 2.5]
+        for index, value in enumerate(observations):
+            single.counter("cache.hits")
+            single.observe("point.simulate_s", value)
+            workers[index % 3].counter("cache.hits")
+            workers[index % 3].observe("point.simulate_s", value)
+        single.gauge("queue.depth", 7)
+        workers[-1].gauge("queue.depth", 7)
+        merged = metrics.merge_snapshots([w.snapshot() for w in workers])
+        expected = single.snapshot()
+        # Histogram sums accumulate in a different order across workers;
+        # everything else (counts, buckets, counters, gauges) is exact.
+        merged_sum = merged["histograms"]["point.simulate_s"].pop("sum")
+        expected_sum = expected["histograms"]["point.simulate_s"].pop("sum")
+        assert merged_sum == pytest.approx(expected_sum)
+        assert merged == expected
+
+    def test_histogram_tracks_count_sum_min_max(self):
+        hist = metrics.Histogram()
+        for value in (0.5, 1.5, 3.0):
+            hist.observe(value)
+        payload = hist.to_dict()
+        assert payload["count"] == 3
+        assert payload["sum"] == pytest.approx(5.0)
+        assert payload["min"] == 0.5
+        assert payload["max"] == 3.0
+
+    def test_merge_skips_malformed_snapshots(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("cache.hits", 2)
+        merged = metrics.merge_snapshots(
+            [registry.snapshot(), {"bogus": True}, None]
+        )
+        assert merged["counters"]["cache.hits"] == 2.0
+
+    def test_prometheus_rendering(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("cache.hits", 3)
+        registry.observe("point.simulate_s", 0.002)
+        text = metrics.to_prometheus(registry.snapshot())
+        assert "repro_cache_hits_total 3" in text
+        assert 'repro_point_simulate_s_bucket{le="+Inf"} 1' in text
+        assert "repro_point_simulate_s_count 1" in text
+
+
+# ----------------------------------------------------------------------
+# Engine integration: spans recorded, results untouched
+# ----------------------------------------------------------------------
+class TestEngineTelemetry:
+    def test_serial_run_records_spans_and_counters(self, tmp_path):
+        tracer.configure(tmp_path / "tele", proc="t1")
+        engine = CampaignEngine(result_cache=ResultCache(tmp_path / "cache"))
+        engine.run([tiny_point()], jobs=1)
+        tracer.shutdown()
+        records = tracer.load_run(tmp_path / "tele")
+        spans = {r["name"] for r in records if r["type"] == "span"}
+        assert {"trace_load", "simulate", "cache_put"} <= spans
+        events = {r["name"] for r in records if r["type"] == "event"}
+        assert "cache_miss" in events
+        snapshot = metrics.registry().snapshot()
+        assert snapshot["counters"]["cache.misses"] == 1.0
+        assert snapshot["counters"]["cache.puts"] == 1.0
+        assert snapshot["histograms"]["point.simulate_s"]["count"] == 1
+
+    def test_cache_hit_recorded_on_warm_run(self, tmp_path):
+        engine = CampaignEngine(result_cache=ResultCache(tmp_path / "cache"))
+        engine.run([tiny_point()], jobs=1)
+        tracer.configure(tmp_path / "tele", proc="t1")
+        warm = CampaignEngine(result_cache=ResultCache(tmp_path / "cache"))
+        warm.run([tiny_point()], jobs=1)
+        tracer.flush()
+        assert "cache_hit" in {
+            r["name"]
+            for r in tracer.load_run(tmp_path / "tele")
+            if r["type"] == "event"
+        }
+        assert metrics.registry().snapshot()["counters"]["cache.hits"] == 1.0
+
+    def test_results_bit_identical_with_telemetry(self, tmp_path):
+        plain = CampaignEngine(result_cache=None).run([tiny_point()], jobs=1)
+        tracer.configure(tmp_path / "tele", proc="t1")
+        traced = CampaignEngine(result_cache=None).run([tiny_point()], jobs=1)
+        key = tiny_point().key()
+        assert dataclasses.asdict(plain[key]) == dataclasses.asdict(
+            traced[key]
+        )
+
+
+# ----------------------------------------------------------------------
+# Sim-interval sampling: snapshots out, metrics untouched
+# ----------------------------------------------------------------------
+class TestSimSampling:
+    @pytest.mark.parametrize("core", ["scalar", "batch"])
+    def test_sampling_is_bit_identical_and_emits_snapshots(
+        self, tmp_path, monkeypatch, core
+    ):
+        from repro.common.config import cascade_lake_single_core
+        from repro.sim.scenarios import build_scenario
+        from repro.sim.single_core import run_single_core
+        from repro.workloads.spec_like import spec_like_trace
+
+        config = dataclasses.replace(
+            cascade_lake_single_core(), sim_core=core
+        )
+        trace = spec_like_trace("mcf_like", num_memory_accesses=2000)
+        plain = run_single_core(
+            trace, build_scenario("tlp", l1d_prefetcher="ipcp"), config=config
+        )
+
+        monkeypatch.setenv(sample.SAMPLE_ENV, "500")
+        tracer.configure(tmp_path, proc="t1")
+        sampled = run_single_core(
+            trace, build_scenario("tlp", l1d_prefetcher="ipcp"), config=config
+        )
+        tracer.flush()
+
+        assert dataclasses.asdict(sampled) == dataclasses.asdict(plain)
+        snapshots = [
+            r for r in tracer.load_run(tmp_path)
+            if r["type"] == "event" and r["name"] == "sim_sample"
+        ]
+        assert len(snapshots) >= 2
+        for record in snapshots:
+            attrs = record["attrs"]
+            assert attrs["core"] == core
+            assert attrs["ipc"] > 0
+            assert "l1d_mpki" in attrs and "llc_mpki" in attrs
+            assert "predictor_accuracy" in attrs  # TLP trains perceptrons
+        accesses = [r["attrs"]["accesses"] for r in snapshots]
+        assert accesses == sorted(accesses)
+
+    def test_sampling_requires_telemetry(self, monkeypatch):
+        monkeypatch.setenv(sample.SAMPLE_ENV, "500")
+        assert sample.sample_interval() is None  # tracer off -> no sampling
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+def _synthetic_run():
+    """A two-process run: spans, a lease, an idle gap, samples, metrics."""
+    registry = metrics.MetricsRegistry()
+    registry.counter("cache.hits", 1)
+    registry.counter("cache.misses", 3)
+    registry.counter("cache.puts", 3)
+    records = [
+        {"type": "span", "name": "trace_load", "ts": 10.0, "dur": 0.5,
+         "pid": 1, "proc": "w1", "attrs": {"workload": "bfs.urand"}},
+        {"type": "span", "name": "simulate", "ts": 10.5, "dur": 2.0,
+         "pid": 1, "proc": "w1", "attrs": {"point": "a"}},
+        {"type": "span", "name": "simulate", "ts": 10.2, "dur": 1.0,
+         "pid": 2, "proc": "w2", "attrs": {"point": "b"}},
+        {"type": "span", "name": "cache_put", "ts": 12.5, "dur": 0.1,
+         "pid": 1, "proc": "w1", "attrs": {"point": "a"}},
+        {"type": "event", "name": "cache_hit", "ts": 10.1,
+         "pid": 2, "proc": "w2", "attrs": {"point": "c"}},
+        {"type": "event", "name": "lease_acquire", "ts": 10.05,
+         "pid": 1, "proc": "w1", "attrs": {"key": "k", "owner": "w1"}},
+        {"type": "event", "name": "worker_idle", "ts": 11.4,
+         "pid": 2, "proc": "w2", "attrs": {"owner": "w2", "idle_s": 0.2}},
+        {"type": "event", "name": "sim_sample", "ts": 11.0,
+         "pid": 1, "proc": "w1",
+         "attrs": {"ipc": 0.8, "l1d_mpki": 50.0, "l2c_mpki": 40.0,
+                   "llc_mpki": 30.0, "accesses": 1000}},
+        {"type": "metrics", "ts": 12.9, "pid": 1, "proc": "w1",
+         "snapshot": registry.snapshot()},
+    ]
+    return sorted(records, key=lambda r: r["ts"])
+
+
+class TestChromeExport:
+    def test_conforms_to_trace_event_schema(self):
+        trace = timeline.chrome_trace(_synthetic_run())
+        assert set(trace) == {"traceEvents", "displayTimeUnit"}
+        events = trace["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        for e in events:
+            assert "name" in e and "pid" in e and "ph" in e
+            if e["ph"] == "M":
+                continue  # metadata events carry no timestamp
+            assert isinstance(e["ts"], int) and e["ts"] >= 0
+            if e["ph"] == "X":
+                assert e["dur"] >= 1  # microseconds, never zero-width
+        # One process_name metadata record per recording process.
+        named = [e for e in events if e["ph"] == "M"]
+        assert {e["args"]["name"] for e in named} == {"w1", "w2"}
+        # The sim_sample event became counter tracks.
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert "ipc" in counters and "mpki" in counters
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        run = tmp_path / "run.jsonl"
+        with run.open("w") as fh:
+            for record in _synthetic_run():
+                fh.write(json.dumps(record) + "\n")
+        out = timeline.export_chrome(run, tmp_path / "trace.json")
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]
+
+
+# ----------------------------------------------------------------------
+# Analysis summaries and the obs CLI
+# ----------------------------------------------------------------------
+class TestAnalyze:
+    def test_summary_fields(self):
+        summary = analyze.summarize(_synthetic_run())
+        assert summary["wall_s"] == pytest.approx(2.9)
+        assert set(summary["processes"]) == {"w1", "w2"}
+        assert summary["processes"]["w1"]["busy_s"] == pytest.approx(2.6)
+        assert summary["stragglers"]["points"] == 2
+        assert summary["stragglers"]["max_s"] == pytest.approx(2.0)
+        assert summary["cache"]["hits"] == 1
+        assert summary["cache"]["misses"] == 3
+        assert summary["cache"]["hit_rate"] == pytest.approx(0.25)
+        assert summary["leases"]["acquired"] == 1
+        assert summary["idle"]["total_s"] == pytest.approx(0.2)
+        assert summary["samples"] == 1
+
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert analyze.percentile(values, 50) == pytest.approx(2.5)
+        assert analyze.percentile(values, 100) == pytest.approx(4.0)
+
+    def test_empty_run(self):
+        summary = analyze.summarize([])
+        assert summary["wall_s"] == 0.0
+        assert summary["processes"] == {}
+
+
+class TestObsCli:
+    @pytest.fixture()
+    def run_dir(self, tmp_path):
+        sink = tmp_path / "events-w.jsonl"
+        with sink.open("w") as fh:
+            for record in _synthetic_run():
+                fh.write(json.dumps(record) + "\n")
+        return tmp_path
+
+    def test_report_prints_summary(self, run_dir, capsys):
+        assert main(["obs", "report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "overall utilization" in out
+        assert "p50" in out and "p90" in out and "p99" in out
+        assert "hit rate" in out
+        assert "leases" in out
+
+    def test_report_json(self, run_dir, capsys):
+        assert main(["obs", "report", str(run_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["hit_rate"] == pytest.approx(0.25)
+        assert payload["metrics"]["counters"]["cache.puts"] == 3.0
+
+    def test_export_chrome(self, run_dir, capsys, tmp_path):
+        out_file = tmp_path / "out" / "trace.json"
+        out_file.parent.mkdir()
+        assert main(["obs", "export-chrome", str(run_dir),
+                     "-o", str(out_file)]) == 0
+        assert json.loads(out_file.read_text())["traceEvents"]
+
+    def test_prom(self, run_dir, capsys):
+        assert main(["obs", "prom", str(run_dir)]) == 0
+        assert "repro_cache_hits_total 1" in capsys.readouterr().out
+
+    def test_report_on_missing_run(self, tmp_path, capsys):
+        assert main(["obs", "report", str(tmp_path / "nope")]) == 2
+
+
+# ----------------------------------------------------------------------
+# Logging satellite
+# ----------------------------------------------------------------------
+class TestLogging:
+    def test_get_logger_namespaces_under_repro(self):
+        assert get_logger("cache").name == "repro.cache"
+        assert get_logger("repro.traces").name == "repro.traces"
+
+    def test_resolve_level_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        assert resolve_level() == logging.DEBUG
+        assert resolve_level("error") == logging.ERROR
+
+    def test_cli_log_level_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "figure", "fig01"]
+        )
+        assert args.log_level == "debug"
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+class TestTelemetryFlags:
+    def test_telemetry_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["figure", "fig01", "--telemetry", "tele",
+             "--profile", "cprofile", "--sample-interval", "1000"]
+        )
+        assert args.telemetry == "tele"
+        assert args.profile == "cprofile"
+        assert args.sample_interval == 1000
+
+    def test_bare_telemetry_means_default_dir(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["figure", "fig01", "--telemetry"])
+        assert args.telemetry == ""
+
+    def test_obs_subcommands_parse(self):
+        from repro.cli import build_parser
+
+        for argv in (["obs", "report", "d"],
+                     ["obs", "report", "d", "--json"],
+                     ["obs", "export-chrome", "d", "-o", "t.json"],
+                     ["obs", "prom", "d"],
+                     ["obs", "hotspots", "d", "--top", "5"]):
+            args = build_parser().parse_args(argv)
+            assert args.command == "obs"
