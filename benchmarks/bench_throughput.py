@@ -66,12 +66,19 @@ from repro.sim.single_core import run_single_core
 from repro.workloads.gap import gap_trace
 from repro.workloads.spec_like import spec_like_trace
 
-#: (workload, scheme) scenarios measured by the benchmark.
+#: (workload, scheme, l1d_prefetcher) scenarios measured by the benchmark.
+#: IPCP rows keep their historical ``workload/scheme`` names so the seed
+#: comparisons stay meaningful; the berti rows pin the second L1D
+#: prefetcher kernel and the ppf rows the aggressive-SPP + PPF L2 path.
 SCENARIOS = (
-    ("bfs.urand", "baseline"),
-    ("bfs.urand", "tlp"),
-    ("spec.mcf_like", "baseline"),
-    ("spec.mcf_like", "tlp"),
+    ("bfs.urand", "baseline", "ipcp"),
+    ("bfs.urand", "tlp", "ipcp"),
+    ("bfs.urand", "tlp", "berti"),
+    ("bfs.urand", "ppf", "ipcp"),
+    ("spec.mcf_like", "baseline", "ipcp"),
+    ("spec.mcf_like", "tlp", "ipcp"),
+    ("spec.mcf_like", "tlp", "berti"),
+    ("spec.mcf_like", "ppf", "ipcp"),
 )
 
 BASELINE_PATH = Path(__file__).resolve().parent / "throughput_baseline.json"
@@ -192,7 +199,7 @@ def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0
     core_batch = {}
     from repro.workloads.graphs import clear_graph_memo
 
-    for workload, scheme in SCENARIOS:
+    for workload, scheme, prefetcher in SCENARIOS:
         if workload not in traces:
             clear_graph_memo()
             start = time.perf_counter()
@@ -213,18 +220,20 @@ def measure(accesses: int = 12_000, repeats: int = 3, warmup_fraction: float = 0
             store_load[workload] = _measure_store_load(trace, repeats)
         trace = traces[workload]
         name = f"{workload}/{scheme}"
+        if prefetcher != "ipcp":
+            name = f"{name}/{prefetcher}"
         batch_system = dataclasses.replace(
             cascade_lake_single_core(), sim_core="batch"
         )
         best = math.inf
         batch_best = math.inf
         for _ in range(repeats):
-            scenario = build_scenario(scheme, l1d_prefetcher="ipcp")
+            scenario = build_scenario(scheme, l1d_prefetcher=prefetcher)
             start = time.perf_counter()
             run_single_core(trace, scenario, warmup_fraction=warmup_fraction)
             best = min(best, time.perf_counter() - start)
             # Same trace, same scenario, through the chunk-vectorized core.
-            scenario = build_scenario(scheme, l1d_prefetcher="ipcp")
+            scenario = build_scenario(scheme, l1d_prefetcher=prefetcher)
             start = time.perf_counter()
             run_single_core(trace, scenario, config=batch_system,
                             warmup_fraction=warmup_fraction)

@@ -57,35 +57,60 @@ class SecondLevelPerceptron(PrefetchFilter):
         cycle: int,
     ) -> FilterDecision:
         """Decide whether the L1D prefetch candidate should be issued."""
-        self.consultations += 1
-        flp_bit = trigger_offchip_prediction if self.use_leveling_feature else False
-        context = self.history.context(
-            request.trigger_pc, paddr, flp_prediction=flp_bit
+        issue, confidence, indices = self.consult_step(
+            request.trigger_pc, paddr, trigger_offchip_prediction
         )
-        confidence, indices = self.perceptron.predict(context)
-        self.history.observe(request.trigger_pc, paddr)
-        predicted_offchip = confidence >= self.tau_pref
-        issue = not predicted_offchip
-        if issue:
-            self.issued += 1
-        else:
-            self.discarded += 1
         return FilterDecision(
             issue=issue,
             confidence=confidence,
             metadata={
                 "indices": indices,
                 "confidence": confidence,
-                "predicted_offchip": predicted_offchip,
+                "predicted_offchip": not issue,
             },
         )
 
-    def train(self, metadata: dict, outcome: bool) -> None:
-        """Train with ``outcome`` = True when the prefetch was served off-chip."""
-        indices = metadata.get("indices")
-        if indices is None:
-            return
-        self.perceptron.train(indices, outcome, metadata.get("confidence", 0))
+    def consult_step(
+        self, trigger_pc: int, paddr: int, trigger_offchip_prediction: bool
+    ) -> tuple[bool, int, list[int]]:
+        """Score one candidate; returns ``(issue, confidence, indices)``.
+
+        The kernel behind :meth:`consult`, called directly by the batch
+        simulator core (no request/decision objects).  ``predict`` is
+        unrolled to ``_compute`` plus the two prediction counters it keeps.
+        """
+        self.consultations += 1
+        flp_bit = trigger_offchip_prediction if self.use_leveling_feature else False
+        history = self.history
+        perceptron = self.perceptron
+        context = history.context(trigger_pc, paddr, flp_prediction=flp_bit)
+        confidence, indices = perceptron._compute(context)
+        stats = perceptron.stats
+        stats.predictions += 1
+        if confidence >= 0:
+            stats.positive_predictions += 1
+        history.observe(trigger_pc, paddr)
+        issue = confidence < self.tau_pref
+        if issue:
+            self.issued += 1
+        else:
+            self.discarded += 1
+        return issue, confidence, indices
+
+    def train(self, metadata, outcome: bool) -> None:
+        """Train with ``outcome`` = True when the prefetch was served off-chip.
+
+        ``metadata`` is either the consult decision's metadata dict or the
+        raw ``(indices, confidence)`` tuple the batch core tracks.
+        """
+        if type(metadata) is tuple:
+            indices, confidence = metadata
+        else:
+            indices = metadata.get("indices")
+            if indices is None:
+                return
+            confidence = metadata.get("confidence", 0)
+        self.perceptron.train(indices, outcome, confidence)
 
     def reset(self) -> None:
         self.perceptron.reset()

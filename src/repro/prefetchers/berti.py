@@ -11,28 +11,30 @@ This implementation follows the published structure at the fidelity needed
 for the study: a per-PC history of recent accesses within the current page,
 from which delta coverage is computed, and a per-PC table of confirmed deltas
 used to issue prefetches.
+
+State layout
+------------
+
+The table is direct-mapped by ``pc % table_entries``, so the per-entry state
+lives in preallocated parallel rows: a numpy ``int64`` buffer (memoryview
+rows) for current page and observation total, plus parallel lists for the
+access history, the delta counters and the confirmed-delta list.  The
+order-dependent kernel is :meth:`_step`; :meth:`on_demand_access` wraps its
+output in :class:`PrefetchRequest` objects for the scalar path, while the
+batch core precomputes chunk columns with :meth:`begin_batch` and drains
+them through :meth:`step_batch` (raw target vaddrs, no request objects).
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+import numpy as np
 
-from repro.common.addresses import BLOCK_SIZE, block_address, page_number
+from repro.common.addresses import PAGE_BITS
 from repro.prefetchers.base import L1DPrefetcher, PrefetchRequest
 
-
-@dataclass
-class _BertiEntry:
-    """Per-PC state: recent access history and learned deltas."""
-
-    history: deque = field(default_factory=lambda: deque(maxlen=16))
-    current_page: int = -1
-    #: delta -> hit counter (how often the delta re-occurred in the history).
-    delta_hits: dict[int, int] = field(default_factory=dict)
-    delta_total: int = 0
-    #: Deltas promoted to "confirmed" with their estimated coverage.
-    confirmed: list[tuple[int, float]] = field(default_factory=list)
+#: Recent-access history depth per table entry (deque maxlen of the original
+#: implementation).
+_HISTORY_DEPTH = 16
 
 
 class BertiPrefetcher(L1DPrefetcher):
@@ -53,45 +55,37 @@ class BertiPrefetcher(L1DPrefetcher):
         self.low_coverage = low_coverage
         self.max_prefetch_degree = max_prefetch_degree
         self.relearn_interval = relearn_interval
-        self._table: dict[int, _BertiEntry] = {}
+        n = table_entries
+        # Flat rows: current page (-1 = untouched entry) and observation
+        # totals, plus parallel per-entry containers.
+        self._page_buf = np.zeros(n, dtype=np.int64)
+        self._page_buf[:] = -1
+        self._pages = memoryview(self._page_buf)
+        self._total_buf = np.zeros(n, dtype=np.int64)
+        self._totals = memoryview(self._total_buf)
+        self._histories: list[list[int]] = [[] for _ in range(n)]
+        #: delta -> hit counter (how often the delta re-occurred in history).
+        self._delta_hits: list[dict[int, int]] = [{} for _ in range(n)]
+        #: Deltas promoted to "confirmed" with their estimated coverage.
+        self._confirmed: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        # Batch cursor state.
+        self._b_keys: list[int] = []
+        self._b_blocks: list[int] = []
+        self._b_pages: list[int] = []
+        self._b_cursor = 0
 
+    # ------------------------------------------------------------------
+    # Main hook (scalar reference path)
+    # ------------------------------------------------------------------
     def on_demand_access(
         self, pc: int, vaddr: int, hit: bool, cycle: int
     ) -> list[PrefetchRequest]:
-        block = block_address(vaddr)
-        page = page_number(vaddr)
-        key = pc % self.table_entries
-        entry = self._table.get(key)
-        if entry is None:
-            entry = self._table[key] = _BertiEntry()
-
-        if entry.current_page != page:
-            # New page for this PC: the local-delta history restarts.
-            entry.current_page = page
-            entry.history.clear()
-
-        # Learn: every delta between the new access and the recent history of
-        # the same PC within the page counts as an observation; deltas that
-        # recur frequently get high coverage.  Coverage is normalised by the
-        # number of accesses observed, so a delta seen on (almost) every
-        # access approaches coverage 1.0.
-        seen_deltas = set()
-        for previous_block in entry.history:
-            delta = block - previous_block
-            if delta == 0 or delta in seen_deltas:
-                continue
-            seen_deltas.add(delta)
-            entry.delta_hits[delta] = entry.delta_hits.get(delta, 0) + 1
-        if entry.history:
-            entry.delta_total += 1
-        entry.history.append(block)
-
-        if entry.delta_total >= self.relearn_interval:
-            self._promote_deltas(entry)
-
-        # Prefetch with the confirmed deltas.
+        block = vaddr >> 6
+        confirmed = self._step(pc % self.table_entries, block, vaddr >> PAGE_BITS)
+        if not confirmed:
+            return []
         requests: list[PrefetchRequest] = []
-        for delta, coverage in entry.confirmed[: self.max_prefetch_degree]:
+        for delta, coverage in confirmed[: self.max_prefetch_degree]:
             target_block = block + delta
             if target_block <= 0:
                 continue
@@ -100,7 +94,7 @@ class BertiPrefetcher(L1DPrefetcher):
             # both as L1D prefetches but keep the coverage as confidence.
             requests.append(
                 PrefetchRequest(
-                    vaddr=target_block * BLOCK_SIZE,
+                    vaddr=target_block << 6,
                     trigger_pc=pc,
                     trigger_vaddr=vaddr,
                     confidence=coverage,
@@ -109,21 +103,97 @@ class BertiPrefetcher(L1DPrefetcher):
             )
         return requests
 
-    def _promote_deltas(self, entry: _BertiEntry) -> None:
+    # ------------------------------------------------------------------
+    # Batch interface (fused simulator core)
+    # ------------------------------------------------------------------
+    def begin_batch(self, pcs: np.ndarray, vaddrs: np.ndarray) -> None:
+        """Precompute the pure-per-access columns for one chunk."""
+        self._b_keys = (pcs % self.table_entries).tolist()
+        self._b_blocks = (vaddrs >> 6).tolist()
+        self._b_pages = (vaddrs >> PAGE_BITS).tolist()
+        self._b_cursor = 0
+
+    def step_batch(self, hit: bool) -> list[int] | None:
+        """Advance one access; returns target vaddrs (or None)."""
+        i = self._b_cursor
+        self._b_cursor = i + 1
+        block = self._b_blocks[i]
+        confirmed = self._step(self._b_keys[i], block, self._b_pages[i])
+        if not confirmed:
+            return None
+        targets: list[int] = []
+        for delta, _coverage in confirmed[: self.max_prefetch_degree]:
+            target_block = block + delta
+            if target_block > 0:
+                targets.append(target_block << 6)
+        return targets
+
+    # ------------------------------------------------------------------
+    # The order-dependent kernel
+    # ------------------------------------------------------------------
+    def _step(self, key: int, block: int, page: int) -> list[tuple[int, float]]:
+        """Learn from one access and return the entry's confirmed deltas."""
+        history = self._histories[key]
+        pages = self._pages
+        if pages[key] != page:
+            # New page for this PC: the local-delta history restarts.
+            pages[key] = page
+            if history:
+                history.clear()
+
+        # Learn: every delta between the new access and the recent history of
+        # the same PC within the page counts as an observation; deltas that
+        # recur frequently get high coverage.  Coverage is normalised by the
+        # number of accesses observed, so a delta seen on (almost) every
+        # access approaches coverage 1.0.
+        totals = self._totals
+        total = totals[key]
+        if history:
+            delta_hits = self._delta_hits[key]
+            seen_deltas = set()
+            add_seen = seen_deltas.add
+            get_hits = delta_hits.get
+            for previous_block in history:
+                delta = block - previous_block
+                if delta == 0 or delta in seen_deltas:
+                    continue
+                add_seen(delta)
+                delta_hits[delta] = get_hits(delta, 0) + 1
+            total += 1
+        history.append(block)
+        if len(history) > _HISTORY_DEPTH:
+            del history[0]
+
+        if total >= self.relearn_interval:
+            self._promote_deltas(key, total)
+        else:
+            totals[key] = total
+        return self._confirmed[key]
+
+    def _promote_deltas(self, key: int, total: int) -> None:
         """Recompute the confirmed-delta list from the accumulated counters."""
+        delta_hits = self._delta_hits[key]
         confirmed: list[tuple[int, float]] = []
-        if entry.delta_total > 0:
-            for delta, hits in entry.delta_hits.items():
-                coverage = hits / entry.delta_total
-                if coverage >= self.low_coverage:
-                    confirmed.append((delta, min(1.0, coverage)))
+        if total > 0:
+            low = self.low_coverage
+            for delta, hits in delta_hits.items():
+                coverage = hits / total
+                if coverage >= low:
+                    confirmed.append(
+                        (delta, coverage if coverage < 1.0 else 1.0)
+                    )
         confirmed.sort(key=lambda item: item[1], reverse=True)
-        entry.confirmed = confirmed
+        self._confirmed[key] = confirmed
         # Age the counters so the prefetcher adapts to phase changes.
-        entry.delta_hits = {
-            delta: hits // 2 for delta, hits in entry.delta_hits.items() if hits > 1
+        self._delta_hits[key] = {
+            delta: hits // 2 for delta, hits in delta_hits.items() if hits > 1
         }
-        entry.delta_total //= 2
+        self._totals[key] = total // 2
 
     def reset(self) -> None:
-        self._table.clear()
+        self._page_buf[:] = -1
+        self._total_buf[:] = 0
+        for i in range(self.table_entries):
+            self._histories[i].clear()
+            self._delta_hits[i].clear()
+            self._confirmed[i] = []

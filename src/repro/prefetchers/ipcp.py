@@ -15,42 +15,38 @@ for each:
 IPCP is deliberately aggressive (the paper measures hundreds of prefetches
 per kilo-instruction for some workloads, Figure 5a), with accuracy left to
 downstream filters -- which is exactly the property TLP's SLP exploits.
+
+State layout
+------------
+
+The IP and CPLX tables live in preallocated flat numpy ``int64`` buffers
+indexed through :class:`memoryview` rows (the :class:`HashedPerceptron`
+pattern): subscripts return plain Python ints, so the scalar update loop
+stays cheap, while the buffers zero in place on :meth:`reset` keeping every
+row alias valid.  The per-page region tracker packs the touched-block set
+into one Python int bitmask (``bit_count()`` is the density popcount).
+
+The prefetch logic itself is factored into :meth:`_step`, which works on
+precomputed ``(key, block, page, offset)`` rows and returns raw target
+virtual addresses.  :meth:`on_demand_access` wraps those in
+:class:`PrefetchRequest` objects for the scalar reference path, while the
+batch simulator core (:mod:`repro.sim.batch`) precomputes whole chunk
+columns with :meth:`begin_batch` and consumes one row per demand access via
+:meth:`step_batch` -- no request objects, same arithmetic, bit-identical
+metrics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import numpy as np
 
-from repro.common.addresses import (
-    BLOCK_SIZE,
-    PAGE_BITS,
-    block_address,
-    cacheline_offset_in_page,
-    page_number,
-)
+from repro.common.addresses import PAGE_BITS
 from repro.prefetchers.base import L1DPrefetcher, PrefetchRequest
 
 _BLOCKS_PER_PAGE = 1 << (PAGE_BITS - 6)
 
-
-@dataclass(slots=True)
-class _IPEntry:
-    """Per-PC tracking entry of the IP table."""
-
-    last_block: int = -1
-    last_stride: int = 0
-    stride_confidence: int = 0
-    signature: int = 0
-    valid: bool = False
-
-
-@dataclass(slots=True)
-class _RegionEntry:
-    """Per-page region tracker used for global-stream detection."""
-
-    touched: set[int] = field(default_factory=set)
-    last_offset: int = -1
-    direction: int = 1
+#: Per-class request confidence of the original implementation.
+_CLASS_CONFIDENCE = {"cs": 0.9, "gs": 0.6, "cplx": 0.5, "nl": 0.3}
 
 
 class IPCPPrefetcher(L1DPrefetcher):
@@ -79,196 +75,237 @@ class IPCPPrefetcher(L1DPrefetcher):
         self.nl_degree = nl_degree
         self.cs_confidence_threshold = cs_confidence_threshold
         self.gs_density_threshold = gs_density_threshold
-        self._ip_table: dict[int, _IPEntry] = {}
-        # CPLX: signature -> (predicted stride, confidence)
-        self._cplx_table: dict[int, tuple[int, int]] = {}
-        self._regions: dict[int, _RegionEntry] = {}
+        # IP table: four flat rows (last block, last stride, stride
+        # confidence, signature).  last_block == -1 is the "never seen"
+        # sentinel (block addresses are non-negative), replacing the old
+        # per-entry valid flag.
+        n = ip_table_entries
+        self._ip_buf = np.zeros(4 * n, dtype=np.int64)
+        self._ip_buf[:n] = -1
+        buf = memoryview(self._ip_buf)
+        self._ip_last = buf[0 * n:1 * n]
+        self._ip_stride = buf[1 * n:2 * n]
+        self._ip_conf = buf[2 * n:3 * n]
+        self._ip_sig = buf[3 * n:4 * n]
+        # CPLX table: signature -> (predicted stride, confidence).
+        # confidence == 0 means "never trained" (trained entries always
+        # store confidence >= 1).
+        m = cplx_table_entries
+        self._cplx_buf = np.zeros(2 * m, dtype=np.int64)
+        cbuf = memoryview(self._cplx_buf)
+        self._cplx_stride = cbuf[0 * m:1 * m]
+        self._cplx_conf = cbuf[1 * m:2 * m]
+        # Region tracker: page -> [touched bitmask, last offset, direction].
+        self._regions: dict[int, list[int]] = {}
         self._region_order: list[int] = []
         self.class_counts = {"cs": 0, "cplx": 0, "gs": 0, "nl": 0, "none": 0}
+        #: Class/confidence of the most recent _step() that produced targets
+        #: (consumed by the on_demand_access wrapper only).
+        self._last_class = "none"
+        # Batch cursor state (begin_batch/step_batch).
+        self._b_keys: list[int] = []
+        self._b_blocks: list[int] = []
+        self._b_pages: list[int] = []
+        self._b_offsets: list[int] = []
+        self._b_cursor = 0
 
     # ------------------------------------------------------------------
-    # Main hook
+    # Main hook (scalar reference path)
     # ------------------------------------------------------------------
     def on_demand_access(
         self, pc: int, vaddr: int, hit: bool, cycle: int
     ) -> list[PrefetchRequest]:
-        block = block_address(vaddr)
-        ip_key = pc % self.ip_table_entries
-        entry = self._ip_table.get(ip_key)
-        if entry is None:
-            entry = self._ip_table[ip_key] = _IPEntry()
-
-        stride = 0
-        if entry.valid:
-            stride = block - entry.last_block
-
-        region = self._track_region(vaddr)
-
-        requests: list[PrefetchRequest] = []
-        if entry.valid and stride != 0:
-            requests = self._classify_and_prefetch(
-                pc, vaddr, block, stride, entry, region
+        block = vaddr >> 6
+        targets = self._step(
+            pc % self.ip_table_entries,
+            block,
+            vaddr >> PAGE_BITS,
+            block & (_BLOCKS_PER_PAGE - 1),
+            hit,
+        )
+        if not targets:
+            return []
+        cls = self._last_class
+        confidence = _CLASS_CONFIDENCE[cls]
+        return [
+            PrefetchRequest(
+                vaddr=target,
+                trigger_pc=pc,
+                trigger_vaddr=vaddr,
+                confidence=confidence,
+                metadata={"class": cls},
             )
-        if not requests and not hit:
+            for target in targets
+        ]
+
+    # ------------------------------------------------------------------
+    # Batch interface (fused simulator core)
+    # ------------------------------------------------------------------
+    def begin_batch(self, pcs: np.ndarray, vaddrs: np.ndarray) -> None:
+        """Precompute the pure-per-access columns for one chunk.
+
+        ``pcs``/``vaddrs`` are the chunk's demand records in order; the
+        fused loop then calls :meth:`step_batch` exactly once per record.
+        """
+        blocks = vaddrs >> 6
+        self._b_keys = (pcs % self.ip_table_entries).tolist()
+        self._b_blocks = blocks.tolist()
+        self._b_pages = (vaddrs >> PAGE_BITS).tolist()
+        self._b_offsets = (blocks & (_BLOCKS_PER_PAGE - 1)).tolist()
+        self._b_cursor = 0
+
+    def step_batch(self, hit: bool) -> list[int] | None:
+        """Advance one access; returns target vaddrs (or None)."""
+        i = self._b_cursor
+        self._b_cursor = i + 1
+        return self._step(
+            self._b_keys[i],
+            self._b_blocks[i],
+            self._b_pages[i],
+            self._b_offsets[i],
+            hit,
+        )
+
+    # ------------------------------------------------------------------
+    # The order-dependent kernel
+    # ------------------------------------------------------------------
+    def _step(
+        self, key: int, block: int, page: int, offset: int, hit: bool
+    ) -> list[int] | None:
+        """One access: region tracking, classification, training.
+
+        Returns the list of prefetch target *virtual addresses* (empty/None
+        when no class fired), with ``self._last_class`` naming the class
+        that produced them.
+        """
+        # Region (global stream) tracking -- always runs first.
+        regions = self._regions
+        region = regions.get(page)
+        if region is None:
+            region = regions[page] = [0, -1, 1]
+            order = self._region_order
+            order.append(page)
+            if len(order) > self.region_entries:
+                regions.pop(order.pop(0), None)
+        last_offset = region[1]
+        if last_offset >= 0 and offset != last_offset:
+            region[2] = 1 if offset > last_offset else -1
+        region[1] = offset
+        region[0] |= 1 << offset
+
+        ip_last = self._ip_last
+        last_block = ip_last[key]
+        targets: list[int] | None = None
+        if last_block >= 0:
+            stride = block - last_block
+            if stride:
+                ip_stride = self._ip_stride
+                ip_conf = self._ip_conf
+                ip_sig = self._ip_sig
+                last_stride = ip_stride[key]
+                confidence = ip_conf[key]
+                signature = ip_sig[key]
+                m = self.cplx_table_entries
+                cplx_stride = self._cplx_stride
+                cplx_conf = self._cplx_conf
+                class_counts = self.class_counts
+
+                # -- classification (CS -> GS -> CPLX -> none) --
+                if (
+                    stride == last_stride
+                    and confidence >= self.cs_confidence_threshold
+                ):
+                    class_counts["cs"] += 1
+                    self._last_class = "cs"
+                    targets = []
+                    append = targets.append
+                    target_block = block
+                    for _ in range(self.cs_degree):
+                        target_block += stride
+                        if target_block > 0:
+                            append(target_block << 6)
+                else:
+                    density = region[0].bit_count() / _BLOCKS_PER_PAGE
+                    if density >= self.gs_density_threshold:
+                        class_counts["gs"] += 1
+                        self._last_class = "gs"
+                        targets = []
+                        append = targets.append
+                        direction = region[2]
+                        target_block = block
+                        for _ in range(self.gs_degree):
+                            target_block += direction
+                            if target_block > 0:
+                                append(target_block << 6)
+                    elif cplx_conf[signature % m] >= 2:
+                        class_counts["cplx"] += 1
+                        self._last_class = "cplx"
+                        targets = []
+                        append = targets.append
+                        chained_block = block
+                        chained_signature = signature
+                        for _ in range(self.cplx_degree):
+                            ckey = chained_signature % m
+                            if cplx_conf[ckey] < 2:
+                                break
+                            chained_stride = cplx_stride[ckey]
+                            chained_block += chained_stride
+                            if chained_block <= 0:
+                                break
+                            append(chained_block << 6)
+                            chained_signature = (
+                                (chained_signature << 3)
+                                ^ (chained_stride & 0x3F)
+                            ) & 0xFFF
+                    else:
+                        class_counts["none"] += 1
+
+                # -- training / bookkeeping --
+                if stride == last_stride:
+                    if confidence < 3:
+                        ip_conf[key] = confidence + 1
+                elif confidence > 0:
+                    ip_conf[key] = confidence - 1
+                # Update the CPLX table with the stride that followed the
+                # previous signature, then advance the signature.
+                tkey = signature % m
+                tconf = cplx_conf[tkey]
+                if tconf == 0:
+                    cplx_stride[tkey] = stride
+                    cplx_conf[tkey] = 1
+                elif cplx_stride[tkey] != stride:
+                    tconf -= 1
+                    if tconf == 0:
+                        cplx_stride[tkey] = stride
+                        cplx_conf[tkey] = 1
+                    else:
+                        cplx_conf[tkey] = tconf
+                elif tconf < 3:
+                    cplx_conf[tkey] = tconf + 1
+                ip_sig[key] = ((signature << 3) ^ (stride & 0x3F)) & 0xFFF
+                ip_stride[key] = stride
+
+        if not targets and not hit:
             # NL class: when no other class produces candidates, a miss falls
             # back to next-line prefetching.  This fallback is what makes
             # IPCP an aggressive prefetcher with a long inaccurate tail
             # (Figure 5a of the paper).
             self.class_counts["nl"] += 1
-            for distance in range(1, self.nl_degree + 1):
-                requests.append(
-                    PrefetchRequest(
-                        vaddr=(block + distance) * BLOCK_SIZE,
-                        trigger_pc=pc,
-                        trigger_vaddr=vaddr,
-                        confidence=0.3,
-                        metadata={"class": "nl"},
-                    )
-                )
+            self._last_class = "nl"
+            targets = []
+            target_block = block
+            for _ in range(self.nl_degree):
+                target_block += 1
+                targets.append(target_block << 6)
 
-        # Training / bookkeeping.
-        if entry.valid and stride != 0:
-            if stride == entry.last_stride:
-                entry.stride_confidence = min(3, entry.stride_confidence + 1)
-            else:
-                entry.stride_confidence = max(0, entry.stride_confidence - 1)
-            # Update the CPLX table with the stride that followed the previous
-            # signature, then advance the signature.
-            previous_signature = entry.signature
-            self._train_cplx(previous_signature, stride)
-            entry.signature = self._next_signature(previous_signature, stride)
-            entry.last_stride = stride
-        entry.last_block = block
-        entry.valid = True
-        return requests
-
-    # ------------------------------------------------------------------
-    # Classification
-    # ------------------------------------------------------------------
-    def _classify_and_prefetch(
-        self,
-        pc: int,
-        vaddr: int,
-        block: int,
-        stride: int,
-        entry: _IPEntry,
-        region: _RegionEntry,
-    ) -> list[PrefetchRequest]:
-        requests: list[PrefetchRequest] = []
-
-        # Constant stride class.
-        if (
-            stride == entry.last_stride
-            and entry.stride_confidence >= self.cs_confidence_threshold
-        ):
-            self.class_counts["cs"] += 1
-            for distance in range(1, self.cs_degree + 1):
-                target_block = block + distance * stride
-                if target_block <= 0:
-                    continue
-                requests.append(
-                    PrefetchRequest(
-                        vaddr=target_block * BLOCK_SIZE,
-                        trigger_pc=pc,
-                        trigger_vaddr=vaddr,
-                        confidence=0.9,
-                        metadata={"class": "cs"},
-                    )
-                )
-            return requests
-
-        # Global stream class: the page is being swept densely.
-        density = len(region.touched) / _BLOCKS_PER_PAGE
-        if density >= self.gs_density_threshold:
-            self.class_counts["gs"] += 1
-            for distance in range(1, self.gs_degree + 1):
-                target_block = block + distance * region.direction
-                if target_block <= 0:
-                    continue
-                requests.append(
-                    PrefetchRequest(
-                        vaddr=target_block * BLOCK_SIZE,
-                        trigger_pc=pc,
-                        trigger_vaddr=vaddr,
-                        confidence=0.6,
-                        metadata={"class": "gs"},
-                    )
-                )
-            return requests
-
-        # Complex class: follow the signature-predicted stride chain.
-        signature = entry.signature
-        predicted = self._cplx_table.get(signature % self.cplx_table_entries)
-        if predicted is not None and predicted[1] >= 2:
-            self.class_counts["cplx"] += 1
-            chained_block = block
-            chained_signature = signature
-            for _ in range(self.cplx_degree):
-                lookup = self._cplx_table.get(
-                    chained_signature % self.cplx_table_entries
-                )
-                if lookup is None or lookup[1] < 2:
-                    break
-                chained_block = chained_block + lookup[0]
-                if chained_block <= 0:
-                    break
-                requests.append(
-                    PrefetchRequest(
-                        vaddr=chained_block * BLOCK_SIZE,
-                        trigger_pc=pc,
-                        trigger_vaddr=vaddr,
-                        confidence=0.5,
-                        metadata={"class": "cplx"},
-                    )
-                )
-                chained_signature = self._next_signature(chained_signature, lookup[0])
-            return requests
-
-        self.class_counts["none"] += 1
-        return requests
-
-    # ------------------------------------------------------------------
-    # CPLX signature machinery
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _next_signature(signature: int, stride: int) -> int:
-        return ((signature << 3) ^ (stride & 0x3F)) & 0xFFF
-
-    def _train_cplx(self, signature: int, stride: int) -> None:
-        key = signature % self.cplx_table_entries
-        current = self._cplx_table.get(key)
-        if current is None or current[0] != stride:
-            confidence = 1 if current is None else max(0, current[1] - 1)
-            if current is None or confidence == 0:
-                self._cplx_table[key] = (stride, 1)
-            else:
-                self._cplx_table[key] = (current[0], confidence)
-        else:
-            self._cplx_table[key] = (stride, min(3, current[1] + 1))
-
-    # ------------------------------------------------------------------
-    # Region (global stream) tracking
-    # ------------------------------------------------------------------
-    def _track_region(self, vaddr: int) -> _RegionEntry:
-        page = page_number(vaddr)
-        region = self._regions.get(page)
-        if region is None:
-            region = _RegionEntry()
-            self._regions[page] = region
-            self._region_order.append(page)
-            if len(self._region_order) > self.region_entries:
-                oldest = self._region_order.pop(0)
-                self._regions.pop(oldest, None)
-        offset = cacheline_offset_in_page(vaddr)
-        if region.last_offset >= 0 and offset != region.last_offset:
-            region.direction = 1 if offset > region.last_offset else -1
-        region.last_offset = offset
-        region.touched.add(offset)
-        return region
+        ip_last[key] = block
+        return targets
 
     def reset(self) -> None:
-        self._ip_table.clear()
-        self._cplx_table.clear()
+        n = self.ip_table_entries
+        self._ip_buf[:] = 0
+        self._ip_buf[:n] = -1
+        self._cplx_buf[:] = 0
         self._regions.clear()
         self._region_order.clear()
         self.class_counts = {"cs": 0, "cplx": 0, "gs": 0, "nl": 0, "none": 0}

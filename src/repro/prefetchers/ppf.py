@@ -10,13 +10,29 @@ before eviction, negatively when it is evicted unused.
 The paper highlights two drawbacks that TLP addresses: PPF is tuned to a
 specific underlying prefetcher (SPP) and requires roughly 40KB of storage.
 The default table sizes below reproduce that storage footprint.
+
+State layout
+------------
+
+All weights live in one flat numpy ``int32`` buffer (the
+:class:`HashedPerceptron` pattern), indexed through per-feature
+:class:`memoryview` rows; :meth:`reset` zeroes the buffer in place so the
+rows stay valid.  Selected indices travel as a list in ``FEATURES`` order
+(not a name-keyed dict), shared by the scalar :meth:`consult`/:meth:`train`
+interface and the batch core's direct :meth:`consult_step`/
+:meth:`train_step` calls.
 """
 
 from __future__ import annotations
 
-from repro.common.addresses import block_address, cacheline_offset_in_page, page_number
+import numpy as np
+
 from repro.common.hashing import fold_xor, hash_combine, jenkins32
 from repro.prefetchers.base import FilterDecision, PrefetchFilter, PrefetchRequest
+
+#: Per-feature memo entries kept before the memo is cleared (matches
+#: HashedPerceptron's cap).
+_INDEX_MEMO_LIMIT = 1 << 16
 
 
 class PerceptronPrefetchFilter(PrefetchFilter):
@@ -24,7 +40,8 @@ class PerceptronPrefetchFilter(PrefetchFilter):
 
     name = "ppf"
 
-    #: Feature names; each gets its own weight table.
+    #: Feature names; each gets its own weight table (a memoryview row of
+    #: the flat buffer, in this order).
     FEATURES = (
         "pc",
         "pc_xor_depth",
@@ -50,63 +67,23 @@ class PerceptronPrefetchFilter(PrefetchFilter):
         self.training_threshold = training_threshold
         self._max_weight = (1 << (weight_bits - 1)) - 1
         self._min_weight = -(1 << (weight_bits - 1))
-        self._tables: dict[str, list[int]] = {
-            name: [0] * table_entries for name in self.FEATURES
-        }
+        n_features = len(self.FEATURES)
+        self._weights = np.zeros(n_features * table_entries, dtype=np.int32)
+        buffer = memoryview(self._weights)
+        self._tables: list[memoryview] = [
+            buffer[i * table_entries:(i + 1) * table_entries]
+            for i in range(n_features)
+        ]
         self._index_bits = max(1, (table_entries - 1).bit_length())
         # value -> index memo per feature; feature values repeat heavily so
         # this removes most hash computations from the consult hot path.
-        self._index_memo: dict[str, dict[int, int]] = {
-            name: {} for name in self.FEATURES
-        }
+        self._index_memos: list[dict[int, int]] = [{} for _ in range(n_features)]
         self.consultations = 0
         self.rejected = 0
         self.accepted = 0
 
     # ------------------------------------------------------------------
-    # Feature extraction
-    # ------------------------------------------------------------------
-    def _feature_values(
-        self, request: PrefetchRequest, paddr: int
-    ) -> dict[str, int]:
-        metadata = request.metadata
-        signature = metadata.get("signature", 0)
-        delta = metadata.get("delta", 0)
-        depth = metadata.get("depth", 0)
-        confidence = metadata.get("path_confidence", request.confidence)
-        confidence_bucket = int(min(0.999, max(0.0, confidence)) * 8)
-        block = block_address(paddr)
-        page = page_number(paddr)
-        offset = cacheline_offset_in_page(paddr)
-        return {
-            "pc": request.trigger_pc,
-            "pc_xor_depth": request.trigger_pc ^ (depth << 5),
-            "address": block,
-            "cacheline_offset": offset,
-            "page_xor_delta": hash_combine(page, delta),
-            "signature_xor_delta": hash_combine(signature, delta),
-            "confidence_bucket": confidence_bucket,
-            "pc_xor_offset": request.trigger_pc ^ offset,
-            "delta": delta & 0xFFF,
-        }
-
-    def _indices(self, values: dict[str, int]) -> dict[str, int]:
-        indices = {}
-        bits = self._index_bits
-        entries = self.table_entries
-        for name, value in values.items():
-            memo = self._index_memo[name]
-            index = memo.get(value)
-            if index is None:
-                if len(memo) >= 1 << 16:
-                    memo.clear()
-                index = fold_xor(jenkins32(value), bits) % entries
-                memo[value] = index
-            indices[name] = index
-        return indices
-
-    # ------------------------------------------------------------------
-    # Filter interface
+    # Filter interface (scalar reference path)
     # ------------------------------------------------------------------
     def consult(
         self,
@@ -115,40 +92,120 @@ class PerceptronPrefetchFilter(PrefetchFilter):
         trigger_offchip_prediction: bool,
         cycle: int,
     ) -> FilterDecision:
-        self.consultations += 1
-        values = self._feature_values(request, paddr)
-        indices = self._indices(values)
-        total = sum(self._tables[name][index] for name, index in indices.items())
-        issue = total >= self.issue_threshold
-        if issue:
-            self.accepted += 1
-        else:
-            self.rejected += 1
+        metadata = request.metadata
+        issue, total, indices = self.consult_step(
+            request.trigger_pc,
+            paddr >> 6,
+            metadata.get("signature", 0),
+            metadata.get("delta", 0),
+            metadata.get("depth", 0),
+            metadata.get("path_confidence", request.confidence),
+        )
         return FilterDecision(
             issue=issue,
             confidence=total,
             metadata={"indices": indices, "confidence": total},
         )
 
-    def train(self, metadata: dict, outcome: bool) -> None:
-        """Train with ``outcome`` = True when the prefetch turned out useful."""
-        indices = metadata.get("indices")
-        if indices is None:
-            return
-        confidence = metadata.get("confidence", 0)
+    def train(self, metadata, outcome: bool) -> None:
+        """Train with ``outcome`` = True when the prefetch turned out useful.
+
+        ``metadata`` is either the consult decision's metadata dict or the
+        raw ``(indices, confidence)`` tuple the batch core tracks.
+        """
+        if type(metadata) is tuple:
+            indices, confidence = metadata
+        else:
+            indices = metadata.get("indices")
+            if indices is None:
+                return
+            confidence = metadata.get("confidence", 0)
+        self.train_step(indices, confidence, outcome)
+
+    # ------------------------------------------------------------------
+    # The kernels (shared with the batch core)
+    # ------------------------------------------------------------------
+    def consult_step(
+        self,
+        trigger_pc: int,
+        block: int,
+        signature: int,
+        delta: int,
+        depth: int,
+        path_confidence: float,
+    ) -> tuple[bool, int, list[int]]:
+        """Score one candidate; returns ``(issue, confidence, indices)``.
+
+        ``block`` is the physical block address of the candidate
+        (``paddr >> 6``); the page and in-page offset derive from it.
+        """
+        self.consultations += 1
+        page = block >> 6
+        offset = block & 63
+        confidence = path_confidence
+        confidence_bucket = int(min(0.999, max(0.0, confidence)) * 8)
+        # Combined features are memoized on their raw component tuples so
+        # hash_combine only runs on memo misses; the resulting index is the
+        # same either way (same hash composition, different memo key).
+        values = (
+            trigger_pc,
+            trigger_pc ^ (depth << 5),
+            block,
+            offset,
+            (page, delta),
+            (signature, delta),
+            confidence_bucket,
+            trigger_pc ^ offset,
+            delta & 0xFFF,
+        )
+        total = 0
+        indices: list[int] = []
+        append = indices.append
+        bits = self._index_bits
+        entries = self.table_entries
+        memos = self._index_memos
+        tables = self._tables
+        feature = 0
+        for value in values:
+            memo = memos[feature]
+            index = memo.get(value)
+            if index is None:
+                if len(memo) >= _INDEX_MEMO_LIMIT:
+                    memo.clear()
+                hashed = hash_combine(*value) if type(value) is tuple else value
+                index = fold_xor(jenkins32(hashed), bits) % entries
+                memo[value] = index
+            append(index)
+            total += tables[feature][index]
+            feature += 1
+        issue = total >= self.issue_threshold
+        if issue:
+            self.accepted += 1
+        else:
+            self.rejected += 1
+        return issue, total, indices
+
+    def train_step(self, indices: list[int], confidence: int, outcome: bool) -> None:
+        """Apply the perceptron update for one resolved prefetch."""
         predicted_useful = confidence >= self.issue_threshold
         if predicted_useful == outcome and abs(confidence) >= self.training_threshold:
             return
         delta = 1 if outcome else -1
-        for name, index in indices.items():
-            updated = self._tables[name][index] + delta
-            self._tables[name][index] = min(
-                self._max_weight, max(self._min_weight, updated)
-            )
+        tables = self._tables
+        max_weight = self._max_weight
+        min_weight = self._min_weight
+        feature = 0
+        for index in indices:
+            updated = tables[feature][index] + delta
+            if updated > max_weight:
+                updated = max_weight
+            elif updated < min_weight:
+                updated = min_weight
+            tables[feature][index] = updated
+            feature += 1
 
     def reset(self) -> None:
-        for name in self.FEATURES:
-            self._tables[name] = [0] * self.table_entries
+        self._weights[:] = 0
         self.consultations = 0
         self.rejected = 0
         self.accepted = 0

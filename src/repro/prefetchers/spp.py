@@ -9,55 +9,28 @@ path confidence falls below a threshold.  High-confidence prefetches are
 placed in the L2, low-confidence ones in the LLC -- which is what the paper
 means by "SPP ... brings prefetched blocks into either the L2C or the LLC
 depending on its internal prefetch logic".
+
+State layout
+------------
+
+The signature table packs ``(signature, last_offset)`` into one int per
+tracked page (a FIFO-bounded dict).  The pattern table is direct-mapped by
+``signature % pattern_table_entries``, so its state lives in preallocated
+parallel rows: a numpy ``int64`` total row (memoryview-indexed), a list of
+per-entry delta-counter dicts (None = never trained) and a list of memoized
+best-prediction tuples.  The order-dependent kernel is :meth:`step`, which
+returns plain prediction tuples; :meth:`on_access` wraps them in
+:class:`PrefetchRequest` objects for the scalar reference path, while the
+batch simulator core consumes the tuples directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import numpy as np
 
-from repro.common.addresses import BLOCK_SIZE, block_address, page_number
+from repro.common.addresses import BLOCK_SIZE
 from repro.common.types import MemLevel
 from repro.prefetchers.base import L2Prefetcher, PrefetchRequest
-
-
-@dataclass
-class _SignatureEntry:
-    """Per-page tracking: last block offset and current signature."""
-
-    last_offset: int
-    signature: int = 0
-
-
-@dataclass
-class _PatternEntry:
-    """Signature-indexed delta predictions with confidence counters."""
-
-    deltas: dict[int, int] = field(default_factory=dict)
-    total: int = 0
-    #: Cached (delta, count) of the strongest prediction; invalidated by
-    #: training so repeated lookahead queries between trains avoid the scan.
-    _best: tuple[int, int] | None = None
-
-    def confidence(self, delta: int) -> float:
-        if self.total == 0:
-            return 0.0
-        return self.deltas.get(delta, 0) / self.total
-
-    def best(self) -> tuple[int, float] | None:
-        if not self.deltas or self.total == 0:
-            return None
-        cached = self._best
-        if cached is None:
-            # First maximal count in insertion order, matching
-            # max(items, key=count) exactly.
-            best_delta = 0
-            best_count = -1
-            for delta, count in self.deltas.items():
-                if count > best_count:
-                    best_count = count
-                    best_delta = delta
-            cached = self._best = (best_delta, best_count)
-        return cached[0], cached[1] / self.total
 
 
 class SPPPrefetcher(L2Prefetcher):
@@ -88,84 +61,150 @@ class SPPPrefetcher(L2Prefetcher):
             self.lookahead_confidence = 0.10
             self.l2_fill_confidence = 0.25
             self.max_lookahead_depth = 8
-        self._signatures: dict[int, _SignatureEntry] = {}
+        #: page -> (signature << 6) | last_offset, FIFO-bounded.
+        self._signatures: dict[int, int] = {}
         self._signature_order: list[int] = []
-        self._patterns: dict[int, _PatternEntry] = {}
+        m = pattern_table_entries
+        #: delta -> count per pattern entry; None = never trained.
+        self._pattern_deltas: list[dict[int, int] | None] = [None] * m
+        self._pattern_total_buf = np.zeros(m, dtype=np.int64)
+        self._pattern_totals = memoryview(self._pattern_total_buf)
+        #: Cached (delta, count) of the strongest prediction per entry;
+        #: invalidated by training so repeated lookahead queries between
+        #: trains avoid the scan.
+        self._pattern_best: list[tuple[int, int] | None] = [None] * m
         self.lookahead_prefetches = 0
 
     # ------------------------------------------------------------------
-    # Main hook
+    # Main hook (scalar reference path)
     # ------------------------------------------------------------------
     def on_access(
         self, paddr: int, pc: int, hit: bool, cycle: int
     ) -> list[PrefetchRequest]:
-        page = page_number(paddr)
-        block = block_address(paddr)
-        offset = block & 0x3F
-
-        entry = self._signatures.get(page)
-        if entry is None:
-            entry = _SignatureEntry(last_offset=offset)
-            self._signatures[page] = entry
-            self._signature_order.append(page)
-            if len(self._signature_order) > self.signature_table_entries:
-                evicted = self._signature_order.pop(0)
-                self._signatures.pop(evicted, None)
+        predictions = self.step(paddr >> 6, pc)
+        if not predictions:
             return []
-
-        delta = offset - entry.last_offset
-        if delta == 0:
-            return []
-
-        # Train the pattern table with the observed delta for the previous
-        # signature, then advance the signature.
-        self._train_pattern(entry.signature, delta)
-        entry.signature = self._advance_signature(entry.signature, delta)
-        entry.last_offset = offset
-
-        # Lookahead prediction along the signature path.
         requests: list[PrefetchRequest] = []
-        signature = entry.signature
-        path_confidence = 1.0
-        predicted_block = block
-        for depth in range(self.max_lookahead_depth):
-            pattern = self._patterns.get(signature % self.pattern_table_entries)
-            if pattern is None:
-                break
-            best = pattern.best()
-            if best is None:
-                break
-            predicted_delta, confidence = best
-            path_confidence *= confidence
-            if path_confidence < self.lookahead_confidence:
-                break
-            predicted_block = predicted_block + predicted_delta
-            if predicted_block <= 0:
-                break
-            fill_level = (
-                MemLevel.L2C
-                if path_confidence >= self.l2_fill_confidence
-                else MemLevel.LLC
-            )
+        for block, fill_l2, signature, delta, depth, path_confidence in predictions:
             requests.append(
                 PrefetchRequest(
-                    vaddr=predicted_block * BLOCK_SIZE,
+                    vaddr=block * BLOCK_SIZE,
                     trigger_pc=pc,
                     trigger_vaddr=paddr,
-                    fill_level=fill_level,
+                    fill_level=MemLevel.L2C if fill_l2 else MemLevel.LLC,
                     confidence=path_confidence,
                     metadata={
                         "signature": signature,
-                        "delta": predicted_delta,
+                        "delta": delta,
                         "depth": depth,
                         "path_confidence": path_confidence,
                     },
                 )
             )
+        return requests
+
+    # ------------------------------------------------------------------
+    # The order-dependent kernel
+    # ------------------------------------------------------------------
+    def step(
+        self, block: int, pc: int
+    ) -> list[tuple[int, bool, int, int, int, float]] | None:
+        """Observe one L2 access (by block address) and predict ahead.
+
+        Returns ``(block, fill_l2, signature, delta, depth, path_confidence)``
+        tuples -- one per lookahead prediction -- or None.
+        """
+        page = block >> 6
+        offset = block & 0x3F
+
+        signatures = self._signatures
+        packed = signatures.get(page)
+        if packed is None:
+            signatures[page] = offset  # signature starts at 0
+            order = self._signature_order
+            order.append(page)
+            if len(order) > self.signature_table_entries:
+                signatures.pop(order.pop(0), None)
+            return None
+
+        delta = offset - (packed & 0x3F)
+        if delta == 0:
+            return None
+        signature = packed >> 6
+
+        # Train the pattern table with the observed delta for the previous
+        # signature, then advance the signature.
+        m = self.pattern_table_entries
+        pattern_deltas = self._pattern_deltas
+        pattern_totals = self._pattern_totals
+        pattern_best = self._pattern_best
+        key = signature % m
+        deltas = pattern_deltas[key]
+        if deltas is None:
+            pattern_deltas[key] = {delta: 1}
+            total = 1
+        else:
+            deltas[delta] = deltas.get(delta, 0) + 1
+            total = pattern_totals[key] + 1
+            # Periodically halve the counters so stale deltas fade away.
+            if total >= 64:
+                deltas = {d: c // 2 for d, c in deltas.items() if c > 1}
+                pattern_deltas[key] = deltas
+                total = sum(deltas.values())
+        pattern_best[key] = None
+        pattern_totals[key] = total
+
+        signature = ((signature << 3) ^ (delta & 0x7F)) & 0xFFF
+        signatures[page] = (signature << 6) | offset
+
+        # Lookahead prediction along the signature path.
+        predictions: list[tuple[int, bool, int, int, int, float]] | None = None
+        path_confidence = 1.0
+        predicted_block = block
+        lookahead_confidence = self.lookahead_confidence
+        l2_fill_confidence = self.l2_fill_confidence
+        for depth in range(self.max_lookahead_depth):
+            key = signature % m
+            deltas = pattern_deltas[key]
+            if not deltas:
+                break
+            total = pattern_totals[key]
+            if total == 0:
+                break
+            best = pattern_best[key]
+            if best is None:
+                # First maximal count in insertion order, matching
+                # max(items, key=count) exactly.
+                best_delta = 0
+                best_count = -1
+                for d, c in deltas.items():
+                    if c > best_count:
+                        best_count = c
+                        best_delta = d
+                best = pattern_best[key] = (best_delta, best_count)
+            predicted_delta = best[0]
+            path_confidence *= best[1] / total
+            if path_confidence < lookahead_confidence:
+                break
+            predicted_block = predicted_block + predicted_delta
+            if predicted_block <= 0:
+                break
+            if predictions is None:
+                predictions = []
+            predictions.append(
+                (
+                    predicted_block,
+                    path_confidence >= l2_fill_confidence,
+                    signature,
+                    predicted_delta,
+                    depth,
+                    path_confidence,
+                )
+            )
             if depth > 0:
                 self.lookahead_prefetches += 1
-            signature = self._advance_signature(signature, predicted_delta)
-        return requests
+            signature = ((signature << 3) ^ (predicted_delta & 0x7F)) & 0xFFF
+        return predictions
 
     # ------------------------------------------------------------------
     # Signature machinery
@@ -174,23 +213,12 @@ class SPPPrefetcher(L2Prefetcher):
     def _advance_signature(cls, signature: int, delta: int) -> int:
         return ((signature << 3) ^ (delta & 0x7F)) & ((1 << cls.SIGNATURE_BITS) - 1)
 
-    def _train_pattern(self, signature: int, delta: int) -> None:
-        key = signature % self.pattern_table_entries
-        pattern = self._patterns.get(key)
-        if pattern is None:
-            pattern = self._patterns[key] = _PatternEntry()
-        pattern.deltas[delta] = pattern.deltas.get(delta, 0) + 1
-        pattern.total += 1
-        pattern._best = None
-        # Periodically halve the counters so stale deltas fade away.
-        if pattern.total >= 64:
-            pattern.deltas = {
-                d: c // 2 for d, c in pattern.deltas.items() if c > 1
-            }
-            pattern.total = sum(pattern.deltas.values())
-
     def reset(self) -> None:
         self._signatures.clear()
         self._signature_order.clear()
-        self._patterns.clear()
+        m = self.pattern_table_entries
+        for i in range(m):
+            self._pattern_deltas[i] = None
+            self._pattern_best[i] = None
+        self._pattern_total_buf[:] = 0
         self.lookahead_prefetches = 0

@@ -27,11 +27,17 @@ This module restructures the hot path around trace *chunks*:
    ``MemoryHierarchy._walk_below_l1d``, ``Cache.lookup``, ``LRUPolicy``,
    ``DRAMModel.access`` and ``HashedPerceptron.predict``/``train`` inlined
    over the precomputed index columns.  Pure counters accumulate in locals
-   and flush once per chunk.  Prefetchers, prefetch filters (SLP/PPF) and
-   cache fills/evictions are *serialization points*: they interleave
-   order-dependent state machines (candidate generation, filter training,
-   victim selection, eviction listeners), so the loop calls straight into
-   the existing objects for them, guaranteeing identical behaviour.
+   and flush once per chunk.  The prefetch machinery is fused too: the
+   recognised L1D prefetchers (IPCP, Berti) expose
+   ``begin_batch``/``step_batch`` kernels -- per-chunk numpy precompute
+   plus a thin order-dependent step -- and the loop drives SPP lookahead
+   walks (``SPPPrefetcher.step``), PPF and SLP filter consults/training
+   (``consult_step``/``train_step``) and cache fills (via
+   :func:`_make_inline_fill`, a positional ``Cache.fill`` + LRU clone)
+   without crossing the per-request object boundary.  The object
+   implementations stay the pinned bit-identical reference; unrecognised
+   prefetcher/filter combinations keep the object-call path inside the
+   fused loop.
 
 3. **Chunk scheduler with scalar fallback** -- chunks only run fused when
    every component is one the fused loop models exactly (stock
@@ -39,7 +45,9 @@ This module restructures the hot path around trace *chunks*:
    Hermes / FLP off-chip predictor over the Table I feature set).
    Anything else -- custom subclasses, SRRIP, exotic predictors, and the
    per-instruction multi-core interleave -- drops to the pinned scalar
-   reference path.
+   reference path; :func:`batch_unsupported_reason` names the offending
+   component, which is logged once per process and emitted as a
+   ``sim.batch.fallback`` observability event on every fallback.
 
 The batch core is selected with ``SystemConfig(sim_core="batch")`` /
 ``--core batch`` and is bit-identical to the scalar path by construction:
@@ -49,21 +57,30 @@ the same arithmetic, which the batch-vs-scalar equivalence suite pins.
 
 from __future__ import annotations
 
+import logging
 from typing import Optional
 
 import numpy as np
 
 from repro.common.addresses import PAGE_BITS
 from repro.common.hashing import hash_combine, hash_combine_np, table_index_np
-from repro.common.types import MemLevel
+from repro.common.types import MemLevel, RequestSource
 from repro.core.flp import FirstLevelPerceptron
+from repro.core.slp import SecondLevelPerceptron
 from repro.cpu.core import CoreRunner
-from repro.memory.cache import Cache
-from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.cache import Cache, CacheBlock, EvictionInfo
+from repro.memory.hierarchy import MemoryHierarchy, PrefetchRecord
 from repro.memory.replacement import LRUPolicy
+from repro.obs import tracer as obs_tracer
 from repro.predictors.base import NullOffChipPredictor
 from repro.predictors.hermes import HermesPredictor
+from repro.prefetchers.berti import BertiPrefetcher
+from repro.prefetchers.ipcp import IPCPPrefetcher
+from repro.prefetchers.ppf import PerceptronPrefetchFilter
+from repro.prefetchers.spp import SPPPrefetcher
 from repro.traces.trace import KIND_NON_MEM
+
+_LOG = logging.getLogger("repro.sim.batch")
 
 #: Records per fused chunk.  Large enough to amortize the vectorized
 #: precompute, small enough to keep the index columns cache-resident.
@@ -90,27 +107,59 @@ def _cache_is_fusible(cache: Cache) -> bool:
     )
 
 
-def batch_supported(hierarchy: MemoryHierarchy) -> bool:
-    """True when ``hierarchy`` can run on the fused batch path.
+def batch_unsupported_reason(hierarchy: MemoryHierarchy) -> Optional[str]:
+    """Why ``hierarchy`` cannot run fused, or None when it can.
 
-    Anything this function rejects still simulates correctly -- the batch
-    runner silently falls back to the scalar reference path.
+    The reason string names the offending component so the fallback event
+    and warning are actionable.  Anything rejected here still simulates
+    correctly -- the batch runner falls back to the scalar reference path.
     """
     if type(hierarchy) is not MemoryHierarchy:
-        return False
-    if not (_cache_is_fusible(hierarchy.l1d) and _cache_is_fusible(hierarchy.l2c)
-            and _cache_is_fusible(hierarchy.llc)):
-        return False
+        return f"hierarchy subclass {type(hierarchy).__name__}"
+    for cache in (hierarchy.l1d, hierarchy.l2c, hierarchy.llc):
+        if not _cache_is_fusible(cache):
+            detail = (
+                type(cache).__name__
+                if type(cache) is not Cache
+                else "non-LRU replacement policy"
+            )
+            return f"{cache.name}: unmodelled cache shape ({detail})"
     predictor = hierarchy.offchip_predictor
     if type(predictor) is NullOffChipPredictor:
-        return True
+        return None
     if type(predictor) in (HermesPredictor, FirstLevelPerceptron):
         names = tuple(spec.name for spec in predictor.perceptron.features)
-        return (
-            names == _LEGACY_FEATURE_NAMES
-            and predictor.history.pc_history_length == 4
+        if names != _LEGACY_FEATURE_NAMES:
+            return (
+                f"off-chip predictor {type(predictor).__name__}:"
+                " non-standard feature set"
+            )
+        if predictor.history.pc_history_length != 4:
+            return (
+                f"off-chip predictor {type(predictor).__name__}:"
+                f" pc_history_length {predictor.history.pc_history_length}"
+            )
+        return None
+    return f"unmodelled off-chip predictor {type(predictor).__name__}"
+
+
+def batch_supported(hierarchy: MemoryHierarchy) -> bool:
+    """True when ``hierarchy`` can run on the fused batch path."""
+    return batch_unsupported_reason(hierarchy) is None
+
+
+#: Fallback reasons already warned about (once per reason per process; the
+#: obs event still fires on every fallback so campaigns can count them).
+_FALLBACK_LOGGED: set[str] = set()
+
+
+def _note_scalar_fallback(reason: str) -> None:
+    obs_tracer.event("sim.batch.fallback", reason=reason)
+    if reason not in _FALLBACK_LOGGED:
+        _FALLBACK_LOGGED.add(reason)
+        _LOG.warning(
+            "--core batch fell back to the scalar reference path: %s", reason
         )
-    return False
 
 
 def _precompute_offchip_indices(
@@ -188,6 +237,95 @@ def _precompute_offchip_indices(
     return columns
 
 
+def _make_inline_fill(cache: Cache):
+    """Positional fast-path clone of ``Cache.fill`` with LRU inlined.
+
+    Only valid for :func:`_cache_is_fusible` caches (stock :class:`Cache`
+    over :class:`LRUPolicy` sets) and for fills that never set ``dirty`` --
+    which is every fill the fused loop drives (demand fills and prefetch
+    fills; writes dirty blocks via the lookup path, not fills).  Identical
+    arithmetic and update order to ``Cache.fill`` + ``Cache._evict`` +
+    ``LRUPolicy``; the only shortcut is skipping the
+    :class:`EvictionInfo` allocation when the cache has no eviction
+    listener to observe it.
+    """
+    sets = cache._sets
+    num_sets = cache.num_sets
+    ways_all = cache._ways
+    way_contents = cache._way_contents
+    free_ways_all = cache._free_ways
+    policies = cache._policies
+    stats = cache.stats
+    listener = cache._eviction_listener
+
+    def fill(
+        block_addr: int,
+        cycle: int,
+        ready_cycle: int,
+        prefetched: bool = False,
+        prefetch_source_level: Optional[int] = None,
+    ) -> None:
+        set_idx = block_addr % num_sets
+        cache_set = sets[set_idx]
+        existing = cache_set.get(block_addr)
+        if existing is not None:
+            # Fill races with an earlier fill of the same block: keep the
+            # stronger attribution (a demand fill overrides prefetched).
+            if not prefetched:
+                existing.prefetched = False
+            if ready_cycle < existing.ready_cycle:
+                existing.ready_cycle = ready_cycle
+            return
+        free_ways = free_ways_all[set_idx]
+        policy = policies[set_idx]
+        if not free_ways:
+            # Stamps are unique (monotone clock per set), so index(min) is
+            # exactly the first-minimal way LRUPolicy.victim() scans for.
+            stamps = policy._stamps
+            victim_way = stamps.index(min(stamps))
+            victim_addr = way_contents[set_idx][victim_way]
+            if victim_addr is not None:
+                victim = cache_set.pop(victim_addr)
+                ways_all[set_idx].pop(victim_addr)
+                way_contents[set_idx][victim_way] = None
+                free_ways.append(victim_way)
+                stats.evictions += 1
+                if victim.dirty:
+                    stats.writebacks += 1
+                if victim.prefetched:
+                    if victim.prefetch_useful:
+                        stats.useful_prefetch_evictions += 1
+                    else:
+                        stats.useless_prefetch_evictions += 1
+                if listener is not None:
+                    listener(
+                        EvictionInfo(
+                            block_addr=victim_addr,
+                            was_prefetched=victim.prefetched,
+                            prefetch_was_useful=victim.prefetch_useful,
+                            was_dirty=victim.dirty,
+                        )
+                    )
+        way = free_ways.pop()
+        # Positional CacheBlock args in field order: block_addr, valid,
+        # dirty, prefetched, prefetch_useful, prefetch_source_level,
+        # fill_cycle, ready_cycle.
+        cache_set[block_addr] = CacheBlock(
+            block_addr, True, False, prefetched, False,
+            prefetch_source_level, cycle, ready_cycle,
+        )
+        ways_all[set_idx][block_addr] = way
+        way_contents[set_idx][way] = block_addr
+        policy._clock += 1
+        policy._stamps[way] = policy._clock
+        if prefetched:
+            stats.prefetch_fills += 1
+        else:
+            stats.demand_fills += 1
+
+    return fill
+
+
 def run_core_trace_batched(
     runner: CoreRunner,
     trace,
@@ -209,7 +347,9 @@ def run_core_trace_batched(
     wanting per-N-accesses granularity should also shrink
     ``chunk_records`` (chunking is result-invariant).
     """
-    if not batch_supported(hierarchy):
+    reason = batch_unsupported_reason(hierarchy)
+    if reason is not None:
+        _note_scalar_fallback(reason)
         runner.run_trace(trace)
         return False
 
@@ -238,9 +378,11 @@ def run_core_trace_batched(
     l2_num_sets, l2_latency = l2c.num_sets, l2c.latency
     llc_sets, llc_ways, llc_policies = llc._sets, llc._ways, llc._policies
     llc_num_sets, llc_latency = llc.num_sets, llc.latency
-    l1_fill = l1d.fill
-    l2_fill = l2c.fill
-    llc_fill = llc.fill
+    # Positional fast-path fills (Cache.fill + LRU inlined; sound because
+    # batch_unsupported_reason already required the stock cache shapes).
+    l1_fill = _make_inline_fill(l1d)
+    l2_fill = _make_inline_fill(l2c)
+    llc_fill = _make_inline_fill(llc)
     record_location = hierarchy._record_offchip_prediction_location
     resolve_l1_prefetch_use = hierarchy._resolve_l1d_prefetch_use
     resolve_l2_prefetch_use = hierarchy._resolve_l2c_prefetch_use
@@ -258,6 +400,109 @@ def run_core_trace_batched(
     LEVEL_LLC = MemLevel.LLC
     LEVEL_DRAM = MemLevel.DRAM
     KIND_COMPUTE = KIND_NON_MEM
+
+    # Stats objects are stable within one call: reset_stats replaces them
+    # only between the warm-up and measured phases, i.e. between calls.
+    hstats = hierarchy.stats
+    l1_stats = l1d.stats
+    l2_stats = l2c.stats
+    llc_stats = llc.stats
+    dram_stats = dram.stats
+
+    # ---- inline prefetch kernels (exact-type gated) ------------------
+    # The fused paths below replicate _issue_l1d_prefetch /
+    # _issue_l2c_prefetch for the exact component types whose kernels they
+    # inline (IPCP/Berti + SLP above the L1D, SPP + PPF behind the L2C).
+    # Any other combination keeps the object-call serialization points, so
+    # nothing loses batch support -- it just runs the slower fused loop.
+    l2pf = hierarchy.l2_prefetcher
+    l2flt = hierarchy.l2_prefetch_filter
+    l1flt = hierarchy.l1d_prefetch_filter
+    inline_l2 = (
+        (l2pf is None or type(l2pf) is SPPPrefetcher)
+        and (l2flt is None or type(l2flt) is PerceptronPrefetchFilter)
+    )
+    inline_l1 = (
+        inline_l2
+        and type(prefetcher) in (IPCPPrefetcher, BertiPrefetcher)
+        and (l1flt is None or type(l1flt) is SecondLevelPerceptron)
+    )
+
+    if inline_l2 and l2pf is not None:
+        # _run_l2_prefetcher + _issue_l2c_prefetch fused over SPP's raw
+        # prediction tuples: no PrefetchRequest/FilterDecision objects and
+        # no metadata dicts on this path.  DRAM keeps its object calls
+        # (prefetch DRAM transactions are rare) so its stats merge with the
+        # chunk-local demand counters.  Default arguments re-bind the
+        # shared state as closure locals, keeping the enclosing loop's
+        # names plain fast locals rather than cells.
+        def spp_inline(
+            trigger_pc: int,
+            tblock: int,
+            cycle: int,
+            spp_step=l2pf.step,
+            ppf_consult=(l2flt.consult_step if l2flt is not None else None),
+            hstats=hstats,
+            l2_sets=l2_sets,
+            l2_num_sets=l2_num_sets,
+            llc_sets=llc_sets,
+            llc_num_sets=llc_num_sets,
+            l2_fill=l2_fill,
+            llc_fill=llc_fill,
+            base_latency=l2_latency + llc_latency,
+            dram=dram,
+            dram_access=dram.access,
+            drop_cycles=hierarchy._prefetch_drop_queue_cycles,
+            SRC_L2C_PREFETCH=RequestSource.L2C_PREFETCH,
+            INT_DRAM=int(MemLevel.DRAM),
+            pending_l2c=hierarchy._pending_l2c_prefetches,
+        ) -> None:
+            predictions = spp_step(tblock, trigger_pc)
+            if not predictions:
+                return
+            for pblock, fill_l2, sig, pdelta, pdepth, pconf in predictions:
+                hstats.l2c_prefetch_candidates += 1
+                if pblock in l2_sets[pblock % l2_num_sets]:
+                    hstats.l2c_prefetches_dropped_resident += 1
+                    continue
+                if ppf_consult is not None:
+                    issue, ptotal, pindices = ppf_consult(
+                        trigger_pc, pblock, sig, pdelta, pdepth, pconf
+                    )
+                    if not issue:
+                        hstats.l2c_prefetches_filtered += 1
+                        continue
+                fill_latency = base_latency
+                if pblock not in llc_sets[pblock % llc_num_sets]:
+                    if dram._busy_until - cycle > drop_cycles:
+                        hstats.l2c_prefetches_dropped_queue_full += 1
+                        continue
+                    fill_latency += dram_access(cycle, SRC_L2C_PREFETCH)
+                    llc_fill(pblock, cycle, cycle + fill_latency, True, INT_DRAM)
+                hstats.l2c_prefetches_issued += 1
+                if fill_l2:
+                    l2_fill(pblock, cycle, cycle + fill_latency, True, INT_DRAM)
+                if ppf_consult is not None:
+                    # PPF training metadata travels as a raw (indices,
+                    # confidence) tuple; the eviction/use hooks hand it
+                    # back to PerceptronPrefetchFilter.train unchanged.
+                    pending_l2c[pblock] = (pindices, ptotal)
+    else:
+        spp_inline = None
+
+    if inline_l1:
+        pf_begin = prefetcher.begin_batch
+        pf_step = prefetcher.step_batch
+        slp_consult = l1flt.consult_step if l1flt is not None else None
+        slp_train = l1flt.perceptron.train if l1flt is not None else None
+        pending_l1 = hierarchy._pending_l1d_prefetches
+        finalize_l1 = hierarchy._finalize_l1d_prefetch
+        pf_served_by = hstats.l1d_prefetch_served_by
+        dram_access = dram.access
+        drop_cycles = hierarchy._prefetch_drop_queue_cycles
+        SRC_L1D_PREFETCH = RequestSource.L1D_PREFETCH
+    else:
+        pf_begin = pf_step = None
 
     if predictor_kind != _PK_NULL:
         perceptron = predictor.perceptron
@@ -300,31 +545,31 @@ def run_core_trace_batched(
         vaddrs = vaddrs_chunk.tolist()
         kinds = kinds_chunk.tolist()
 
-        # Vectorized precompute of the off-chip feature indices for every
-        # demand record of this chunk.
-        if predictor_kind != _PK_NULL:
+        # Vectorized precompute over this chunk's demand records: the
+        # off-chip feature indices and the L1D prefetcher's pure columns.
+        if predictor_kind != _PK_NULL or pf_begin is not None:
             demand_mask = kinds_chunk != KIND_COMPUTE
+            demand_pcs = pcs_chunk[demand_mask]
+            demand_vaddrs = vaddrs_chunk[demand_mask]
+        if predictor_kind != _PK_NULL:
             idx0, idx1, idx2, idx3, idx4 = _precompute_offchip_indices(
-                predictor, pcs_chunk[demand_mask], vaddrs_chunk[demand_mask]
+                predictor, demand_pcs, demand_vaddrs
             )
             predictions = positive = 0
             training_events = correct = weight_updates = 0
             flp_immediate = flp_delayed = flp_negative = 0
+        if pf_begin is not None:
+            pf_begin(demand_pcs, demand_vaddrs)
         demand_cursor = 0
 
-        # Per-chunk stats bindings (reset_stats replaces these objects
-        # between the warm-up and measured phases).  Pure counters
-        # accumulate in locals below and flush once per chunk; the
-        # delegated calls never touch these specific fields (demand
-        # lookups happen only at the sites inlined here).
-        hstats = hierarchy.stats
-        l1_stats = l1d.stats
-        l2_stats = l2c.stats
-        llc_stats = llc.stats
-        dram_stats = dram.stats
+        # Pure counters accumulate in locals below and flush once per
+        # chunk; the delegated calls never touch these specific fields
+        # (demand lookups happen only at the sites inlined here).
         demand_loads = demand_stores = offchip_predictions = 0
         speculative_requests = delayed_speculative = delayed_saved = 0
         prefetch_candidates = 0
+        l1_pf_dropped_resident = l1_pf_filtered = 0
+        l1_pf_dropped_queue = l1_pf_issued = 0
         served_l1d = served_l2c = served_llc = served_dram = 0
         l1_accesses = l1_hits = l1_misses = l1_pf_hits = 0
         l2_accesses = l2_hits = l2_misses = l2_pf_hits = 0
@@ -446,8 +691,89 @@ def run_core_trace_batched(
                     if prefetch_hit:
                         resolve_l1_prefetch_use(block)
 
-                # -- L1D prefetcher (serialization point: object call) --
-                if on_demand_access is not None:
+                # -- L1D prefetcher --
+                if pf_step is not None:
+                    # Fused kernel path (IPCP/Berti): raw target vaddrs off
+                    # the chunk cursor, _issue_l1d_prefetch inlined below.
+                    targets = pf_step(l1d_hit)
+                    if targets:
+                        for tvaddr in targets:
+                            prefetch_candidates += 1
+                            tvpage = tvaddr >> 12
+                            tframe = page_map.get(tvpage)
+                            if tframe is None:
+                                tframe = allocate_frame(tvpage)
+                            tpaddr = (tframe << 12) | (tvaddr & 4095)
+                            tblock = tpaddr >> 6
+                            if tblock in l1_sets[tblock % l1_num_sets]:
+                                l1_pf_dropped_resident += 1
+                                continue
+                            if slp_consult is not None:
+                                s_issue, s_conf, s_indices = slp_consult(
+                                    pc, tpaddr, last_prediction
+                                )
+                                if not s_issue:
+                                    l1_pf_filtered += 1
+                                    continue
+                            # The L2 prefetcher observes the prefetch
+                            # arriving from the level above.
+                            if spp_inline is not None and (
+                                tblock not in l2_sets[tblock % l2_num_sets]
+                            ):
+                                spp_inline(pc, tblock, cycle)
+                            # _fetch_for_prefetch inlined (L1D source).  The
+                            # L2 residency re-check matters: spp_inline may
+                            # have just filled this block into the L2.
+                            if tblock in l2_sets[tblock % l2_num_sets]:
+                                served_level = LEVEL_L2C
+                                fetch_latency = l1_latency + l2_latency
+                            elif tblock in llc_sets[tblock % llc_num_sets]:
+                                served_level = LEVEL_LLC
+                                fetch_latency = (
+                                    l1_latency + l2_latency + llc_latency
+                                )
+                                l2_fill(tblock, cycle, cycle + fetch_latency)
+                            else:
+                                if dram._busy_until - cycle > drop_cycles:
+                                    l1_pf_dropped_queue += 1
+                                    continue
+                                served_level = LEVEL_DRAM
+                                fetch_latency = (
+                                    l1_latency + l2_latency + llc_latency
+                                    + dram_access(cycle, SRC_L1D_PREFETCH)
+                                )
+                                ready = cycle + fetch_latency
+                                llc_fill(tblock, cycle, ready)
+                                l2_fill(tblock, cycle, ready)
+                            l1_pf_issued += 1
+                            pf_served_by[served_level] += 1
+                            l1_fill(
+                                tblock,
+                                cycle,
+                                cycle + fetch_latency,
+                                True,
+                                int(served_level),
+                            )
+                            # on_fill is the L1DPrefetcher base no-op for
+                            # IPCP/Berti; SLP trains as soon as the serve
+                            # level is known.
+                            if slp_consult is not None:
+                                slp_train(
+                                    s_indices,
+                                    served_level is LEVEL_DRAM,
+                                    s_conf,
+                                )
+                            previous = pending_l1.get(tblock)
+                            if previous is not None:
+                                finalize_l1(previous, False)
+                            pending_l1[tblock] = PrefetchRecord(
+                                block_addr=tblock,
+                                served_by=served_level,
+                                issue_cycle=cycle,
+                            )
+                elif on_demand_access is not None:
+                    # Serialization point: object call for prefetcher types
+                    # the fused path does not model.
                     candidates = on_demand_access(pc, vaddr, l1d_hit, cycle)
                     if candidates:
                         for request in candidates:
@@ -514,10 +840,13 @@ def run_core_trace_batched(
                             resolve_l2_prefetch_use(block)
 
                     # SPP observes L2 demand accesses.
-                    run_l2_prefetcher(pc, paddr, l2_hit, cycle)
+                    if spp_inline is not None:
+                        spp_inline(pc, block, cycle)
+                    else:
+                        run_l2_prefetcher(pc, paddr, l2_hit, cycle)
 
                     if l2_hit:
-                        l1_fill(block, cycle=cycle, ready_cycle=cycle + latency)
+                        l1_fill(block, cycle, cycle + latency)
                         served_l2c += 1
                         went_offchip = False
                     else:
@@ -545,8 +874,8 @@ def run_core_trace_batched(
                                 policy._clock
                             )
                         if llc_hit:
-                            l1_fill(block, cycle=cycle, ready_cycle=cycle + latency)
-                            l2_fill(block, cycle=cycle, ready_cycle=cycle + latency)
+                            l1_fill(block, cycle, cycle + latency)
+                            l2_fill(block, cycle, cycle + latency)
                             served_llc += 1
                             went_offchip = False
                         else:
@@ -574,9 +903,9 @@ def run_core_trace_batched(
                                 )
                             latency += dram_latency
                             ready = cycle + latency
-                            llc_fill(block, cycle=cycle, ready_cycle=ready)
-                            l2_fill(block, cycle=cycle, ready_cycle=ready)
-                            l1_fill(block, cycle=cycle, ready_cycle=ready)
+                            llc_fill(block, cycle, ready)
+                            l2_fill(block, cycle, ready)
+                            l1_fill(block, cycle, ready)
                             served_dram += 1
                             went_offchip = True
 
@@ -646,6 +975,10 @@ def run_core_trace_batched(
         hstats.delayed_speculative_requests += delayed_speculative
         hstats.delayed_predictions_saved += delayed_saved
         hstats.l1d_prefetch_candidates += prefetch_candidates
+        hstats.l1d_prefetches_dropped_resident += l1_pf_dropped_resident
+        hstats.l1d_prefetches_filtered += l1_pf_filtered
+        hstats.l1d_prefetches_dropped_queue_full += l1_pf_dropped_queue
+        hstats.l1d_prefetches_issued += l1_pf_issued
         served = hstats.served_by
         served[LEVEL_L1D] += served_l1d
         served[LEVEL_L2C] += served_l2c

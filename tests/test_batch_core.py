@@ -39,10 +39,16 @@ from repro.common.hashing import (
     table_index_np,
 )
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.replacement import SRRIPPolicy
+from repro.obs import tracer
 from repro.predictors.features import FeatureSpec
 from repro.predictors.perceptron import HashedPerceptron
+from repro.prefetchers.ipcp import IPCPPrefetcher
+from repro.prefetchers.ppf import PerceptronPrefetchFilter
+from repro.prefetchers.spp import SPPPrefetcher
 from repro.sim.batch import (
     batch_supported,
+    batch_unsupported_reason,
     run_single_core_batched,
 )
 from repro.sim.engine import single_core_point
@@ -124,6 +130,20 @@ class TestTraceFamilyEquivalence:
         scalar, batch = _run_pair(trace, "tlp")
         _assert_identical(scalar, batch)
 
+    @pytest.mark.parametrize(
+        "scheme,l1d_prefetcher",
+        (("tlp", "berti"), ("ppf", "ipcp"), ("ppf", "berti")),
+    )
+    def test_champsim_fixture_batch_kernels(self, scheme, l1d_prefetcher):
+        """The imported-trace path through every newly fused kernel:
+
+        Berti's batch delta kernel and the aggressive-SPP + PPF L2 path
+        (the ``tlp``/IPCP combination is pinned by ``test_champsim_fixture``).
+        """
+        trace = read_champsim_trace(CHAMPSIM_FIXTURE, name="fixture")
+        scalar, batch = _run_pair(trace, scheme, l1d_prefetcher)
+        _assert_identical(scalar, batch)
+
     def test_tiny_chunks_hit_every_boundary(self, spec_mcf_trace):
         """A 7-record chunk forces lead-window/boundary code on every chunk."""
         scenario = build_scenario("tlp")
@@ -147,6 +167,79 @@ class TestTraceFamilyEquivalence:
         assert result.ipc == pytest.approx(scalar.ipc)
 
 
+class TestChunkBoundarySweep:
+    """Chunk size must never change results: every boundary is mid-stream.
+
+    Sweeps chunk sizes from the degenerate 1-record chunk (every record
+    crosses a boundary) through primes that misalign with internal windows
+    up to one chunk covering the whole trace, against the same scalar
+    reference.  Runs under ``ppf`` so the boundary also cuts through the
+    fused SPP lookahead + PPF filter state.
+    """
+
+    @pytest.fixture(scope="class")
+    def scalar_reference(self):
+        trace = spec_like_trace("mcf_like", num_memory_accesses=600)
+        scenario = build_scenario("ppf", l1d_prefetcher="ipcp")
+        system = _system("scalar")
+        hierarchy = build_hierarchy(scenario, config=system)
+        result = run_single_core(trace, scenario, config=system,
+                                 hierarchy=hierarchy)
+        return trace, scenario, result, hierarchy
+
+    @pytest.mark.parametrize("chunk_records", (1, 7, 61, 600, 10_000))
+    def test_chunk_size_invariance(self, scalar_reference, chunk_records):
+        trace, scenario, scalar, scalar_hierarchy = scalar_reference
+        system = _system("scalar")
+        hierarchy = build_hierarchy(scenario, config=system)
+        runner = run_single_core_batched(
+            trace, hierarchy, system.core, 0.2, chunk_records=chunk_records
+        )
+        result = runner.finish()
+        hierarchy.finalize()
+        assert dataclasses.asdict(hierarchy.stats) == (
+            dataclasses.asdict(scalar_hierarchy.stats)
+        )
+        assert dataclasses.asdict(hierarchy.dram.stats) == (
+            dataclasses.asdict(scalar_hierarchy.dram.stats)
+        )
+        assert result.ipc == pytest.approx(scalar.ipc)
+
+
+class TestTableCollisionStress:
+    """Tiny predictor tables force index collisions on every structure.
+
+    With 4-entry SPP signature tables, 8-entry pattern tables and a
+    16-entry PPF weight table, distinct streams constantly alias into the
+    same entries; the fused kernels must replay exactly the same collision
+    and saturation behaviour as the object reference.
+    """
+
+    def _hierarchy(self):
+        return MemoryHierarchy(
+            cascade_lake_single_core(),
+            l1d_prefetcher=IPCPPrefetcher(ip_table_entries=8,
+                                          cplx_table_entries=16,
+                                          region_entries=4),
+            l2_prefetcher=SPPPrefetcher(signature_table_entries=4,
+                                        pattern_table_entries=8,
+                                        aggressive=True),
+            l2_prefetch_filter=PerceptronPrefetchFilter(table_entries=16),
+        )
+
+    def test_collisions_bit_identical(self, spec_mcf_trace):
+        scenario = build_scenario("ppf", l1d_prefetcher="ipcp")
+        results = {}
+        for core in ("scalar", "batch"):
+            hierarchy = self._hierarchy()
+            assert batch_supported(hierarchy)
+            results[core] = run_single_core(
+                spec_mcf_trace, scenario, config=_system(core),
+                hierarchy=hierarchy,
+            )
+        _assert_identical(results["scalar"], results["batch"])
+
+
 class TestFallbacks:
     def test_supported_schemes(self):
         for scheme in ("baseline", "hermes", "tlp", "flp", "ppf"):
@@ -163,6 +256,76 @@ class TestFallbacks:
 
         hierarchy = InstrumentedHierarchy(cascade_lake_single_core())
         assert not batch_supported(hierarchy)
+
+    def test_fallback_reason_names_component(self):
+        for scheme in ("baseline", "hermes", "tlp", "ppf"):
+            hierarchy = build_hierarchy(build_scenario(scheme))
+            assert batch_unsupported_reason(hierarchy) is None, scheme
+
+        reason = batch_unsupported_reason(
+            build_hierarchy(build_scenario("delayed_tsp"))
+        )
+        assert reason is not None
+        assert "unmodelled off-chip predictor" in reason
+
+        class InstrumentedHierarchy(MemoryHierarchy):
+            pass
+
+        reason = batch_unsupported_reason(
+            InstrumentedHierarchy(cascade_lake_single_core())
+        )
+        assert reason == "hierarchy subclass InstrumentedHierarchy"
+
+    def test_fallback_reason_names_non_lru_cache(self):
+        hierarchy = build_hierarchy(build_scenario("tlp"))
+        llc = hierarchy.llc
+        llc._policies[0] = SRRIPPolicy(llc.associativity)
+        reason = batch_unsupported_reason(hierarchy)
+        assert reason is not None
+        assert llc.name in reason
+        assert "non-LRU replacement policy" in reason
+
+    def test_fallback_emits_obs_event_and_warns_once(
+        self, tmp_path, spec_mcf_trace, caplog
+    ):
+        """A ``--core batch`` fallback is never silent: it emits one
+        ``sim.batch.fallback`` obs event per run naming the offending
+        component, and logs a warning once per reason per process."""
+        tracer.configure(tmp_path, proc="t-fallback")
+        try:
+            scenario = build_scenario("delayed_tsp")
+            with caplog.at_level("WARNING", logger="repro.sim.batch"):
+                for _ in range(2):
+                    run_single_core(
+                        spec_mcf_trace, scenario, config=_system("batch")
+                    )
+            tracer.shutdown()
+        finally:
+            tracer.disable()
+        events = [
+            record for record in tracer.load_run(tmp_path)
+            if record.get("name") == "sim.batch.fallback"
+        ]
+        # One event per fallback occurrence (the warmup and measured phases
+        # fall back separately), so two runs emit at least two events.
+        assert len(events) >= 2
+        for event in events:
+            assert "unmodelled off-chip predictor" in event["attrs"]["reason"]
+        warning_lines = [
+            message for message in caplog.messages
+            if "fell back to the scalar reference path" in message
+        ]
+        assert len(warning_lines) <= 1
+
+    def test_warning_fires_once_per_reason(self, caplog):
+        from repro.sim.batch import _note_scalar_fallback
+
+        reason = "test-only synthetic reason (once-per-reason check)"
+        with caplog.at_level("WARNING", logger="repro.sim.batch"):
+            _note_scalar_fallback(reason)
+            _note_scalar_fallback(reason)
+        warnings_seen = [m for m in caplog.messages if reason in m]
+        assert len(warnings_seen) == 1
 
     def test_multicore_runs_scalar_regardless_of_core(self, spec_mcf_trace):
         traces = [spec_mcf_trace, spec_mcf_trace]

@@ -111,14 +111,17 @@ class TestBerti:
         prefetcher = BertiPrefetcher()
         prefetcher.on_demand_access(0x400, BASE, False, 0)
         prefetcher.on_demand_access(0x400, BASE + (1 << 20), False, 0)
-        entry = prefetcher._table[0x400 % prefetcher.table_entries]
-        assert len(entry.history) == 1
+        key = 0x400 % prefetcher.table_entries
+        assert len(prefetcher._histories[key]) == 1
 
     def test_reset(self):
         prefetcher = BertiPrefetcher()
         prefetcher.on_demand_access(0x400, BASE, False, 0)
         prefetcher.reset()
-        assert prefetcher._table == {}
+        key = 0x400 % prefetcher.table_entries
+        assert prefetcher._histories[key] == []
+        assert prefetcher._pages[key] == -1
+        assert prefetcher._totals[key] == 0
 
 
 class TestSPP:
